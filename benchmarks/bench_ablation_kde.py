@@ -1,0 +1,39 @@
+"""Engineering ablation: exact KDE vs interpolation-table evaluation.
+
+The S-T probability inner loops evaluate the speed kernel density at
+thousands of points per query; the lookup-table path trades an O(|S|)
+kernel sum per point for one `np.interp`.  This benchmark quantifies the
+speedup and bounds the approximation error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.speed import KDESpeedModel
+
+
+@pytest.fixture(scope="module")
+def speeds():
+    rng = np.random.default_rng(1)
+    samples = np.abs(rng.normal(1.3, 0.5, size=40))
+    queries = rng.uniform(0.0, 5.0, size=20_000)
+    return samples, queries
+
+
+@pytest.mark.parametrize("approx", [True, False], ids=["interp-table", "exact"])
+def test_kde_batch_evaluation(benchmark, speeds, approx):
+    samples, queries = speeds
+    model = KDESpeedModel(samples, approx=approx)
+    result = benchmark(model.transition_weight, queries)
+    assert np.asarray(result).shape == queries.shape
+
+
+def test_interp_error_bounded(speeds):
+    samples, queries = speeds
+    exact = KDESpeedModel(samples, approx=False)
+    approx = KDESpeedModel(samples, approx=True)
+    err = np.abs(
+        np.asarray(approx.transition_weight(queries))
+        - np.asarray(exact.transition_weight(queries))
+    )
+    assert err.max() < 1e-5

@@ -1,0 +1,55 @@
+"""Engineering ablation: S-T probability evaluation modes.
+
+DESIGN.md §5 motivates two optimizations over the paper's literal
+``O(|R|²)`` Eq. 4 evaluation: support pruning and FFT convolution.  These
+benchmarks measure each mode on a representative mall-scale configuration
+and verify they agree numerically — the speedups are free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.speed import KDESpeedModel
+from repro.core.stprob import TrajectorySTP
+from repro.core.transition import SpeedTransitionModel
+from repro.core.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    n = 30
+    ts = np.cumsum(rng.uniform(5, 30, n))
+    xs = np.cumsum(rng.normal(1.2, 0.5, n) * np.diff(np.concatenate([[0], ts])))
+    ys = 60 + np.cumsum(rng.normal(0, 3.0, n))
+    traj = Trajectory.from_arrays(xs, ys, ts)
+    grid = Grid(-50, 0, 250, 120, cell_size=3.0)  # mall-scale: ~4000 cells
+    noise = GaussianNoiseModel(3.0)
+    transition = SpeedTransitionModel(KDESpeedModel.from_trajectory(traj))
+    query_times = np.linspace(ts[0] + 1, ts[-1] - 1, 10)
+    return traj, grid, noise, transition, query_times
+
+
+def run_mode(setup_data, mode):
+    traj, grid, noise, transition, query_times = setup_data
+    stp = TrajectorySTP(traj, grid, noise, transition, mode=mode)
+    return [stp.stp_dense(float(t)) for t in query_times]
+
+
+@pytest.mark.parametrize("mode", ["fft", "pruned", "dense"])
+def test_stp_mode_timing(benchmark, setup, mode):
+    results = benchmark.pedantic(run_mode, args=(setup, mode), rounds=3, iterations=1)
+    # Distributions are normalized at every query time.
+    for dense in results:
+        assert dense.sum() == pytest.approx(1.0)
+
+
+def test_modes_agree_on_this_configuration(setup):
+    fft = run_mode(setup, "fft")
+    pruned = run_mode(setup, "pruned")
+    dense = run_mode(setup, "dense")
+    for a, b, c in zip(fft, pruned, dense):
+        np.testing.assert_allclose(a, c, atol=1e-8)
+        np.testing.assert_allclose(b, c, atol=1e-8)

@@ -1,0 +1,56 @@
+"""Application benchmark: companion detection quality (no paper figure).
+
+Section I motivates STS with companion detection; this benchmark scores
+the application directly.  A labeled mall corpus mixes companion pairs
+with independent visitors in the same time window; every method ranks all
+temporally-overlapping pairs and is scored by ROC-AUC / average precision
+against the labels.  Expected shape: the spatio-temporal probabilistic
+methods (STS first) clearly beat spatial-only DTW, which cannot tell
+"same route together" from "same route an hour apart".
+"""
+
+import pytest
+
+from repro.core.noise import GaussianNoiseModel
+from repro.core.sts import STS
+from repro.eval import grid_covering
+from repro.eval.companion import companion_corpus, evaluate_companion_detection
+from repro.similarity import CATS, DTW, SST
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # route followers are the hard negatives: same route, minutes later —
+    # geometrically identical to true companions.
+    return companion_corpus(
+        n_companion_pairs=5, n_independents=10, n_route_followers=6, seed=7
+    )
+
+
+def test_companion_detection(benchmark, capsys, corpus):
+    grid = grid_covering(corpus.trajectories, corpus.location_error, margin=20.0)
+    measures = [
+        STS(grid, noise_model=GaussianNoiseModel(corpus.location_error)),
+        CATS(epsilon=2.0 * grid.cell_size, tau=30.0),
+        SST(spatial_scale=grid.cell_size, temporal_scale=30.0),
+        DTW(),
+    ]
+
+    def run():
+        return [evaluate_companion_detection(m, corpus) for m in measures]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(f"companion detection [mall] — {results[0].n_positive} true pairs "
+              f"among {results[0].n_scored} scored")
+        for result in results:
+            print(f"  {result}")
+
+    by_name = {r.measure: r for r in results}
+    # Shape: STS detects companions essentially perfectly, while the
+    # time-blind measure (DTW) ranks the route followers above many true
+    # companions — its average precision collapses.
+    assert by_name["STS"].auc >= 0.9
+    assert by_name["STS"].average_precision >= 0.8
+    assert by_name["STS"].average_precision >= by_name["DTW"].average_precision + 0.3

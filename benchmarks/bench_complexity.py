@@ -1,0 +1,53 @@
+"""Section V-C: computational complexity of the STS measure.
+
+The paper derives ``O(|Tra|·|Tra'|·|R|²)`` for the literal (dense)
+evaluation.  These benchmarks measure how one STS similarity call scales
+with the grid resolution and with trajectory length in dense mode, and
+how much of that the default FFT mode removes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+
+
+def make_pair(n_points: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.uniform(4, 12, n_points))
+    xs = np.cumsum(rng.normal(1.2, 0.4, n_points) * np.diff(np.concatenate([[0], ts])))
+    ys = 50 + np.cumsum(rng.normal(0, 2.0, n_points))
+    a = Trajectory.from_arrays(xs, ys, ts)
+    b = Trajectory.from_arrays(xs + rng.normal(0, 3, n_points), ys + rng.normal(0, 3, n_points), ts + 3.0)
+    return a, b
+
+
+def sts_call(mode: str, cell: float, n_points: int) -> float:
+    a, b = make_pair(n_points)
+    grid = Grid(-50, -50, 350, 150, cell_size=cell)
+    measure = STS(grid, noise_model=GaussianNoiseModel(3.0), mode=mode)
+    return measure.similarity(a, b)
+
+
+@pytest.mark.parametrize("cell", [16.0, 8.0, 4.0], ids=["coarse", "medium", "fine"])
+def test_dense_scaling_with_grid(benchmark, cell):
+    """Dense-mode cost grows steeply as cells shrink (|R| grows)."""
+    value = benchmark.pedantic(sts_call, args=("dense", cell, 12), rounds=2, iterations=1)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("cell", [16.0, 8.0, 4.0], ids=["coarse", "medium", "fine"])
+def test_fft_scaling_with_grid(benchmark, cell):
+    """FFT-mode cost grows near-linearly in |R| (n log n convolutions)."""
+    value = benchmark.pedantic(sts_call, args=("fft", cell, 12), rounds=2, iterations=1)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("n_points", [8, 16, 32], ids=["short", "medium", "long"])
+def test_scaling_with_trajectory_length(benchmark, n_points):
+    """Cost grows with |Tra| + |Tra'| timestamps to evaluate."""
+    value = benchmark.pedantic(sts_call, args=("fft", 4.0, n_points), rounds=2, iterations=1)
+    assert 0.0 <= value <= 1.0

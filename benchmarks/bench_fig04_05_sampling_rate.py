@@ -1,0 +1,46 @@
+"""Figures 4 & 5: precision / mean rank vs (low) data sampling rate.
+
+Paper shape: precision rises and mean rank falls as the sampling rate
+grows; STS leads at every rate, and its margin over the baselines widens
+as the rate drops (Section VI-C, "Effect of different data sampling
+rates").
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import sampling_rate_experiment
+
+RATES = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+@pytest.mark.parametrize("dataset_name", ["mall", "taxi"])
+def test_fig04_05_sampling_rate(benchmark, emit, datasets, dataset_name):
+    dataset = datasets[dataset_name]
+    result = benchmark.pedantic(
+        sampling_rate_experiment,
+        args=(dataset,),
+        kwargs={"rates": RATES, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    precision = result.metrics["precision"]
+    mean_rank = result.metrics["mean_rank"]
+    # Shape: STS's average precision beats every point/threshold-based
+    # baseline (the paper's robustness claim).  SST is excluded from the
+    # strict comparison: on piecewise-linear *simulated* paths synchronized
+    # linear interpolation is nearly an oracle, which inflates SST relative
+    # to the paper (see EXPERIMENTS.md); STS must still be within slack of
+    # the best method overall.
+    sts_avg = np.mean(precision["STS"])
+    for method, series in precision.items():
+        if method in ("STS", "SST"):
+            continue
+        assert sts_avg >= np.mean(series) - 0.02, (method, series)
+    best_avg = max(np.mean(series) for series in precision.values())
+    assert sts_avg >= best_avg - 0.10
+    # Shape: performance does not degrade as the rate increases.
+    assert precision["STS"][-1] >= precision["STS"][0] - 0.05
+    assert mean_rank["STS"][-1] <= mean_rank["STS"][0] + 0.25

@@ -1,0 +1,36 @@
+"""Figures 12–14: grid size vs running time / precision / mean rank.
+
+STS's effectiveness/efficiency trade-off across grid cell sizes (1–6 m
+mall, 50–250 m taxi).  Paper shape: larger cells run faster but lose
+precision and gain mean rank; the sweet spot sits near the localization
+error (Section VI-E).
+"""
+
+import pytest
+
+from repro.eval import grid_size_experiment
+
+
+@pytest.mark.parametrize("dataset_name", ["mall", "taxi"])
+def test_fig12_13_14_grid_size(benchmark, emit, datasets, dataset_name):
+    dataset = datasets[dataset_name]
+    # rate=0.3 restores paper-scale task difficulty so the effectiveness
+    # decline of Figs. 13-14 is visible (see grid_size_experiment docs).
+    result = benchmark.pedantic(
+        grid_size_experiment,
+        args=(dataset,),
+        kwargs={"grid_sizes": dataset.grid_sizes, "rate": 0.3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    precision = result.metrics["precision"]["STS"]
+    mean_rank = result.metrics["mean_rank"]["STS"]
+    timing = result.metrics["running_time_s"]["STS"]
+    # Shape: the finest grid is at least as precise as the coarsest, and
+    # never worse on mean rank.
+    assert precision[0] >= precision[-1] - 1e-9
+    assert mean_rank[0] <= mean_rank[-1] + 1e-9
+    # Shape: the coarsest grid is not slower than the finest.
+    assert timing[-1] <= timing[0] * 1.5

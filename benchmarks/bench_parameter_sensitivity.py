@@ -1,0 +1,36 @@
+"""Extension: parameter-sensitivity sweep (Section II claim).
+
+No paper figure exists for this, but the paper's central criticism of
+CATS/SST/WGM is their dependence on manually-set thresholds.  The sweep
+multiplies each method's scale parameters by 0.25x-4x and tracks matching
+precision; the spread (max - min) quantifies sensitivity.  Expected shape:
+STS's spread is among the smallest — mis-stating the noise σ by 4x hurts
+far less than mis-stating CATS's clue thresholds by 4x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import parameter_sensitivity_experiment
+
+
+@pytest.mark.parametrize("dataset_name", ["mall", "taxi"])
+def test_parameter_sensitivity(benchmark, emit, datasets, dataset_name):
+    dataset = datasets[dataset_name]
+    result = benchmark.pedantic(
+        parameter_sensitivity_experiment,
+        args=(dataset,),
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    precision = result.metrics["precision"]
+    spreads = {m: max(s) - min(s) for m, s in precision.items()}
+    with_spread = ", ".join(f"{m}: {v:.3f}" for m, v in sorted(spreads.items()))
+    # Shape: STS is not the most parameter-sensitive method of the panel.
+    assert spreads["STS"] <= max(spreads.values()), with_spread
+    # And at the nominal setting (multiplier 1.0) every method is usable.
+    nominal_index = result.x_values.index(1.0)
+    assert precision["STS"][nominal_index] >= 0.5

@@ -1,0 +1,62 @@
+"""Streaming detector throughput: ingest rate and evaluation latency.
+
+Operational reference for the online co-location layer: how many sighting
+events per second the sliding window sustains, and what one full pairwise
+evaluation tick costs at a given number of active devices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.streaming import SightingEvent, StreamingColocationDetector
+
+N_DEVICES = 8
+EVENTS_PER_DEVICE = 30
+AREA = (100.0, 60.0)  # mall-sized; positions bounce off the walls
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    rng = np.random.default_rng(5)
+    events = []
+    for d in range(N_DEVICES):
+        x, y = rng.uniform(10, AREA[0] - 10), rng.uniform(10, AREA[1] - 10)
+        heading = rng.uniform(0, 2 * np.pi)
+        t = float(rng.uniform(0, 30))
+        for _ in range(EVENTS_PER_DEVICE):
+            dt = float(rng.exponential(10.0))
+            t += dt
+            x += 1.2 * np.cos(heading) * dt + rng.normal(0, 2)
+            y += 1.2 * np.sin(heading) * dt + rng.normal(0, 2)
+            if not (0 < x < AREA[0] and 0 < y < AREA[1]):
+                heading += np.pi / 2 + rng.uniform(0, np.pi / 2)
+                x = float(np.clip(x, 1, AREA[0] - 1))
+                y = float(np.clip(y, 1, AREA[1] - 1))
+            events.append(SightingEvent(f"dev-{d}", float(x), float(y), t))
+    events.sort(key=lambda e: e.t)
+    return events
+
+
+@pytest.fixture
+def grid():
+    return Grid(-10, -10, AREA[0] + 10, AREA[1] + 10, cell_size=3.0)
+
+
+def test_ingest_throughput(benchmark, grid, event_stream):
+    def ingest_all():
+        detector = StreamingColocationDetector(grid, window=600.0)
+        detector.ingest_many(event_stream)
+        return len(detector.active_objects)
+
+    active = benchmark(ingest_all)
+    assert active > 0
+
+
+def test_evaluation_tick(benchmark, grid, event_stream):
+    detector = StreamingColocationDetector(grid, window=2000.0)
+    detector.ingest_many(event_stream)
+
+    scores = benchmark.pedantic(detector.evaluate, rounds=2, iterations=1)
+    # all-pairs over the scorable devices
+    assert isinstance(scores, list)

@@ -1,0 +1,43 @@
+"""Pairwise-similarity throughput of every measure on both corpora.
+
+Not a paper figure — an operational reference: what one similarity call
+costs per method, which is what sizes a deployment (the matching task is
+``O(n²)`` calls).  Complements Fig. 12's grid-size/running-time sweep.
+"""
+
+import pytest
+
+from repro.eval import default_measures, grid_covering
+
+
+@pytest.fixture(scope="module")
+def pair_setups(request):
+    datasets = {
+        "mall": request.getfixturevalue("bench_mall"),
+        "taxi": request.getfixturevalue("bench_taxi"),
+    }
+    out = {}
+    for name, ds in datasets.items():
+        corpus = ds.trajectories
+        grid = grid_covering(corpus, ds.cell_size, ds.margin)
+        measures = default_measures(grid, corpus, ds.location_error)
+        out[name] = (measures, corpus[0], corpus[1])
+    return out
+
+
+@pytest.mark.parametrize("dataset_name", ["mall", "taxi"])
+@pytest.mark.parametrize("method", ["STS", "CATS", "SST", "WGM", "APM", "EDwP", "KF"])
+def test_similarity_call(benchmark, pair_setups, dataset_name, method):
+    measures, a, b = pair_setups[dataset_name]
+    measure = measures[method]
+
+    def cold_call():
+        # Drop per-trajectory caches so every round measures a cold pair,
+        # matching the cost profile of a fresh query against a gallery.
+        clear = getattr(measure, "clear_cache", None)
+        if clear is not None:
+            clear()
+        return measure.score(a, b)
+
+    value = benchmark.pedantic(cold_call, rounds=3, iterations=1)
+    assert value == value  # finite, not NaN

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures: the two evaluation corpora.
+
+Benchmark scale is deliberately smaller than the paper's (Porto has 1.7 M
+trajectories; we use gallery sizes in the tens) — the curves' *shape* is
+what the harness reproduces; absolute mean ranks scale with gallery size.
+Set ``REPRO_BENCH_SIZE`` to run larger galleries.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import mall_dataset, taxi_dataset
+
+# Gallery sizes: STS pairs are ~20x cheaper on the taxi grid than the
+# mall grid, and the taxi task needs a larger gallery to be discriminative
+# (confusability there comes from candidate count, as in Porto).
+MALL_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "20"))
+TAXI_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "48"))
+
+# Tight time windows pack the objects into the same period, so galleries
+# contain genuinely confusable (temporally overlapping) candidates — the
+# regime the paper's full-size corpora are in.
+MALL_WINDOW = 1200.0
+TAXI_WINDOW = 600.0
+
+
+@pytest.fixture(scope="session")
+def bench_mall():
+    return mall_dataset(n_trajectories=MALL_SIZE, seed=101, time_window=MALL_WINDOW)
+
+
+@pytest.fixture(scope="session")
+def bench_taxi():
+    return taxi_dataset(n_trajectories=TAXI_SIZE, seed=101, time_window=TAXI_WINDOW)
+
+
+@pytest.fixture(scope="session")
+def datasets(bench_mall, bench_taxi):
+    return {"mall": bench_mall, "taxi": bench_taxi}
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a SweepResult's tables straight to the terminal (uncaptured)."""
+
+    def _emit(result, metrics=None):
+        with capsys.disabled():
+            print()
+            for metric in metrics or result.metrics:
+                print(result.format_table(metric))
+                print()
+
+    return _emit

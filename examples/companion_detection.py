@@ -1,0 +1,79 @@
+"""Companion detection in a shopping mall (contact-tracing scenario).
+
+Simulates a mall with WiFi-style sensing: two companions walk the mall
+side by side while other visitors browse independently.  Each device is
+seen sporadically (Poisson sightings) with ~3 m localization error.  The
+task — one of the paper's motivating applications — is to find which pair
+of devices moved together, for contact tracing or group analytics.
+
+STS is compared against DTW (spatial-only) to show why the temporal
+dimension and the probabilistic location model matter indoors.
+
+Run:  python examples/companion_detection.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro import STS, GaussianNoiseModel
+from repro.eval import grid_covering
+from repro.similarity import DTW
+from repro.simulation import (
+    FloorPlan,
+    poisson_times,
+    sample_path,
+    simulate_companions,
+    simulate_visitors,
+)
+
+NOISE = 3.0  # localization error of the sensing system, meters
+MEAN_SIGHTING_GAP = 15.0  # seconds between WiFi sightings, on average
+
+rng = np.random.default_rng(42)
+plan = FloorPlan.generate(rng=rng)
+
+# Ground truth: device 0 and device 1 walk together; 2-7 are independent.
+leader_path, follower_path = simulate_companions(plan, rng, lateral_offset=1.5)
+other_paths = simulate_visitors(plan, 6, rng, time_window=300.0)
+paths = [leader_path, follower_path, *other_paths]
+
+
+def observe(path, device_id):
+    """Sporadic noisy sightings of one device."""
+    times = poisson_times(path.start_time, path.end_time, MEAN_SIGHTING_GAP, rng)
+    return sample_path(path, times, noise_std=NOISE, rng=rng, object_id=device_id)
+
+
+devices = [observe(p, f"device-{i}") for i, p in enumerate(paths)]
+grid = grid_covering(devices, cell_size=NOISE, margin=20.0)
+
+sts = STS(grid, noise_model=GaussianNoiseModel(NOISE))
+dtw = DTW()
+
+print(f"mall: {grid.n_cols}x{grid.n_rows} cells; {len(devices)} devices observed\n")
+print("top device pairs by each measure (truth: device-0 + device-1):\n")
+
+for name, scored in [
+    ("STS  (higher = together)", lambda a, b: sts.similarity(a, b)),
+    ("DTW  (lower = together) ", lambda a, b: -dtw(a, b)),
+]:
+    ranking = sorted(
+        itertools.combinations(devices, 2),
+        key=lambda pair: scored(pair[0], pair[1]),
+        reverse=True,
+    )
+    print(f"  {name}")
+    for a, b in ranking[:3]:
+        marker = "  <-- true companions" if {a.object_id, b.object_id} == {
+            "device-0",
+            "device-1",
+        } else ""
+        print(f"    {a.object_id} + {b.object_id}: score={scored(a, b):+.4f}{marker}")
+    print()
+
+best_pair = max(
+    itertools.combinations(devices, 2), key=lambda pair: sts.similarity(pair[0], pair[1])
+)
+found = {best_pair[0].object_id, best_pair[1].object_id} == {"device-0", "device-1"}
+print("STS identified the companions:", "YES" if found else "NO")

@@ -1,0 +1,59 @@
+"""Cross-system trajectory linking on a taxi corpus (Section VI protocol).
+
+A vehicle observed by two different sensing systems leaves two different
+trajectories; re-identifying which trajectory in system B belongs to which
+in system A is the paper's evaluation task.  This example builds a
+Porto-like synthetic taxi corpus, alternately splits every trajectory into
+the two "systems" (Fig. 3), downsamples system B more aggressively
+(heterogeneous rates), and scores all seven measures on precision and
+mean rank.
+
+Run:  python examples/cross_system_linking.py
+"""
+
+import numpy as np
+
+from repro.datasets import taxi_dataset
+from repro.eval import (
+    build_matching_pair,
+    default_measures,
+    evaluate_matching,
+    grid_covering,
+)
+from repro.simulation import downsample
+
+N_TAXIS = 20
+SYSTEM_B_RATE = 0.4  # system B keeps only 40% of its sightings
+
+rng = np.random.default_rng(7)
+dataset = taxi_dataset(n_trajectories=N_TAXIS, seed=7)
+
+# Fig. 3 protocol: alternate split manufactures ground truth.
+system_a, system_b_full = build_matching_pair(dataset.trajectories)
+system_b = [downsample(t, SYSTEM_B_RATE, rng) for t in system_b_full]
+
+corpus = system_a + system_b
+grid = grid_covering(corpus, dataset.cell_size, dataset.margin)
+measures = default_measures(grid, corpus, dataset.location_error)
+
+print(
+    f"linking {N_TAXIS} taxis across two systems "
+    f"(system B downsampled to {SYSTEM_B_RATE:.0%})\n"
+)
+print(f"{'measure':<8}{'precision':>12}{'mean rank':>12}")
+results = []
+for measure in measures.values():
+    outcome = evaluate_matching(measure, system_a, system_b)
+    results.append(outcome)
+    print(f"{outcome.measure:<8}{outcome.precision:>12.3f}{outcome.mean_rank:>12.2f}")
+
+best = max(results, key=lambda r: (r.precision, -r.mean_rank))
+print(f"\nbest measure under heterogeneous sampling: {best.measure}")
+
+# Where the losses come from: queries whose counterpart was not ranked 1st.
+sts_result = next(r for r in results if r.measure == "STS")
+missed = np.nonzero(sts_result.ranks > 1)[0]
+if missed.size:
+    print(f"STS missed {missed.size} queries (ranks: {sts_result.ranks[missed].tolist()})")
+else:
+    print("STS re-identified every taxi correctly.")

@@ -1,0 +1,85 @@
+"""Group analytics: find shopping parties in a simulated mall.
+
+Two parties (a pair and a trio — simulated as companions of companions)
+shop alongside independent visitors.  The pipeline: clean the sighting
+logs (:mod:`repro.preprocess`), score pairwise STS with a temporal
+pre-filter, and read co-moving groups off the similarity graph
+(:mod:`repro.groups`).
+
+Run:  python examples/group_analytics.py
+"""
+
+import numpy as np
+
+from repro import STS, GaussianNoiseModel, Trajectory
+from repro.eval import grid_covering
+from repro.groups import detect_groups
+from repro.preprocess import clean
+from repro.simulation import (
+    FloorPlan,
+    poisson_times,
+    sample_path,
+    simulate_companions,
+    simulate_pedestrian_path,
+    simulate_visitors,
+)
+
+NOISE = 3.0
+rng = np.random.default_rng(77)
+plan = FloorPlan.generate(rng=rng)
+
+# Party A: two people side by side.  Party B: three people (leader + two
+# offset followers).  Plus three independent visitors, same time window.
+a1, a2 = simulate_companions(plan, rng, lateral_offset=1.3)
+b_leader = simulate_pedestrian_path(plan, rng, start_time=30.0)
+b2_xy = b_leader.xy + np.array([1.0, 0.8])
+b3_xy = b_leader.xy + np.array([-0.9, 1.1])
+from repro.core.trajectory import Path  # noqa: E402 - example-local import
+
+b2 = Path(b2_xy, b_leader.t.copy(), object_id="b2")
+b3 = Path(b3_xy, b_leader.t.copy(), object_id="b3")
+independents = simulate_visitors(plan, 3, rng, time_window=120.0)
+
+paths = {
+    "partyA-1": a1, "partyA-2": a2,
+    "partyB-1": b_leader, "partyB-2": b2, "partyB-3": b3,
+    "solo-1": independents[0], "solo-2": independents[1], "solo-3": independents[2],
+}
+
+
+def observe(path, device_id) -> Trajectory:
+    times = poisson_times(path.start_time, path.end_time, 12.0, rng)
+    return sample_path(path, times, noise_std=NOISE, rng=rng, object_id=device_id)
+
+
+# Raw logs -> cleaned trajectories (drop GPS-style spikes, split sessions).
+devices = []
+for device_id, path in paths.items():
+    raw = observe(path, device_id)
+    trips = clean(raw, max_speed=4.0, max_gap=300.0)
+    devices.extend(trips)
+
+grid = grid_covering(devices, cell_size=NOISE, margin=20.0)
+measure = STS(grid, noise_model=GaussianNoiseModel(NOISE))
+self_level = float(np.mean([measure.similarity(d, d) for d in devices]))
+threshold = 0.2 * self_level
+
+result = detect_groups(measure, devices, threshold=threshold, min_time_overlap=60.0)
+print(f"{len(devices)} devices; scored {result.pairs_scored} temporally-plausible pairs; "
+      f"threshold {threshold:.3f}\n")
+
+print("detected groups:")
+for group in result.groups:
+    members = ", ".join(devices[i].object_id or str(i) for i in group)
+    print(f"  {{{members}}}")
+if not result.groups:
+    print("  (none)")
+
+print("\nstrongest co-movement edges:")
+for i, j, sim in sorted(result.edges, key=lambda e: -e[2])[:5]:
+    print(f"  {devices[i].object_id} ~ {devices[j].object_id}: {sim:.4f}")
+
+truth = [{"partyA-1", "partyA-2"}, {"partyB-1", "partyB-2", "partyB-3"}]
+found = [set(devices[i].object_id for i in g) for g in result.groups]
+verdict = "YES" if all(t in found for t in truth) else "PARTIAL/NO"
+print(f"\nboth ground-truth parties recovered exactly: {verdict}")

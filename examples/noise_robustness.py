@@ -1,0 +1,49 @@
+"""Robustness to location noise: STS vs the baselines (Figs. 8-9 in miniature).
+
+Distorts a small mall corpus with increasing Gaussian noise (Eq. 14) and
+tracks matching precision for STS, CATS, SST and WGM.  The paper's claim —
+the gap between STS and threshold/point-based measures widens as noise
+grows — is visible even at this tiny scale.
+
+Run:  python examples/noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.datasets import mall_dataset
+from repro.eval import (
+    build_matching_pair,
+    default_measures,
+    evaluate_matching,
+    grid_covering,
+)
+from repro.simulation import distort
+
+BETAS = [0.0, 2.0, 4.0, 6.0, 8.0]
+METHODS = ["STS", "CATS", "SST", "WGM"]
+
+rng = np.random.default_rng(11)
+dataset = mall_dataset(n_trajectories=12, seed=11)
+d1_clean, d2_clean = build_matching_pair(dataset.trajectories)
+
+print(f"matching precision vs injected location noise ({len(d1_clean)} pedestrians)\n")
+print(f"{'noise β (m)':<14}" + "".join(f"{m:>8}" for m in METHODS))
+
+series: dict[str, list[float]] = {m: [] for m in METHODS}
+for beta in BETAS:
+    d1 = [distort(t, beta, rng) for t in d1_clean]
+    d2 = [distort(t, beta, rng) for t in d2_clean]
+    corpus = d1 + d2
+    grid = grid_covering(corpus, dataset.cell_size, dataset.margin)
+    sigma = float(np.hypot(dataset.location_error, beta))
+    measures = default_measures(grid, corpus, sigma, include=METHODS)
+    row = []
+    for name in METHODS:
+        precision = evaluate_matching(measures[name], d1, d2).precision
+        series[name].append(precision)
+        row.append(precision)
+    print(f"{beta:<14g}" + "".join(f"{v:>8.2f}" for v in row))
+
+print("\naverage precision across the sweep:")
+for name in METHODS:
+    print(f"  {name:<6} {np.mean(series[name]):.3f}")

@@ -1,0 +1,60 @@
+"""Quickstart: measure spatial-temporal similarity between two trajectories.
+
+Builds two trajectories of people walking the same corridor with noisy,
+asynchronously sampled observations (the exact setting of the paper's
+Figure 1), computes their STS, and contrasts it with a passer-by heading
+the opposite way at the same time.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import STS, GaussianNoiseModel, Grid, Trajectory
+
+rng = np.random.default_rng(0)
+
+# ----------------------------------------------------------------------
+# Two people walking together east along y=10 at ~1.2 m/s.  Their sensors
+# fire at different times (sporadic sampling) and each fix carries ~2 m of
+# localization error (location noise) — so the raw points never coincide.
+# ----------------------------------------------------------------------
+def observe(times, speed=1.2, y=10.0, noise=2.0, reverse=False):
+    times = np.asarray(times, dtype=float)
+    xs = 5.0 + speed * times
+    if reverse:
+        xs = 65.0 - speed * times
+    return Trajectory.from_arrays(
+        xs + rng.normal(0, noise, len(times)),
+        y + rng.normal(0, noise, len(times)),
+        times,
+    )
+
+
+alice = observe(times=[0, 7, 15, 21, 30, 38, 45])
+bob = observe(times=[3, 11, 18, 26, 33, 41, 48])          # same walk, offset clock
+carol = observe(times=[2, 9, 17, 25, 34, 42, 47], reverse=True)  # opposite direction
+
+# ----------------------------------------------------------------------
+# Configure STS: a grid over the area (cell ≈ localization error, as the
+# paper recommends) and the sensing system's noise level.  The speed model
+# is estimated per trajectory automatically (Eq. 6) — no training data.
+# ----------------------------------------------------------------------
+grid = Grid(min_x=-10, min_y=-10, max_x=80, max_y=30, cell_size=2.0)
+measure = STS(grid, noise_model=GaussianNoiseModel(sigma=2.0))
+
+print("STS(alice, bob)   =", f"{measure.similarity(alice, bob):.4f}   (walking together)")
+print("STS(alice, carol) =", f"{measure.similarity(alice, carol):.4f}   (opposite direction)")
+print("STS(alice, alice) =", f"{measure.similarity(alice, alice):.4f}   (self)")
+
+# ----------------------------------------------------------------------
+# Inspect the per-timestamp co-location probabilities behind Eq. 10.
+# Alice and Carol cross paths mid-corridor: their co-location probability
+# spikes exactly once, while Alice and Bob stay co-located throughout.
+# ----------------------------------------------------------------------
+times, cps = measure.colocation_profile(alice, carol)
+peak = times[np.argmax(cps)]
+print(f"\nalice-carol co-location peaks at t={peak:.0f}s (they cross mid-corridor):")
+for t, cp in zip(times, cps):
+    bar = "#" * int(cp * 60)
+    print(f"  t={t:4.0f}s  CP={cp:.3f} {bar}")

@@ -1,0 +1,9 @@
+"""Legacy shim so editable installs work offline (no wheel package here).
+
+All real metadata lives in pyproject.toml; use
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — reproduction of "Spatial-Temporal Similarity for Trajectories
+with Location Noise and Sporadic Sampling" (Li et al., ICDE 2021).
+
+Public API highlights:
+
+* :class:`repro.Trajectory`, :class:`repro.Grid` — data model;
+* :class:`repro.STS` — the paper's similarity measure (plus the
+  :func:`repro.sts_n` / :func:`repro.sts_g` / :func:`repro.sts_f`
+  ablation variants);
+* :mod:`repro.similarity` — CATS, EDwP, APM, KF, WGM, SST and the
+  classic DTW/LCSS/EDR/ERP/Fréchet/Hausdorff measures;
+* :mod:`repro.datasets` — synthetic taxi/mall corpora and loaders for the
+  real Porto CSV and mall-style sighting logs;
+* :mod:`repro.eval` — the matching task, metrics and per-figure
+  experiment runners of the paper's Section VI.
+"""
+
+from .core import (
+    STS,
+    ColocationEvent,
+    DeterministicNoiseModel,
+    FrequencyTransitionModel,
+    GaussianNoiseModel,
+    GaussianSpeedModel,
+    Grid,
+    KDESpeedModel,
+    NoiseModel,
+    Path,
+    SpeedTransitionModel,
+    Trajectory,
+    TrajectoryPoint,
+    TrajectorySTP,
+    TransitionModel,
+    UniformDiskNoiseModel,
+    colocation_probability,
+    colocation_timeline,
+    detect_colocation_events,
+    sts_b,
+    sts_f,
+    sts_g,
+    sts_n,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Trajectory",
+    "TrajectoryPoint",
+    "Path",
+    "Grid",
+    "NoiseModel",
+    "GaussianNoiseModel",
+    "DeterministicNoiseModel",
+    "UniformDiskNoiseModel",
+    "KDESpeedModel",
+    "GaussianSpeedModel",
+    "TransitionModel",
+    "SpeedTransitionModel",
+    "FrequencyTransitionModel",
+    "TrajectorySTP",
+    "colocation_probability",
+    "ColocationEvent",
+    "colocation_timeline",
+    "detect_colocation_events",
+    "STS",
+    "sts_n",
+    "sts_g",
+    "sts_f",
+    "sts_b",
+]

@@ -1,0 +1,273 @@
+"""Command-line interface: ``repro-sts`` (or ``python -m repro``).
+
+Subcommands::
+
+    repro-sts list-measures
+    repro-sts matching   --dataset taxi --size 30 --seed 0
+    repro-sts experiment fig4 --dataset mall --size 20
+    repro-sts report     --dataset mall --size 20 --out report.md
+    repro-sts generate   --dataset taxi --size 50 --out corpus.csv
+    repro-sts link       --queries q.csv --gallery g.csv --cell 3 --sigma 3 --top 3
+    repro-sts events     --corpus c.csv --a device-1 --b device-2 --cell 3 --sigma 3
+    repro-sts groups     --corpus c.csv --cell 3 --sigma 3
+
+``experiment`` accepts the figure families of the paper's evaluation:
+``fig4`` (= figs 4–5), ``fig6`` (= 6–7), ``fig8`` (= 8–9), ``fig10``,
+``fig11`` and ``fig12`` (= 12–14); ``report`` runs them all and writes a
+markdown report.  ``link`` and ``events`` operate on trajectory CSVs in
+the library's flat ``object_id,x,y,t`` format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.grid import Grid
+from .core.noise import GaussianNoiseModel
+from .core.sts import STS
+from .datasets import load_trajectories_csv, mall_dataset, save_trajectories_csv, taxi_dataset
+from .eval import (
+    ablation_experiment,
+    build_matching_pair,
+    cross_similarity_experiment,
+    default_measures,
+    evaluate_matching,
+    grid_covering,
+    grid_size_experiment,
+    heterogeneous_rate_experiment,
+    noise_experiment,
+    render_markdown,
+    run_all_experiments,
+    sampling_rate_experiment,
+)
+from .similarity import available_measures
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig4": sampling_rate_experiment,
+    "fig6": heterogeneous_rate_experiment,
+    "fig8": noise_experiment,
+    "fig10": ablation_experiment,
+    "fig11": cross_similarity_experiment,
+    "fig12": grid_size_experiment,
+}
+
+
+def _load_dataset(name: str, size: int, seed: int):
+    if name == "taxi":
+        return taxi_dataset(n_trajectories=size, seed=seed)
+    if name == "mall":
+        return mall_dataset(n_trajectories=size, seed=seed)
+    raise SystemExit(f"unknown dataset {name!r} (expected 'taxi' or 'mall')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sts",
+        description="STS trajectory similarity (ICDE 2021) experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-measures", help="list registered similarity measures")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", choices=["taxi", "mall"], default="taxi")
+    common.add_argument("--size", type=int, default=30, help="number of trajectories")
+    common.add_argument("--seed", type=int, default=0)
+
+    matching = sub.add_parser(
+        "matching", parents=[common], help="run the trajectory-matching task"
+    )
+    matching.add_argument(
+        "--methods",
+        nargs="*",
+        default=None,
+        help="subset of methods (default: all seven)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", parents=[common], help="reproduce one figure family"
+    )
+    experiment.add_argument("figure", choices=sorted(_EXPERIMENTS))
+
+    generate = sub.add_parser(
+        "generate", parents=[common], help="write a synthetic corpus to CSV"
+    )
+    generate.add_argument("--out", required=True, help="output CSV path")
+
+    report = sub.add_parser(
+        "report", parents=[common], help="run all experiments, write markdown report"
+    )
+    report.add_argument("--out", default=None, help="output path (default: stdout)")
+    report.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids (e.g. fig10 fig11)"
+    )
+
+    link = sub.add_parser("link", help="link query trajectories to a gallery (STS)")
+    link.add_argument("--queries", required=True, help="queries CSV (object_id,x,y,t)")
+    link.add_argument("--gallery", required=True, help="gallery CSV (object_id,x,y,t)")
+    link.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
+    link.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
+    link.add_argument("--top", type=int, default=3, help="candidates to print per query")
+
+    events = sub.add_parser("events", help="co-location events between two objects (STS)")
+    events.add_argument("--corpus", required=True, help="trajectories CSV (object_id,x,y,t)")
+    events.add_argument("--a", required=True, help="first object id")
+    events.add_argument("--b", required=True, help="second object id")
+    events.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
+    events.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
+    events.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="co-location probability threshold (default: 10%% of self level)",
+    )
+
+    groups = sub.add_parser("groups", help="detect co-moving groups in a corpus (STS)")
+    groups.add_argument("--corpus", required=True, help="trajectories CSV (object_id,x,y,t)")
+    groups.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
+    groups.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
+    groups.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="similarity threshold (default: 20%% of mean self-similarity)",
+    )
+
+    return parser
+
+
+def _grid_and_measure(trajectories, cell: float, sigma: float) -> STS:
+    points = np.vstack([t.xy for t in trajectories])
+    grid = Grid.covering(points, cell, margin=4.0 * sigma)
+    return STS(grid, noise_model=GaussianNoiseModel(sigma))
+
+
+def _run_link(args) -> int:
+    from .index import FilteredMatcher
+
+    queries = load_trajectories_csv(args.queries)
+    gallery = load_trajectories_csv(args.gallery)
+    if not queries or not gallery:
+        raise SystemExit("link: queries and gallery must both be non-empty")
+    measure = _grid_and_measure(queries + gallery, args.cell, args.sigma)
+    matcher = FilteredMatcher(measure, grid=measure.grid, spatial_slack=8.0 * args.sigma)
+    for query in queries:
+        report = matcher.query(query, gallery, k=args.top)
+        best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
+        print(f"{query.object_id}: {best}   [{report}]")
+    return 0
+
+
+def _run_events(args) -> int:
+    from .core.events import detect_colocation_events
+
+    trajectories = {t.object_id: t for t in load_trajectories_csv(args.corpus)}
+    missing = [oid for oid in (args.a, args.b) if oid not in trajectories]
+    if missing:
+        raise SystemExit(f"events: object id(s) not in corpus: {missing}")
+    a, b = trajectories[args.a], trajectories[args.b]
+    measure = _grid_and_measure([a, b], args.cell, args.sigma)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 0.1 * measure.similarity(a, a)
+    found = detect_colocation_events(measure, a, b, threshold=threshold)
+    print(f"STS({args.a}, {args.b}) = {measure.similarity(a, b):.4f}; threshold = {threshold:.4f}")
+    if not found:
+        print("no co-location events")
+    for event in found:
+        print(f"  {event}")
+    return 0
+
+
+def _run_groups(args) -> int:
+    import numpy as _np
+
+    from .groups import detect_groups
+
+    trajectories = load_trajectories_csv(args.corpus)
+    if len(trajectories) < 2:
+        raise SystemExit("groups: need at least two trajectories")
+    measure = _grid_and_measure(trajectories, args.cell, args.sigma)
+    threshold = args.threshold
+    if threshold is None:
+        self_levels = [measure.similarity(t, t) for t in trajectories]
+        threshold = 0.2 * float(_np.mean(self_levels))
+    result = detect_groups(measure, trajectories, threshold=threshold)
+    print(
+        f"{len(trajectories)} trajectories; scored {result.pairs_scored} pairs; "
+        f"threshold {threshold:.4f}"
+    )
+    if not result.groups:
+        print("no co-moving groups")
+    for group in result.groups:
+        members = ", ".join(trajectories[i].object_id or str(i) for i in group)
+        print(f"  group: {{{members}}}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list-measures":
+        for name in available_measures():
+            print(name)
+        return 0
+
+    if args.command == "link":
+        return _run_link(args)
+
+    if args.command == "events":
+        return _run_events(args)
+
+    if args.command == "groups":
+        return _run_groups(args)
+
+    dataset = _load_dataset(args.dataset, args.size, args.seed)
+
+    if args.command == "generate":
+        rows = save_trajectories_csv(dataset.trajectories, args.out)
+        print(f"wrote {len(dataset.trajectories)} trajectories ({rows} rows) to {args.out}")
+        return 0
+
+    if args.command == "matching":
+        d1, d2 = build_matching_pair(dataset.trajectories)
+        corpus = d1 + d2
+        grid = grid_covering(corpus, dataset.cell_size, dataset.margin)
+        measures = default_measures(
+            grid, corpus, dataset.location_error, include=args.methods
+        )
+        print(f"matching task on {dataset.name} (n={len(d1)} queries)")
+        for measure in measures.values():
+            print(f"  {evaluate_matching(measure, d1, d2)}")
+        return 0
+
+    if args.command == "experiment":
+        result = _EXPERIMENTS[args.figure](dataset)
+        for metric in result.metrics:
+            print(result.format_table(metric))
+            print()
+        return 0
+
+    if args.command == "report":
+        report = run_all_experiments(dataset, seed=args.seed, only=args.only)
+        text = render_markdown(report)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote report to {args.out} ({report.total_runtime:.1f}s of experiments)")
+        else:
+            print(text)
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""The STS measure (Section V-B, Eq. 10) and its ablation variants.
+
+``STS(Tra, Tra')`` is the average co-location probability over the union of
+the two trajectories' timestamps:
+
+    STS = ( Σ_i CP(t_i) + Σ_j CP(t'_j) ) / ( |Tra| + |Tra'| )
+
+Averaging (rather than summing) makes the measure insensitive to trajectory
+length, which varies under sporadic sampling.
+
+:class:`STS` is configured once with a grid, a noise model and a transition
+policy, then applied to any number of trajectory pairs.  The ablation
+variants of Section VI-C are thin configurations of the same machinery:
+
+* :func:`sts_n` — no noise model (deterministic locations);
+* :func:`sts_g` — one global speed distribution pooled from a corpus
+  instead of a personalized one per trajectory;
+* :func:`sts_f` — frequency-based Markov transitions fitted on a corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .colocation import colocation_probability
+from .grid import Grid
+from .noise import DeterministicNoiseModel, GaussianNoiseModel, NoiseModel
+from .speed import GaussianSpeedModel, KDESpeedModel
+from .stprob import TrajectorySTP
+from .transition import FrequencyTransitionModel, SpeedTransitionModel, TransitionModel
+from .trajectory import Trajectory
+
+__all__ = ["STS", "sts_n", "sts_g", "sts_f", "sts_b"]
+
+TransitionFactory = Callable[[Trajectory], TransitionModel]
+
+
+def _personalized_transition(trajectory: Trajectory) -> TransitionModel:
+    """Default policy: Eq. 6–7, a KDE speed model from the trajectory itself."""
+    return SpeedTransitionModel(KDESpeedModel.from_trajectory(trajectory))
+
+
+class STS:
+    """Spatial-Temporal Similarity measure for trajectory pairs.
+
+    Parameters
+    ----------
+    grid:
+        Spatial partition of the area of interest.  The paper recommends a
+        cell size close to the localization error (Section VI-E).
+    noise_model:
+        Location-noise distribution of the sensing system.  Defaults to a
+        Gaussian with ``sigma = grid.cell_size`` (the paper's "grid size ≈
+        location error" operating point).
+    transition:
+        One of: ``None`` (default — personalized KDE speed transitions per
+        trajectory, Eq. 6–7); a :class:`TransitionModel` instance shared by
+        all trajectories (the STS-G / STS-F ablations); or a callable
+        ``Trajectory -> TransitionModel`` for custom policies.
+    mode:
+        ``"auto"`` (default), ``"fft"``, ``"pruned"`` or ``"dense"`` —
+        passed to :class:`TrajectorySTP`; see :mod:`repro.core.stprob`.
+
+    Notes
+    -----
+    Similarities lie in ``[0, 1]`` and the measure is symmetric.  Instances
+    cache per-trajectory state (noise distributions, speed models,
+    interpolation results) keyed by trajectory identity, so reusing one
+    instance across a whole similarity matrix is much cheaper than
+    constructing it per pair.  Call :meth:`clear_cache` between unrelated
+    datasets to release memory.
+    """
+
+    name = "STS"
+    #: STS is a similarity (duck-types :class:`repro.similarity.base.Measure`).
+    higher_is_better = True
+
+    def __init__(
+        self,
+        grid: Grid,
+        noise_model: NoiseModel | None = None,
+        transition: TransitionModel | TransitionFactory | None = None,
+        mode: str = "auto",
+    ):
+        self.grid = grid
+        self.noise_model = noise_model if noise_model is not None else GaussianNoiseModel(grid.cell_size)
+        if transition is None:
+            self._transition_factory: TransitionFactory = _personalized_transition
+        elif isinstance(transition, TransitionModel):
+            self._transition_factory = lambda _traj: transition
+        elif callable(transition):
+            self._transition_factory = transition
+        else:
+            raise TypeError(
+                "transition must be None, a TransitionModel, or a callable "
+                f"Trajectory -> TransitionModel; got {type(transition).__name__}"
+            )
+        self.mode = mode
+        self._stp_cache: dict[int, tuple[Trajectory, TrajectorySTP]] = {}
+
+    # ------------------------------------------------------------------
+    def stp_for(self, trajectory: Trajectory) -> TrajectorySTP:
+        """The (cached) S-T probability estimator for ``trajectory``."""
+        key = id(trajectory)
+        hit = self._stp_cache.get(key)
+        if hit is not None and hit[0] is trajectory:
+            return hit[1]
+        stp = TrajectorySTP(
+            trajectory,
+            self.grid,
+            self.noise_model,
+            self._transition_factory(trajectory),
+            mode=self.mode,
+        )
+        self._stp_cache[key] = (trajectory, stp)
+        return stp
+
+    def clear_cache(self) -> None:
+        """Release all cached per-trajectory state."""
+        self._stp_cache.clear()
+
+    # ------------------------------------------------------------------
+    def similarity(self, tra1: Trajectory, tra2: Trajectory) -> float:
+        """Eq. 10: average co-location probability over both timestamp sets.
+
+        Timestamps at which one trajectory is outside its observed span
+        contribute 0 (Eq. 5 case 3) but still count in the denominator,
+        exactly as the paper defines the average.
+        """
+        if len(tra1) == 0 or len(tra2) == 0:
+            raise ValueError("STS is undefined for empty trajectories")
+        stp1 = self.stp_for(tra1)
+        stp2 = self.stp_for(tra2)
+        total = 0.0
+        for t in tra1.timestamps:
+            total += colocation_probability(stp1, stp2, float(t))
+        for t in tra2.timestamps:
+            total += colocation_probability(stp1, stp2, float(t))
+        return total / (len(tra1) + len(tra2))
+
+    def __call__(self, tra1: Trajectory, tra2: Trajectory) -> float:
+        return self.similarity(tra1, tra2)
+
+    def score(self, tra1: Trajectory, tra2: Trajectory) -> float:
+        """Measure-protocol alias: STS already orients higher = more similar."""
+        return self.similarity(tra1, tra2)
+
+    def colocation_profile(self, tra1: Trajectory, tra2: Trajectory) -> tuple[np.ndarray, np.ndarray]:
+        """Per-timestamp co-location probabilities (for inspection/plots).
+
+        Returns the sorted union of both timestamp sets and the co-location
+        probability at each — the terms whose average is Eq. 10 (up to the
+        union dropping duplicate timestamps shared by both trajectories).
+        """
+        stp1 = self.stp_for(tra1)
+        stp2 = self.stp_for(tra2)
+        times = np.union1d(tra1.timestamps, tra2.timestamps)
+        cps = np.array([colocation_probability(stp1, stp2, float(t)) for t in times])
+        return times, cps
+
+    def pairwise(
+        self,
+        gallery: Sequence[Trajectory],
+        queries: Sequence[Trajectory] | None = None,
+    ) -> np.ndarray:
+        """Similarity matrix between two trajectory collections.
+
+        Returns ``S[i, j] = STS(queries[i], gallery[j])``.  With
+        ``queries=None`` the matrix is ``gallery`` against itself, computed
+        symmetrically (each unordered pair once).
+        """
+        if queries is None:
+            n = len(gallery)
+            out = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i, n):
+                    out[i, j] = out[j, i] = self.similarity(gallery[i], gallery[j])
+            return out
+        out = np.zeros((len(queries), len(gallery)))
+        for i, q in enumerate(queries):
+            for j, g in enumerate(gallery):
+                out[i, j] = self.similarity(q, g)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<{self.name} grid={self.grid!r} noise={self.noise_model!r} mode={self.mode!r}>"
+
+
+# ----------------------------------------------------------------------
+# Ablation variants (Section VI-C, Figure 10)
+# ----------------------------------------------------------------------
+def sts_n(grid: Grid, mode: str = "auto") -> STS:
+    """STS-N: locations are deterministic points (no noise model)."""
+    measure = STS(grid, noise_model=DeterministicNoiseModel(), mode=mode)
+    measure.name = "STS-N"
+    return measure
+
+
+def sts_g(
+    grid: Grid,
+    corpus: Iterable[Trajectory],
+    noise_model: NoiseModel | None = None,
+    mode: str = "auto",
+) -> STS:
+    """STS-G: one global speed distribution pooled from ``corpus``."""
+    global_speed = KDESpeedModel.from_trajectories(corpus)
+    measure = STS(
+        grid,
+        noise_model=noise_model,
+        transition=SpeedTransitionModel(global_speed),
+        mode=mode,
+    )
+    measure.name = "STS-G"
+    return measure
+
+
+def sts_f(
+    grid: Grid,
+    corpus: Iterable[Trajectory],
+    noise_model: NoiseModel | None = None,
+    mode: str = "auto",
+    max_steps: int = 8,
+) -> STS:
+    """STS-F: frequency-based Markov transitions fitted on ``corpus``."""
+    freq = FrequencyTransitionModel(grid, max_steps=max_steps).fit(corpus)
+    measure = STS(grid, noise_model=noise_model, transition=freq, mode=mode)
+    measure.name = "STS-F"
+    return measure
+
+
+def sts_b(grid: Grid, noise_model: NoiseModel | None = None, mode: str = "auto") -> STS:
+    """STS-B: Brownian-bridge-style Gaussian speed law per trajectory.
+
+    Section II of the paper notes the Brownian bridge is the special case
+    of STS where the speed distribution is assumed Gaussian.  This variant
+    fits a per-trajectory Gaussian to the speed samples (mean/std) instead
+    of the non-parametric KDE — an extra ablation isolating what the
+    arbitrary-distribution property of Eq. 6 buys (e.g. under the bimodal
+    walk/dwell speeds of mall visitors).
+    """
+
+    def gaussian_transition(trajectory: Trajectory) -> TransitionModel:
+        speeds = trajectory.speeds()
+        if speeds.size == 0:
+            return SpeedTransitionModel(GaussianSpeedModel(mean=0.0, std=1e-3))
+        mean = float(speeds.mean())
+        std = max(float(speeds.std()), 0.05 * max(mean, 1e-3), 1e-3)
+        return SpeedTransitionModel(GaussianSpeedModel(mean=mean, std=std))
+
+    measure = STS(grid, noise_model=noise_model, transition=gaussian_transition, mode=mode)
+    measure.name = "STS-B"
+    return measure

@@ -1,0 +1,321 @@
+"""Trajectory data model.
+
+The paper (Section III-A) distinguishes a *path* — the continuous ground-truth
+movement ``f: T -> L`` — from a *trajectory* — the discrete sequence of
+``(location, timestamp)`` pairs sampled from that path.  This module provides
+both: :class:`TrajectoryPoint` / :class:`Trajectory` for the discrete
+observations the similarity measures consume, and :class:`Path` for the
+continuous ground truth the simulators produce.
+
+Coordinates are planar (meters in a local frame).  Geographic inputs should be
+projected before constructing trajectories (see :mod:`repro.datasets.porto`
+for an equirectangular projection helper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["TrajectoryPoint", "Trajectory", "Path"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One observation ``(ℓ, t)``: a planar location with its timestamp.
+
+    Coordinates and timestamp must be finite — a NaN smuggled in here
+    would silently poison every distance, speed and probability downstream,
+    so it is rejected at the door.
+    """
+
+    x: float
+    y: float
+    t: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y) and math.isfinite(self.t)):
+            raise ValueError(
+                f"observation must be finite, got ({self.x}, {self.y}, {self.t})"
+            )
+
+    @property
+    def location(self) -> tuple[float, float]:
+        """The spatial component ``(x, y)`` of the observation."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "TrajectoryPoint") -> float:
+        """Euclidean distance in meters to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def speed_to(self, other: "TrajectoryPoint") -> float:
+        """Average speed (m/s) implied by moving to ``other``.
+
+        Raises :class:`ValueError` if the two observations share a timestamp,
+        since the implied speed would be undefined.
+        """
+        dt = abs(other.t - self.t)
+        if dt == 0:
+            raise ValueError("speed between two observations at the same timestamp is undefined")
+        return self.distance_to(other) / dt
+
+
+class Trajectory:
+    """A time-ordered sequence of :class:`TrajectoryPoint` observations.
+
+    Instances are immutable: transformations (slicing, resampling,
+    distortion) return new trajectories.  Points are stored both as a tuple
+    of :class:`TrajectoryPoint` (for ergonomic iteration) and as dense numpy
+    arrays (for the vectorized math in :mod:`repro.core.stprob`).
+
+    Parameters
+    ----------
+    points:
+        The observations.  They are sorted by timestamp on construction.
+    object_id:
+        Optional identifier of the moving object (taxi id, MAC address, ...).
+    """
+
+    __slots__ = ("_points", "_xy", "_t", "object_id")
+
+    def __init__(self, points: Iterable[TrajectoryPoint], object_id: str | None = None):
+        pts = sorted(points, key=lambda p: p.t)
+        self._points: tuple[TrajectoryPoint, ...] = tuple(pts)
+        self._xy = np.array([(p.x, p.y) for p in pts], dtype=float).reshape(len(pts), 2)
+        self._t = np.array([p.t for p in pts], dtype=float)
+        self.object_id = object_id
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        ts: Sequence[float],
+        object_id: str | None = None,
+    ) -> "Trajectory":
+        """Build a trajectory from parallel coordinate/timestamp sequences."""
+        if not (len(xs) == len(ys) == len(ts)):
+            raise ValueError(
+                f"coordinate arrays must have equal length, got {len(xs)}, {len(ys)}, {len(ts)}"
+            )
+        points = [TrajectoryPoint(float(x), float(y), float(t)) for x, y, t in zip(xs, ys, ts)]
+        return cls(points, object_id=object_id)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[TrajectoryPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trajectory(self._points[index], object_id=self.object_id)
+        return self._points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        oid = f" id={self.object_id!r}" if self.object_id is not None else ""
+        span = f" span=[{self.start_time:.1f}, {self.end_time:.1f}]" if self._points else ""
+        return f"<Trajectory n={len(self)}{oid}{span}>"
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    @property
+    def xy(self) -> np.ndarray:
+        """``(n, 2)`` array of locations (read-only view)."""
+        view = self._xy.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """``(n,)`` array of timestamps (read-only view)."""
+        view = self._t.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def points(self) -> tuple[TrajectoryPoint, ...]:
+        """The observations as an immutable tuple."""
+        return self._points
+
+    # ------------------------------------------------------------------
+    # Temporal queries
+    # ------------------------------------------------------------------
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first observation."""
+        self._require_nonempty()
+        return float(self._t[0])
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last observation."""
+        self._require_nonempty()
+        return float(self._t[-1])
+
+    @property
+    def duration(self) -> float:
+        """Observed time span ``t_n - t_1`` in seconds."""
+        return self.end_time - self.start_time
+
+    def covers_time(self, t: float) -> bool:
+        """Whether ``t`` falls within ``[t_1, t_n]``."""
+        return bool(self._points) and self.start_time <= t <= self.end_time
+
+    def index_of_time(self, t: float) -> int | None:
+        """Index of the observation taken exactly at ``t``, or ``None``."""
+        idx = int(np.searchsorted(self._t, t))
+        if idx < len(self._t) and self._t[idx] == t:
+            return idx
+        return None
+
+    def bracketing_indices(self, t: float) -> tuple[int, int] | None:
+        """Indices ``(i, i+1)`` of the observations surrounding time ``t``.
+
+        Returns ``None`` when ``t`` is outside the trajectory span or
+        coincides with an observation (use :meth:`index_of_time` for that
+        case).  This is the lookup Eq. 4 of the paper needs: the observed
+        positions at ``t_i < t < t_{i+1}``.
+        """
+        if not self.covers_time(t) or self.index_of_time(t) is not None:
+            return None
+        hi = int(np.searchsorted(self._t, t))
+        return hi - 1, hi
+
+    # ------------------------------------------------------------------
+    # Geometric / kinematic summaries
+    # ------------------------------------------------------------------
+    def length(self) -> float:
+        """Total polyline length in meters."""
+        if len(self) < 2:
+            return 0.0
+        seg = np.diff(self._xy, axis=0)
+        return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+    def speeds(self) -> np.ndarray:
+        """Speeds (m/s) between consecutive observations.
+
+        Pairs of observations that share a timestamp are skipped — they
+        carry no speed information — so the result may be shorter than
+        ``len(self) - 1``.  This is the sample set ``S`` of Eq. 6.
+        """
+        if len(self) < 2:
+            return np.empty(0)
+        seg = np.diff(self._xy, axis=0)
+        dist = np.hypot(seg[:, 0], seg[:, 1])
+        dt = np.diff(self._t)
+        valid = dt > 0
+        return dist[valid] / dt[valid]
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` of the observations."""
+        self._require_nonempty()
+        mn = self._xy.min(axis=0)
+        mx = self._xy.max(axis=0)
+        return (float(mn[0]), float(mn[1]), float(mx[0]), float(mx[1]))
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new trajectories)
+    # ------------------------------------------------------------------
+    def shifted(self, dx: float = 0.0, dy: float = 0.0, dt: float = 0.0) -> "Trajectory":
+        """Translate every observation in space and/or time."""
+        return Trajectory(
+            (TrajectoryPoint(p.x + dx, p.y + dy, p.t + dt) for p in self._points),
+            object_id=self.object_id,
+        )
+
+    def with_object_id(self, object_id: str | None) -> "Trajectory":
+        """Copy of this trajectory carrying a different object id."""
+        return Trajectory(self._points, object_id=object_id)
+
+    def subsample(self, indices: Sequence[int]) -> "Trajectory":
+        """Trajectory restricted to the observations at ``indices``."""
+        return Trajectory((self._points[i] for i in indices), object_id=self.object_id)
+
+    def interpolate_at(self, t: float) -> tuple[float, float]:
+        """Linearly-interpolated location at time ``t``.
+
+        Used by baselines (EDwP projections, Kalman resampling) — the STS
+        core never assumes linear motion.  ``t`` must lie within the span.
+        """
+        if not self.covers_time(t):
+            raise ValueError(f"time {t} outside trajectory span [{self.start_time}, {self.end_time}]")
+        idx = self.index_of_time(t)
+        if idx is not None:
+            p = self._points[idx]
+            return (p.x, p.y)
+        lo, hi = self.bracketing_indices(t)  # type: ignore[misc]
+        p0, p1 = self._points[lo], self._points[hi]
+        w = (t - p0.t) / (p1.t - p0.t)
+        return (p0.x + w * (p1.x - p0.x), p0.y + w * (p1.y - p0.y))
+
+    # ------------------------------------------------------------------
+    def _require_nonempty(self) -> None:
+        if not self._points:
+            raise ValueError("operation requires a non-empty trajectory")
+
+
+@dataclass(slots=True)
+class Path:
+    """Continuous ground-truth movement (Definition 1 of the paper).
+
+    Stored as a dense piecewise-linear curve with fine-grained vertices, so
+    ``locate(t)`` approximates the continuous function ``f: T -> L``.  The
+    simulators emit :class:`Path` objects; :mod:`repro.simulation.sampling`
+    turns them into noisy, sporadically-sampled :class:`Trajectory` objects.
+    """
+
+    xy: np.ndarray
+    t: np.ndarray
+    object_id: str | None = None
+    _order_checked: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.xy = np.asarray(self.xy, dtype=float).reshape(-1, 2)
+        self.t = np.asarray(self.t, dtype=float).reshape(-1)
+        if len(self.xy) != len(self.t):
+            raise ValueError("xy and t must have equal length")
+        if len(self.t) and np.any(np.diff(self.t) < 0):
+            raise ValueError("path timestamps must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def start_time(self) -> float:
+        return float(self.t[0])
+
+    @property
+    def end_time(self) -> float:
+        return float(self.t[-1])
+
+    def locate(self, when: float) -> tuple[float, float]:
+        """Ground-truth location at time ``when`` (linear between vertices)."""
+        if when < self.start_time or when > self.end_time:
+            raise ValueError(f"time {when} outside path span [{self.start_time}, {self.end_time}]")
+        x = float(np.interp(when, self.t, self.xy[:, 0]))
+        y = float(np.interp(when, self.t, self.xy[:, 1]))
+        return (x, y)
+
+    def sample(self, times: Sequence[float], object_id: str | None = None) -> Trajectory:
+        """Noise-free trajectory sampled from this path at ``times``."""
+        pts = [TrajectoryPoint(*self.locate(float(w)), float(w)) for w in times]
+        return Trajectory(pts, object_id=object_id if object_id is not None else self.object_id)

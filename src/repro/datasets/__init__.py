@@ -1,0 +1,18 @@
+"""Dataset loaders and packaged synthetic corpora."""
+
+from .io import load_trajectories_csv, save_trajectories_csv
+from .mall import load_mall_records
+from .porto import load_porto_csv, project_lonlat
+from .synthetic import MIN_TRAJECTORY_LENGTH, TrajectoryDataset, mall_dataset, taxi_dataset
+
+__all__ = [
+    "TrajectoryDataset",
+    "taxi_dataset",
+    "mall_dataset",
+    "MIN_TRAJECTORY_LENGTH",
+    "load_porto_csv",
+    "project_lonlat",
+    "load_mall_records",
+    "save_trajectories_csv",
+    "load_trajectories_csv",
+]

@@ -1,0 +1,68 @@
+"""Generic trajectory persistence: CSV round-trips.
+
+A single flat format shared by every tool in the library: one row per
+observation with columns ``object_id, x, y, t``.  Grouping rows by
+``object_id`` (preserving file order within a group, then sorting by time
+at construction) reconstructs the trajectories exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path as FilePath
+from typing import Iterable
+
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = ["save_trajectories_csv", "load_trajectories_csv"]
+
+_COLUMNS = ("object_id", "x", "y", "t")
+
+
+def save_trajectories_csv(trajectories: Iterable[Trajectory], path: str | FilePath) -> int:
+    """Write trajectories to ``path``; returns the number of rows written.
+
+    Trajectories without an ``object_id`` get a stable positional one so
+    the file round-trips.
+    """
+    rows = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for i, traj in enumerate(trajectories):
+            oid = traj.object_id if traj.object_id is not None else f"trajectory-{i:06d}"
+            for p in traj:
+                writer.writerow([oid, repr(p.x), repr(p.y), repr(p.t)])
+                rows += 1
+    return rows
+
+
+def load_trajectories_csv(path: str | FilePath, min_length: int = 1) -> list[Trajectory]:
+    """Read trajectories written by :func:`save_trajectories_csv`.
+
+    Groups are returned in order of each object's first appearance in the
+    file.  Raises :class:`ValueError` on a malformed header or row, since a
+    file this library wrote should never be malformed.
+    """
+    groups: dict[str, list[TrajectoryPoint]] = defaultdict(list)
+    order: list[str] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = [c for c in _COLUMNS if reader.fieldnames is None or c not in reader.fieldnames]
+        if missing:
+            raise ValueError(f"{path}: missing required columns {missing}")
+        for line_no, raw in enumerate(reader, start=2):
+            try:
+                oid = raw["object_id"]
+                point = TrajectoryPoint(float(raw["x"]), float(raw["y"]), float(raw["t"]))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed row {raw!r}") from exc
+            if oid not in groups:
+                order.append(oid)
+            groups[oid].append(point)
+    return [
+        Trajectory(groups[oid], object_id=oid)
+        for oid in order
+        if len(groups[oid]) >= min_length
+    ]

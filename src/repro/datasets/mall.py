@@ -1,0 +1,66 @@
+"""Loader for mall-style sighting records (Section VI-A, indoor dataset).
+
+The paper's indoor corpus is private, but its record format is described:
+each row is one sighting with a device MAC address, the coordinate of the
+estimated location, and a timestamp.  Trajectories are built by grouping
+on the MAC address and sorting by time.  This loader accepts that format
+as CSV with columns ``mac, x, y, timestamp`` (extra columns ignored), so a
+site operator with equivalent WiFi-sensing data can plug it straight in.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path as FilePath
+
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = ["load_mall_records", "group_records"]
+
+REQUIRED_COLUMNS = ("mac", "x", "y", "timestamp")
+
+
+def group_records(rows: list[dict]) -> dict[str, list[TrajectoryPoint]]:
+    """Group parsed sighting rows by MAC address."""
+    groups: dict[str, list[TrajectoryPoint]] = defaultdict(list)
+    for row in rows:
+        groups[row["mac"]].append(TrajectoryPoint(row["x"], row["y"], row["timestamp"]))
+    return dict(groups)
+
+
+def load_mall_records(
+    path: str | FilePath,
+    min_length: int = 20,
+) -> list[Trajectory]:
+    """Parse a sightings CSV into one trajectory per device.
+
+    Rows with non-numeric coordinates or timestamps are skipped rather
+    than aborting the load — real sensing logs contain junk rows.
+    Trajectories shorter than ``min_length`` are dropped, matching the
+    paper's filter (which reduced 12 858 devices to 1 561 trajectories).
+    """
+    rows: list[dict] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = [c for c in REQUIRED_COLUMNS if reader.fieldnames is None or c not in reader.fieldnames]
+        if missing:
+            raise ValueError(f"{path}: missing required columns {missing}")
+        for raw in reader:
+            try:
+                rows.append(
+                    {
+                        "mac": raw["mac"].strip(),
+                        "x": float(raw["x"]),
+                        "y": float(raw["y"]),
+                        "timestamp": float(raw["timestamp"]),
+                    }
+                )
+            except (TypeError, ValueError):
+                continue
+    trajectories = [
+        Trajectory(points, object_id=mac)
+        for mac, points in sorted(group_records(rows).items())
+        if len(points) >= min_length
+    ]
+    return trajectories

@@ -1,0 +1,101 @@
+"""Loader for the Porto taxi dataset (ECML/PKDD 2015 challenge format).
+
+The paper's outdoor corpus is the public Porto dataset: a CSV where each
+row is one taxi trip, with a Unix ``TIMESTAMP`` for the trip start and a
+``POLYLINE`` column holding a JSON array of ``[longitude, latitude]``
+pairs recorded every 15 seconds.  This module parses that format and
+projects coordinates to local meters, so users with the real download can
+run every experiment on it; the test-suite exercises the parser on a
+bundled synthetic sample in the same format.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path as FilePath
+from typing import Iterator
+
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = ["load_porto_csv", "iter_porto_rows", "project_lonlat"]
+
+#: Porto's reporting interval, seconds (fixed by the data collection).
+PORTO_REPORT_INTERVAL = 15.0
+
+_EARTH_RADIUS_M = 6_371_000.0
+
+
+def project_lonlat(
+    lon: float, lat: float, ref_lon: float, ref_lat: float
+) -> tuple[float, float]:
+    """Equirectangular projection of (lon, lat) to meters around a reference.
+
+    Accurate to well under the GPS noise level over a city-sized extent,
+    which is all the similarity measures need.
+    """
+    x = math.radians(lon - ref_lon) * _EARTH_RADIUS_M * math.cos(math.radians(ref_lat))
+    y = math.radians(lat - ref_lat) * _EARTH_RADIUS_M
+    return (x, y)
+
+
+def iter_porto_rows(path: str | FilePath) -> Iterator[dict]:
+    """Yield raw CSV rows with the ``POLYLINE`` column JSON-decoded.
+
+    Rows with missing data (``MISSING_DATA == "True"``) or an empty or
+    malformed polyline are skipped — both occur in the real file.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "POLYLINE" not in reader.fieldnames:
+            raise ValueError(f"{path}: not a Porto-format CSV (no POLYLINE column)")
+        for row in reader:
+            if row.get("MISSING_DATA", "False").strip().lower() == "true":
+                continue
+            try:
+                polyline = json.loads(row["POLYLINE"])
+            except (json.JSONDecodeError, TypeError):
+                continue
+            if not polyline:
+                continue
+            row["POLYLINE"] = polyline
+            yield row
+
+
+def load_porto_csv(
+    path: str | FilePath,
+    max_trajectories: int | None = None,
+    min_length: int = 20,
+    reference: tuple[float, float] | None = None,
+) -> list[Trajectory]:
+    """Parse a Porto CSV into projected, timestamped trajectories.
+
+    Parameters
+    ----------
+    max_trajectories:
+        Stop after this many accepted trajectories (``None`` = all).
+    min_length:
+        Minimum number of points, matching the paper's filter of 20.
+    reference:
+        ``(lon, lat)`` projection origin; defaults to the first accepted
+        trajectory's first fix, which keeps city-scale coordinates small.
+    """
+    trajectories: list[Trajectory] = []
+    ref = reference
+    for row in iter_porto_rows(path):
+        polyline = row["POLYLINE"]
+        if len(polyline) < min_length:
+            continue
+        if ref is None:
+            ref = (float(polyline[0][0]), float(polyline[0][1]))
+        start = float(row.get("TIMESTAMP", 0) or 0)
+        points = []
+        for k, (lon, lat) in enumerate(polyline):
+            x, y = project_lonlat(float(lon), float(lat), ref[0], ref[1])
+            points.append(TrajectoryPoint(x, y, start + k * PORTO_REPORT_INTERVAL))
+        trip_id = str(row.get("TRIP_ID", f"trip-{len(trajectories)}"))
+        trajectories.append(Trajectory(points, object_id=trip_id))
+        if max_trajectories is not None and len(trajectories) >= max_trajectories:
+            break
+    return trajectories

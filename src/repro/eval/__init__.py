@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, matching task, per-figure experiments."""
+
+from .experiments import (
+    SweepResult,
+    ablation_experiment,
+    cross_similarity_experiment,
+    default_measures,
+    grid_covering,
+    grid_size_experiment,
+    heterogeneous_rate_experiment,
+    median_sampling_interval,
+    noise_experiment,
+    sampling_rate_experiment,
+)
+from .companion import (
+    CompanionCorpus,
+    DetectionResult,
+    average_precision,
+    companion_corpus,
+    evaluate_companion_detection,
+    roc_auc,
+)
+from .matching import MatchingResult, build_matching_pair, evaluate_matching
+from .metrics import cross_similarity_deviation, mean_rank, precision, ranks_from_scores
+from .queries import RankedMatch, most_similar, rank_gallery, top_k
+from .runner import ExperimentReport, render_markdown, run_all_experiments
+from .stats import ConfidenceInterval, PairedComparison, bootstrap_ci, compare_ranks
+
+__all__ = [
+    "ranks_from_scores",
+    "precision",
+    "mean_rank",
+    "cross_similarity_deviation",
+    "MatchingResult",
+    "build_matching_pair",
+    "evaluate_matching",
+    "RankedMatch",
+    "rank_gallery",
+    "top_k",
+    "most_similar",
+    "ExperimentReport",
+    "run_all_experiments",
+    "render_markdown",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "PairedComparison",
+    "compare_ranks",
+    "CompanionCorpus",
+    "companion_corpus",
+    "DetectionResult",
+    "evaluate_companion_detection",
+    "roc_auc",
+    "average_precision",
+    "SweepResult",
+    "default_measures",
+    "median_sampling_interval",
+    "grid_covering",
+    "sampling_rate_experiment",
+    "heterogeneous_rate_experiment",
+    "noise_experiment",
+    "ablation_experiment",
+    "cross_similarity_experiment",
+    "grid_size_experiment",
+]

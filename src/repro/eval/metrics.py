@@ -1,0 +1,81 @@
+"""Evaluation metrics (Section VI-B of the paper).
+
+Three metrics drive the whole evaluation:
+
+* **precision** (Eq. 11) — fraction of queries whose true counterpart is
+  ranked first;
+* **mean rank** (Eq. 12) — average rank of the true counterpart;
+* **cross-similarity deviation** (Eq. 13) — relative change of a measure's
+  value when one trajectory of a pair is downsampled.
+
+Ranks are computed with *competition-average* tie handling: a query whose
+true match ties with ``k`` other gallery items gets the mean of the tied
+positions.  This makes degenerate measures (e.g. one returning a constant)
+score the chance-level mean rank ``(n+1)/2`` instead of a lucky 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ranks_from_scores",
+    "precision",
+    "mean_rank",
+    "cross_similarity_deviation",
+]
+
+
+def ranks_from_scores(scores: np.ndarray) -> np.ndarray:
+    """Rank of the true match for each query, from a square score matrix.
+
+    ``scores[i, j]`` is the (higher = more similar) score of query ``i``
+    against gallery item ``j``; the true match of query ``i`` is gallery
+    item ``i``.  Returns a float array of competition-average ranks
+    (1 = unambiguously ranked first).
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
+        raise ValueError(f"expected a square score matrix, got shape {scores.shape}")
+    n = scores.shape[0]
+    ranks = np.zeros(n)
+    for i in range(n):
+        true_score = scores[i, i]
+        others = np.delete(scores[i], i)
+        better = int((others > true_score).sum())
+        ties = int((others == true_score).sum())
+        ranks[i] = 1.0 + better + 0.5 * ties
+    return ranks
+
+
+def precision(ranks: np.ndarray) -> float:
+    """Eq. 11: fraction of queries with the true match ranked first."""
+    ranks = np.asarray(ranks, dtype=float)
+    if ranks.size == 0:
+        raise ValueError("precision is undefined for zero queries")
+    return float((ranks <= 1.0 + 1e-12).mean())
+
+
+def mean_rank(ranks: np.ndarray) -> float:
+    """Eq. 12: average rank of the true match."""
+    ranks = np.asarray(ranks, dtype=float)
+    if ranks.size == 0:
+        raise ValueError("mean rank is undefined for zero queries")
+    return float(ranks.mean())
+
+
+def cross_similarity_deviation(
+    reference: float, subsampled: float, epsilon: float = 1e-12
+) -> float:
+    """Eq. 13: ``|d(T1, T2') - d(T1, T2)| / |d(T1, T2)|``.
+
+    ``reference`` is the measure on the original pair, ``subsampled`` on
+    the pair with one trajectory downsampled.  A reference of exactly zero
+    (identical trajectories under a distance measure) is guarded with
+    ``epsilon``: the deviation is 0 when the subsampled value is also
+    (near) zero, else the ratio against ``epsilon``.
+    """
+    denom = abs(reference)
+    if denom < epsilon:
+        return 0.0 if abs(subsampled) < epsilon else abs(subsampled - reference) / epsilon
+    return abs(subsampled - reference) / denom

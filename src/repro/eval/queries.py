@@ -1,0 +1,57 @@
+"""Similarity-query helpers: rank a gallery against a query trajectory.
+
+The building blocks applications actually call: "which of these N
+trajectories most likely belongs to the same object as this one?"
+(trajectory linking, user re-identification) and "give me the top-k
+candidates with scores" (candidate generation for a human analyst).
+Works with any measure following the :class:`~repro.similarity.base.
+Measure` protocol, including :class:`~repro.core.sts.STS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["RankedMatch", "rank_gallery", "top_k", "most_similar"]
+
+
+@dataclass(frozen=True)
+class RankedMatch:
+    """One gallery candidate with its oriented score (higher = more similar)."""
+
+    index: int
+    trajectory: Trajectory
+    score: float
+
+    def __str__(self) -> str:
+        oid = self.trajectory.object_id or f"#{self.index}"
+        return f"{oid}: {self.score:.4f}"
+
+
+def rank_gallery(measure, query: Trajectory, gallery: Sequence[Trajectory]) -> list[RankedMatch]:
+    """All gallery candidates, sorted most-similar first.
+
+    Ties keep gallery order (stable sort), so results are deterministic.
+    """
+    if len(gallery) == 0:
+        raise ValueError("cannot rank an empty gallery")
+    matches = [
+        RankedMatch(index=i, trajectory=g, score=float(measure.score(query, g)))
+        for i, g in enumerate(gallery)
+    ]
+    return sorted(matches, key=lambda m: -m.score)
+
+
+def top_k(measure, query: Trajectory, gallery: Sequence[Trajectory], k: int) -> list[RankedMatch]:
+    """The ``k`` most similar gallery candidates (fewer if the gallery is small)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return rank_gallery(measure, query, gallery)[:k]
+
+
+def most_similar(measure, query: Trajectory, gallery: Sequence[Trajectory]) -> RankedMatch:
+    """The single best match — the paper's trajectory-linking decision."""
+    return rank_gallery(measure, query, gallery)[0]

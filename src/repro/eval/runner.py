@@ -1,0 +1,93 @@
+"""Run the full evaluation and render a markdown report.
+
+One call reproduces every figure family of the paper's Section VI on a
+given corpus and formats the results as the per-experiment tables
+EXPERIMENTS.md records.  Used by the CLI (``repro-sts report``) and by the
+repository's own EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..datasets.synthetic import TrajectoryDataset
+from .experiments import (
+    SweepResult,
+    ablation_experiment,
+    cross_similarity_experiment,
+    grid_size_experiment,
+    heterogeneous_rate_experiment,
+    noise_experiment,
+    parameter_sensitivity_experiment,
+    sampling_rate_experiment,
+)
+
+__all__ = ["ExperimentReport", "run_all_experiments", "render_markdown"]
+
+#: Experiment id -> (runner, figure label) in paper order, plus extensions.
+_EXPERIMENTS = {
+    "fig04_05": (sampling_rate_experiment, "Figs. 4-5: low data sampling rates"),
+    "fig06_07": (heterogeneous_rate_experiment, "Figs. 6-7: heterogeneous sampling rates"),
+    "fig08_09": (noise_experiment, "Figs. 8-9: location noise"),
+    "fig10": (ablation_experiment, "Fig. 10: component ablation"),
+    "fig11": (cross_similarity_experiment, "Fig. 11: cross-similarity deviation"),
+    "fig12_14": (grid_size_experiment, "Figs. 12-14: grid size trade-off"),
+    "ext_sensitivity": (
+        parameter_sensitivity_experiment,
+        "Extension: parameter sensitivity (Section II claim)",
+    ),
+}
+
+
+@dataclass
+class ExperimentReport:
+    """All sweep results for one corpus, plus wall-clock accounting."""
+
+    dataset: str
+    results: dict[str, SweepResult] = field(default_factory=dict)
+    runtimes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(self.runtimes.values())
+
+
+def run_all_experiments(
+    dataset: TrajectoryDataset,
+    seed: int = 0,
+    only: list[str] | None = None,
+) -> ExperimentReport:
+    """Run every (or a subset of) figure experiment on ``dataset``.
+
+    ``only`` takes experiment ids (``"fig04_05"``, ..., ``"fig12_14"``).
+    """
+    selected = _EXPERIMENTS if only is None else {k: _EXPERIMENTS[k] for k in only}
+    report = ExperimentReport(dataset=dataset.name)
+    for exp_id, (runner, _label) in selected.items():
+        start = time.perf_counter()
+        report.results[exp_id] = runner(dataset, seed=seed)
+        report.runtimes[exp_id] = time.perf_counter() - start
+    return report
+
+
+def render_markdown(report: ExperimentReport) -> str:
+    """The report as a markdown document (tables in paper order)."""
+    lines = [
+        f"# Evaluation report — {report.dataset} corpus",
+        "",
+        f"Total experiment wall-clock: {report.total_runtime:.1f} s.",
+        "",
+    ]
+    for exp_id, result in report.results.items():
+        label = _EXPERIMENTS[exp_id][1]
+        lines.append(f"## {label}")
+        lines.append("")
+        for metric in result.metrics:
+            lines.append("```")
+            lines.append(result.format_table(metric))
+            lines.append("```")
+            lines.append("")
+        lines.append(f"_Runtime: {report.runtimes[exp_id]:.1f} s._")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Statistical support for experiment results.
+
+The paper reports point estimates; at reproduction scale (tens of queries
+per gallery instead of thousands) sampling noise matters, so the harness
+provides bootstrap confidence intervals for precision/mean-rank and a
+paired significance test for "method A beats method B" claims.
+
+All routines operate on the per-query rank vectors
+:func:`~repro.eval.metrics.ranks_from_scores` produces, so they compose
+with any measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .metrics import mean_rank, precision
+
+__all__ = ["ConfidenceInterval", "bootstrap_ci", "PairedComparison", "compare_ranks"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap percentile interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}] @{self.confidence:.0%}"
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    ranks: np.ndarray,
+    metric: Callable[[np.ndarray], float] | str = "precision",
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for a rank metric.
+
+    Parameters
+    ----------
+    ranks:
+        Per-query ranks of the true match (from
+        :func:`~repro.eval.metrics.ranks_from_scores`).
+    metric:
+        ``"precision"``, ``"mean_rank"``, or any callable mapping a rank
+        vector to a scalar.
+    confidence:
+        Interval mass, e.g. 0.95.
+    n_resamples:
+        Bootstrap resamples (with replacement, same size as ``ranks``).
+    """
+    ranks = np.asarray(ranks, dtype=float)
+    if ranks.size == 0:
+        raise ValueError("cannot bootstrap an empty rank vector")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    if metric == "precision":
+        fn: Callable[[np.ndarray], float] = precision
+    elif metric == "mean_rank":
+        fn = mean_rank
+    elif callable(metric):
+        fn = metric
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    rng = np.random.default_rng(seed)
+    n = ranks.size
+    samples = np.empty(n_resamples)
+    for k in range(n_resamples):
+        samples[k] = fn(ranks[rng.integers(0, n, size=n)])
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(samples, [tail, 1.0 - tail])
+    return ConfidenceInterval(
+        estimate=float(fn(ranks)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired test between two methods' rank vectors."""
+
+    wins_a: int
+    wins_b: int
+    ties: int
+    p_value: float
+
+    @property
+    def n(self) -> int:
+        return self.wins_a + self.wins_b + self.ties
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return (
+            f"A better on {self.wins_a}, B better on {self.wins_b}, "
+            f"tied on {self.ties} queries (p={self.p_value:.4f})"
+        )
+
+
+def compare_ranks(ranks_a: np.ndarray, ranks_b: np.ndarray) -> PairedComparison:
+    """Paired sign test: does method A rank the truth better than B?
+
+    Both vectors must come from the *same* queries in the same order (the
+    matching harness guarantees this).  Ties are discarded, as usual for
+    the sign test; the p-value is two-sided binomial.  With zero non-tied
+    queries the methods are indistinguishable and ``p = 1``.
+    """
+    a = np.asarray(ranks_a, dtype=float)
+    b = np.asarray(ranks_b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"rank vectors must align, got {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compare empty rank vectors")
+    wins_a = int((a < b).sum())  # lower rank = better
+    wins_b = int((a > b).sum())
+    ties = int((a == b).sum())
+    decisive = wins_a + wins_b
+    if decisive == 0:
+        p_value = 1.0
+    else:
+        test = scipy_stats.binomtest(wins_a, decisive, p=0.5, alternative="two-sided")
+        p_value = float(test.pvalue)
+    return PairedComparison(wins_a=wins_a, wins_b=wins_b, ties=ties, p_value=p_value)

@@ -1,0 +1,147 @@
+"""Geographic coordinate support: lon/lat ↔ local planar meters.
+
+The whole library works in planar meters (grids, speeds, kernels are all
+Euclidean); real-world data arrives as WGS-84 longitude/latitude.
+:class:`LocalProjector` provides the equirectangular projection around a
+reference point that city-scale trajectory work uses: errors stay well
+under typical GPS noise for extents up to a few tens of kilometers, which
+is exactly the regime the paper's corpora (one city, one mall) live in.
+For continental extents use a proper cartographic library instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = ["LocalProjector", "haversine_distance", "trajectories_to_geojson"]
+
+_EARTH_RADIUS_M = 6_371_000.0
+
+
+def haversine_distance(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in meters between two WGS-84 points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2.0 * _EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+class LocalProjector:
+    """Equirectangular projection around a fixed reference point.
+
+    ``x`` grows east, ``y`` grows north, both in meters; the reference
+    maps to the origin.  The projection and its inverse round-trip
+    exactly (it is an affine map in lon/lat).
+
+    Parameters
+    ----------
+    ref_lon, ref_lat:
+        Projection center.  Use :meth:`centered_on` to derive it from the
+        data.  ``|ref_lat|`` must be strictly below 90° (the longitude
+        scale vanishes at the poles).
+    """
+
+    def __init__(self, ref_lon: float, ref_lat: float):
+        if not -90.0 < ref_lat < 90.0:
+            raise ValueError(f"ref_lat must be in (-90, 90), got {ref_lat}")
+        self.ref_lon = float(ref_lon)
+        self.ref_lat = float(ref_lat)
+        self._x_scale = math.radians(1.0) * _EARTH_RADIUS_M * math.cos(math.radians(ref_lat))
+        self._y_scale = math.radians(1.0) * _EARTH_RADIUS_M
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def centered_on(cls, lons, lats) -> "LocalProjector":
+        """Projector centered on the centroid of the given coordinates."""
+        lons = np.asarray(lons, dtype=float)
+        lats = np.asarray(lats, dtype=float)
+        if lons.size == 0 or lats.size == 0:
+            raise ValueError("cannot center a projector on zero coordinates")
+        return cls(float(lons.mean()), float(lats.mean()))
+
+    # ------------------------------------------------------------------
+    def to_xy(self, lon, lat):
+        """Project lon/lat (scalars or arrays) to local ``(x, y)`` meters."""
+        x = (np.asarray(lon, dtype=float) - self.ref_lon) * self._x_scale
+        y = (np.asarray(lat, dtype=float) - self.ref_lat) * self._y_scale
+        if np.ndim(lon) == 0:
+            return float(x), float(y)
+        return x, y
+
+    def to_lonlat(self, x, y):
+        """Inverse of :meth:`to_xy`."""
+        lon = np.asarray(x, dtype=float) / self._x_scale + self.ref_lon
+        lat = np.asarray(y, dtype=float) / self._y_scale + self.ref_lat
+        if np.ndim(x) == 0:
+            return float(lon), float(lat)
+        return lon, lat
+
+    # ------------------------------------------------------------------
+    def trajectory_from_lonlat(self, lons, lats, ts, object_id=None) -> Trajectory:
+        """Build a planar :class:`Trajectory` from geographic fixes."""
+        lons = np.asarray(lons, dtype=float)
+        lats = np.asarray(lats, dtype=float)
+        ts = np.asarray(ts, dtype=float)
+        if not (len(lons) == len(lats) == len(ts)):
+            raise ValueError("lons, lats and ts must have equal length")
+        xs, ys = self.to_xy(lons, lats)
+        return Trajectory(
+            [TrajectoryPoint(float(x), float(y), float(t)) for x, y, t in zip(xs, ys, ts)],
+            object_id=object_id,
+        )
+
+    def trajectory_to_lonlat(self, trajectory: Trajectory):
+        """``(lons, lats, ts)`` arrays for a planar trajectory."""
+        lons, lats = self.to_lonlat(trajectory.xy[:, 0], trajectory.xy[:, 1])
+        return lons, lats, trajectory.timestamps.copy()
+
+    def __repr__(self) -> str:
+        return f"LocalProjector(ref_lon={self.ref_lon}, ref_lat={self.ref_lat})"
+
+
+def trajectories_to_geojson(
+    projector: LocalProjector,
+    trajectories,
+    properties: dict | None = None,
+) -> dict:
+    """Trajectories as a GeoJSON ``FeatureCollection`` of ``LineString``s.
+
+    Each trajectory becomes one feature with its ``object_id``, point
+    count and time span in the properties (plus any entries of
+    ``properties``, merged into every feature).  Timestamps ride along as
+    a ``times`` property array — the convention GIS viewers with temporal
+    support (e.g. kepler.gl) read.  Single-point trajectories become
+    ``Point`` features.  Serialize with ``json.dump``.
+    """
+    features = []
+    extra = dict(properties or {})
+    for k, traj in enumerate(trajectories):
+        if len(traj) == 0:
+            continue
+        lons, lats, ts = projector.trajectory_to_lonlat(traj)
+        coords = [[float(lon), float(lat)] for lon, lat in zip(lons, lats)]
+        geometry = (
+            {"type": "Point", "coordinates": coords[0]}
+            if len(coords) == 1
+            else {"type": "LineString", "coordinates": coords}
+        )
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": geometry,
+                "properties": {
+                    **extra,
+                    "object_id": traj.object_id or f"trajectory-{k}",
+                    "n_points": len(traj),
+                    "start_time": float(traj.start_time),
+                    "end_time": float(traj.end_time),
+                    "times": [float(t) for t in ts],
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}

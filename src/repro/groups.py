@@ -1,0 +1,99 @@
+"""Group detection: from pairwise similarity to co-moving groups.
+
+The paper motivates STS with companion detection and group analytics
+(GruMon-style monitoring, [6]-[7]).  A *group* is more than one pair: this
+module builds the pairwise similarity graph over a trajectory collection
+(pre-filtered by temporal overlap so the quadratic scoring only touches
+plausible pairs), thresholds it, and reports connected components as
+groups.  Components are the standard group notion when co-movement is
+transitive-ish (A with B, B with C ⇒ one shopping party); for stricter
+semantics a caller can post-process the returned edge list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .core.trajectory import Trajectory
+from .index.filters import time_overlap_filter
+
+__all__ = ["GroupResult", "similarity_graph", "detect_groups"]
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Outcome of group detection over a collection."""
+
+    #: Each group as a tuple of indices into the input collection (size >= 2).
+    groups: tuple[tuple[int, ...], ...]
+    #: Scored edges above threshold: (i, j, similarity).
+    edges: tuple[tuple[int, int, float], ...]
+    #: Number of pairs actually scored (after the temporal pre-filter).
+    pairs_scored: int
+
+    def group_of(self, index: int) -> tuple[int, ...] | None:
+        """The group containing ``index``, or ``None`` if it is alone."""
+        for group in self.groups:
+            if index in group:
+                return group
+        return None
+
+
+def similarity_graph(
+    measure,
+    trajectories: list[Trajectory],
+    threshold: float,
+    min_time_overlap: float = 0.0,
+) -> tuple[nx.Graph, int]:
+    """Thresholded pairwise similarity graph over the collection.
+
+    Nodes are collection indices; an edge ``(i, j)`` with attribute
+    ``similarity`` exists when ``measure.score`` exceeds ``threshold``.
+    Pairs without temporal overlap are skipped without scoring.  Returns
+    the graph and the number of pairs scored.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(trajectories)))
+    scored = 0
+    for i, anchor in enumerate(trajectories):
+        rest = trajectories[i + 1 :]
+        overlapping = time_overlap_filter(anchor, rest, min_overlap=min_time_overlap)
+        for offset in overlapping:
+            j = i + 1 + int(offset)
+            scored += 1
+            value = float(measure.score(anchor, trajectories[j]))
+            if value > threshold:
+                graph.add_edge(i, j, similarity=value)
+    return graph, scored
+
+
+def detect_groups(
+    measure,
+    trajectories: list[Trajectory],
+    threshold: float,
+    min_time_overlap: float = 0.0,
+) -> GroupResult:
+    """Co-moving groups as connected components of the similarity graph.
+
+    ``threshold`` is in the measure's score units; for STS a practical
+    choice is a fraction of the typical self-similarity (e.g. 20% of
+    ``measure.similarity(t, t)`` averaged over the collection), since even
+    perfect companions cannot exceed the self level under noise.
+    """
+    graph, scored = similarity_graph(
+        measure, trajectories, threshold, min_time_overlap=min_time_overlap
+    )
+    groups = tuple(
+        tuple(sorted(component))
+        for component in sorted(nx.connected_components(graph), key=min)
+        if len(component) >= 2
+    )
+    edges = tuple(
+        (int(i), int(j), float(data["similarity"]))
+        for i, j, data in sorted(graph.edges(data=True))
+    )
+    return GroupResult(groups=groups, edges=edges, pairs_scored=scored)

@@ -1,0 +1,116 @@
+"""Candidate pre-filters for large-gallery similarity search.
+
+STS costs `O(|Tra|·|Tra'|·|R|²)` per pair in the worst case (Section V-C
+of the paper), so an exhaustive scan over a large gallery is wasteful:
+most candidates share no time span or no spatial region with the query and
+are guaranteed to score 0 (Eq. 5 case 3 zeroes every co-location term).
+These filters discard such candidates *exactly* (no false negatives for
+the time filter; configurable slack for the spatial one) before the
+expensive measure runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["time_overlap_filter", "bounding_box_filter", "cell_signature_filter"]
+
+
+def time_overlap_filter(
+    query: Trajectory,
+    gallery: list[Trajectory],
+    min_overlap: float = 0.0,
+) -> np.ndarray:
+    """Indices of gallery trajectories whose time span overlaps the query's.
+
+    A candidate with zero temporal overlap has ``STP = 0`` at every one of
+    the query's timestamps and vice versa, so its STS is exactly 0 — the
+    filter is lossless for ranking positives.  ``min_overlap`` (seconds)
+    additionally requires that much shared time.
+    """
+    if min_overlap < 0:
+        raise ValueError(f"min_overlap must be non-negative, got {min_overlap}")
+    keep = []
+    for i, candidate in enumerate(gallery):
+        overlap = min(query.end_time, candidate.end_time) - max(
+            query.start_time, candidate.start_time
+        )
+        if overlap >= min_overlap and overlap >= 0:
+            keep.append(i)
+    return np.array(keep, dtype=int)
+
+
+def bounding_box_filter(
+    query: Trajectory,
+    gallery: list[Trajectory],
+    slack: float = 0.0,
+) -> np.ndarray:
+    """Indices of gallery trajectories whose bounding box is within
+    ``slack`` meters of the query's.
+
+    ``slack`` should cover the location-noise support plus the plausible
+    drift between observations (e.g. ``4σ + v_max·max_gap``); candidates
+    farther away than that cannot produce any overlapping probability
+    mass.
+    """
+    if slack < 0:
+        raise ValueError(f"slack must be non-negative, got {slack}")
+    q_min_x, q_min_y, q_max_x, q_max_y = query.bounding_box()
+    keep = []
+    for i, candidate in enumerate(gallery):
+        c_min_x, c_min_y, c_max_x, c_max_y = candidate.bounding_box()
+        separated = (
+            c_min_x > q_max_x + slack
+            or q_min_x > c_max_x + slack
+            or c_min_y > q_max_y + slack
+            or q_min_y > c_max_y + slack
+        )
+        if not separated:
+            keep.append(i)
+    return np.array(keep, dtype=int)
+
+
+def cell_signature_filter(
+    query: Trajectory,
+    gallery: list[Trajectory],
+    grid,
+    dilation: int = 1,
+    min_shared: int = 1,
+) -> np.ndarray:
+    """Indices of candidates sharing grid cells with the (dilated) query.
+
+    Each trajectory's *signature* is the set of cells its observations
+    fall in; the query's signature is dilated by ``dilation`` cells in
+    every direction to absorb noise and interpolation drift.  Candidates
+    sharing fewer than ``min_shared`` cells with the dilated signature are
+    dropped.  Tighter than the bounding box for L-shaped or sparse
+    trajectories, at the cost of a small per-candidate set intersection.
+    """
+    if dilation < 0:
+        raise ValueError(f"dilation must be non-negative, got {dilation}")
+    if min_shared < 1:
+        raise ValueError(f"min_shared must be >= 1, got {min_shared}")
+    signature = _dilated_signature(query, grid, dilation)
+    keep = []
+    for i, candidate in enumerate(gallery):
+        cells = set(grid.cells_of(candidate.xy).tolist())
+        if len(cells & signature) >= min_shared:
+            keep.append(i)
+    return np.array(keep, dtype=int)
+
+
+def _dilated_signature(trajectory: Trajectory, grid, dilation: int) -> set[int]:
+    base = np.unique(grid.cells_of(trajectory.xy))
+    if dilation == 0:
+        return set(base.tolist())
+    out: set[int] = set()
+    for cell in base:
+        row, col = divmod(int(cell), grid.n_cols)
+        for dr in range(-dilation, dilation + 1):
+            for dc in range(-dilation, dilation + 1):
+                rr, cc = row + dr, col + dc
+                if 0 <= rr < grid.n_rows and 0 <= cc < grid.n_cols:
+                    out.add(rr * grid.n_cols + cc)
+    return out

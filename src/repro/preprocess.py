@@ -1,0 +1,159 @@
+"""Trajectory preprocessing: the cleaning real sensing data needs.
+
+The similarity measures assume reasonably sane trajectories; raw sensing
+logs are not.  This module provides the standard cleaning pipeline:
+
+* :func:`deduplicate_timestamps` — collapse same-instant observations
+  (duplicate rows, multi-AP WiFi sightings);
+* :func:`split_on_gaps` — cut a long device log into trips/visits at big
+  temporal gaps (the device left the instrumented area);
+* :func:`remove_speed_outliers` — drop fixes implying impossible speeds
+  (GPS multipath jumps), iteratively;
+* :func:`smooth` — moving-average positional smoothing;
+* :func:`clean` — the composed pipeline with sensible defaults.
+
+All functions are pure: they return new trajectories (or lists of them)
+and never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = [
+    "deduplicate_timestamps",
+    "split_on_gaps",
+    "remove_speed_outliers",
+    "smooth",
+    "clean",
+]
+
+
+def deduplicate_timestamps(trajectory: Trajectory) -> Trajectory:
+    """Collapse observations sharing a timestamp into their centroid.
+
+    Multiple fixes at one instant (duplicate log rows, simultaneous
+    sightings by several access points) carry one position's worth of
+    information; averaging them is the standard resolution.
+    """
+    if len(trajectory) == 0:
+        return trajectory
+    ts = trajectory.timestamps
+    xy = trajectory.xy
+    points = []
+    start = 0
+    for k in range(1, len(ts) + 1):
+        if k == len(ts) or ts[k] != ts[start]:
+            block = xy[start:k]
+            points.append(
+                TrajectoryPoint(float(block[:, 0].mean()), float(block[:, 1].mean()), float(ts[start]))
+            )
+            start = k
+    return Trajectory(points, object_id=trajectory.object_id)
+
+
+def split_on_gaps(trajectory: Trajectory, max_gap: float, min_points: int = 2) -> list[Trajectory]:
+    """Split at temporal gaps larger than ``max_gap`` seconds.
+
+    A device silent for a long stretch most likely left the instrumented
+    area; treating the log as one trajectory would make the interpolation
+    bridge places the object never plausibly connected.  Segments with
+    fewer than ``min_points`` observations are dropped.  Segment ids get a
+    ``#k`` suffix (only when a split actually happened).
+    """
+    if max_gap <= 0:
+        raise ValueError(f"max_gap must be positive, got {max_gap}")
+    if min_points < 1:
+        raise ValueError(f"min_points must be >= 1, got {min_points}")
+    if len(trajectory) == 0:
+        return []
+    ts = trajectory.timestamps
+    boundaries = [0, *(int(i) + 1 for i in np.nonzero(np.diff(ts) > max_gap)[0]), len(ts)]
+    segments = []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        if hi - lo >= min_points:
+            segments.append(trajectory[lo:hi])
+    if len(segments) <= 1:
+        return segments
+    base = trajectory.object_id
+    return [
+        seg.with_object_id(f"{base}#{k}" if base is not None else None)
+        for k, seg in enumerate(segments)
+    ]
+
+
+def remove_speed_outliers(
+    trajectory: Trajectory, max_speed: float, max_passes: int = 5
+) -> Trajectory:
+    """Drop fixes implying speeds above ``max_speed`` m/s (GPS jumps).
+
+    A single bad fix creates *two* impossible segments (into it and out of
+    it); removing the fix mends both.  A fix is removed when the segment
+    into it is impossible; the pass repeats (up to ``max_passes``) because
+    removals create new adjacencies.  The first observation is always
+    kept, matching the usual forward-pass filter.
+    """
+    if max_speed <= 0:
+        raise ValueError(f"max_speed must be positive, got {max_speed}")
+    if max_passes < 1:
+        raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+    points = list(trajectory.points)
+    for _ in range(max_passes):
+        if len(points) < 2:
+            break
+        kept = [points[0]]
+        removed_any = False
+        for point in points[1:]:
+            dt = point.t - kept[-1].t
+            dist = point.distance_to(kept[-1])
+            if dt > 0 and dist / dt > max_speed:
+                removed_any = True
+                continue
+            kept.append(point)
+        points = kept
+        if not removed_any:
+            break
+    return Trajectory(points, object_id=trajectory.object_id)
+
+
+def smooth(trajectory: Trajectory, window: int = 3) -> Trajectory:
+    """Centered moving-average smoothing of the positions.
+
+    Timestamps are untouched; ``window`` must be odd so the average is
+    centered.  Ends use the available one-sided neighborhood.  Note this
+    is a *display/cleanup* aid — the STS noise model is the principled way
+    to handle localization error, and smoothing before STS would double-
+    count it.
+    """
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be a positive odd integer, got {window}")
+    if len(trajectory) <= 2 or window == 1:
+        return trajectory
+    xy = trajectory.xy
+    half = window // 2
+    points = []
+    for k, p in enumerate(trajectory):
+        lo = max(0, k - half)
+        hi = min(len(trajectory), k + half + 1)
+        block = xy[lo:hi]
+        points.append(TrajectoryPoint(float(block[:, 0].mean()), float(block[:, 1].mean()), p.t))
+    return Trajectory(points, object_id=trajectory.object_id)
+
+
+def clean(
+    trajectory: Trajectory,
+    max_speed: float,
+    max_gap: float,
+    min_points: int = 2,
+) -> list[Trajectory]:
+    """The standard pipeline: dedup → de-spike → split into trips.
+
+    Returns the cleaned trip segments (possibly empty if nothing
+    survives).  Smoothing is deliberately not included — see
+    :func:`smooth`.
+    """
+    deduped = deduplicate_timestamps(trajectory)
+    despiked = remove_speed_outliers(deduped, max_speed=max_speed)
+    return split_on_gaps(despiked, max_gap=max_gap, min_points=min_points)

@@ -1,0 +1,73 @@
+"""Trajectory similarity measures: classics and the paper's baselines.
+
+Classic spatial measures (Section II background): DTW, LCSS, EDR, ERP,
+discrete Fréchet, Hausdorff.  Baselines evaluated against STS in the paper
+(Section VI-A): CATS, EDwP, APM, KF, WGM, SST.
+"""
+
+from .apm import APM, calibrate_to_anchors
+from .base import Measure, available_measures, get_measure_factory, register_measure
+from .cats import CATS, cats_similarity
+from .dtw import DTW, dtw_distance
+from .edr import EDR, edr_distance
+from .edwp import EDwP, edwp_distance
+from .erp import ERP, erp_distance
+from .frechet import Frechet, frechet_distance
+from .hausdorff import Hausdorff, hausdorff_distance
+from .kalman import KF, KalmanSmoother
+from .lcss import LCSS, lcss_similarity
+from .sst import SST, sst_similarity
+from .stlip import STLIP, lip_distance, stlip_distance
+from .wgm import WGM, wgm_similarity
+
+__all__ = [
+    "Measure",
+    "register_measure",
+    "available_measures",
+    "get_measure_factory",
+    "DTW",
+    "dtw_distance",
+    "LCSS",
+    "lcss_similarity",
+    "EDR",
+    "edr_distance",
+    "ERP",
+    "erp_distance",
+    "Frechet",
+    "frechet_distance",
+    "Hausdorff",
+    "hausdorff_distance",
+    "CATS",
+    "cats_similarity",
+    "EDwP",
+    "edwp_distance",
+    "APM",
+    "calibrate_to_anchors",
+    "KF",
+    "KalmanSmoother",
+    "WGM",
+    "wgm_similarity",
+    "SST",
+    "sst_similarity",
+    "STLIP",
+    "stlip_distance",
+    "lip_distance",
+]
+
+for _name, _factory in [
+    ("dtw", DTW),
+    ("lcss", LCSS),
+    ("edr", EDR),
+    ("erp", ERP),
+    ("frechet", Frechet),
+    ("hausdorff", Hausdorff),
+    ("cats", CATS),
+    ("edwp", EDwP),
+    ("apm", APM),
+    ("kf", KF),
+    ("wgm", WGM),
+    ("sst", SST),
+    ("stlip", STLIP),
+]:
+    register_measure(_name, _factory)
+del _name, _factory

@@ -1,0 +1,59 @@
+"""Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD 2005).
+
+EDR counts the minimum number of edit operations (insert, delete,
+substitute) needed to transform one trajectory into the other, where two
+points are "equal" when within a spatial threshold ``epsilon``.  Unlike
+DTW it assigns unit cost to unmatched points, making it robust to outliers
+but still threshold-dependent (Section II of the STS paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["EDR", "edr_distance"]
+
+
+def edr_distance(a: np.ndarray, b: np.ndarray, epsilon: float) -> float:
+    """EDR between two ``(n, 2)`` point arrays (integer-valued edit count)."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    a = np.asarray(a, dtype=float).reshape(-1, 2)
+    b = np.asarray(b, dtype=float).reshape(-1, 2)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("EDR is undefined for empty sequences")
+
+    diff = a[:, None, :] - b[None, :, :]
+    match = np.hypot(diff[..., 0], diff[..., 1]) <= epsilon
+
+    table = np.zeros((n + 1, m + 1), dtype=float)
+    table[:, 0] = np.arange(n + 1)
+    table[0, :] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            subcost = 0.0 if match[i - 1, j - 1] else 1.0
+            table[i, j] = min(
+                table[i - 1, j - 1] + subcost,  # match / substitute
+                table[i - 1, j] + 1.0,  # delete from a
+                table[i, j - 1] + 1.0,  # insert from b
+            )
+    return float(table[n, m])
+
+
+class EDR(Measure):
+    """EDR as a :class:`Measure` (distance: lower = more similar)."""
+
+    name = "EDR"
+    higher_is_better = False
+
+    def __init__(self, epsilon: float):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return edr_distance(a.xy, b.xy, self.epsilon)

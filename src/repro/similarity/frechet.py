@@ -1,0 +1,52 @@
+"""Discrete Fréchet distance (after Eiter & Mannila, 1994).
+
+The Fréchet distance is the classic "dog-leash" measure: the smallest leash
+length that lets a walker traverse one curve while the dog traverses the
+other, both moving monotonically.  The STS paper (Section II) notes it is
+very sensitive to noise and sporadic sampling — a single outlier point sets
+the whole distance — which is exactly the behaviour our robustness
+experiments exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["Frechet", "frechet_distance"]
+
+
+def frechet_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Discrete Fréchet distance between two ``(n, 2)`` point arrays."""
+    a = np.asarray(a, dtype=float).reshape(-1, 2)
+    b = np.asarray(b, dtype=float).reshape(-1, 2)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("Fréchet distance is undefined for empty sequences")
+
+    diff = a[:, None, :] - b[None, :, :]
+    cost = np.hypot(diff[..., 0], diff[..., 1])
+
+    table = np.full((n, m), np.inf)
+    table[0, 0] = cost[0, 0]
+    for i in range(1, n):
+        table[i, 0] = max(table[i - 1, 0], cost[i, 0])
+    for j in range(1, m):
+        table[0, j] = max(table[0, j - 1], cost[0, j])
+    for i in range(1, n):
+        for j in range(1, m):
+            reach = min(table[i - 1, j], table[i - 1, j - 1], table[i, j - 1])
+            table[i, j] = max(reach, cost[i, j])
+    return float(table[n - 1, m - 1])
+
+
+class Frechet(Measure):
+    """Discrete Fréchet as a :class:`Measure` (distance)."""
+
+    name = "Frechet"
+    higher_is_better = False
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return frechet_distance(a.xy, b.xy)

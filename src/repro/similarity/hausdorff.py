@@ -1,0 +1,38 @@
+"""Symmetric Hausdorff distance between trajectory point sets.
+
+The Hausdorff distance ignores ordering and time entirely: it is the
+largest distance from any point of one set to its nearest neighbour in the
+other.  Included as the canonical shape-only reference measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["Hausdorff", "hausdorff_distance"]
+
+
+def hausdorff_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance between two ``(n, 2)`` point arrays."""
+    a = np.asarray(a, dtype=float).reshape(-1, 2)
+    b = np.asarray(b, dtype=float).reshape(-1, 2)
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("Hausdorff distance is undefined for empty sequences")
+    diff = a[:, None, :] - b[None, :, :]
+    cost = np.hypot(diff[..., 0], diff[..., 1])
+    forward = cost.min(axis=1).max()
+    backward = cost.min(axis=0).max()
+    return float(max(forward, backward))
+
+
+class Hausdorff(Measure):
+    """Hausdorff as a :class:`Measure` (distance)."""
+
+    name = "Hausdorff"
+    higher_is_better = False
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return hausdorff_distance(a.xy, b.xy)

@@ -1,0 +1,189 @@
+"""KF baseline — Kalman smoothing + resampling + DTW (Section VI-A).
+
+The STS paper's KF baseline uses a Kalman filter "to estimate the object
+location at a given time", then compares the estimated trajectories with
+DTW.  We implement the standard constant-velocity model with white-noise
+acceleration, a forward filter over the (irregularly spaced) observations,
+a Rauch–Tung–Striebel backward smoother, and prediction-based location
+estimates at arbitrary times.  Each trajectory is resampled at a fixed
+number of uniformly spaced times over its own span before DTW, which
+removes sampling heterogeneity but — unlike STS — commits to a single
+point estimate and a linear-Gaussian motion model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+from .dtw import dtw_distance
+
+__all__ = ["KalmanSmoother", "KF"]
+
+
+def _transition(dt: float) -> np.ndarray:
+    """Constant-velocity state transition over ``dt`` seconds."""
+    f = np.eye(4)
+    f[0, 2] = dt
+    f[1, 3] = dt
+    return f
+
+
+def _process_noise(dt: float, accel_var: float) -> np.ndarray:
+    """White-noise-acceleration process covariance over ``dt`` seconds."""
+    dt2, dt3 = dt * dt, dt * dt * dt
+    q = np.zeros((4, 4))
+    q[0, 0] = q[1, 1] = dt3 / 3.0
+    q[0, 2] = q[2, 0] = dt2 / 2.0
+    q[1, 3] = q[3, 1] = dt2 / 2.0
+    q[2, 2] = q[3, 3] = dt
+    return accel_var * q
+
+
+class KalmanSmoother:
+    """Constant-velocity Kalman filter/smoother for one trajectory.
+
+    Parameters
+    ----------
+    trajectory:
+        Observations ``(x, y, t)``; at least one point.
+    measurement_std:
+        Localization error of the sensing system (meters).
+    accel_std:
+        Strength of the white-noise acceleration driving the motion model
+        (m/s²); larger values let the estimate follow sharp turns.
+    """
+
+    _H = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
+
+    def __init__(self, trajectory: Trajectory, measurement_std: float = 5.0, accel_std: float = 1.0):
+        if len(trajectory) == 0:
+            raise ValueError("cannot smooth an empty trajectory")
+        if measurement_std <= 0 or accel_std <= 0:
+            raise ValueError("measurement_std and accel_std must be positive")
+        self.trajectory = trajectory
+        self.measurement_std = float(measurement_std)
+        self.accel_var = float(accel_std) ** 2
+        self._times = trajectory.timestamps.copy()
+        self._smoothed_means, self._smoothed_covs = self._run()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> tuple[np.ndarray, np.ndarray]:
+        xy = self.trajectory.xy
+        times = self._times
+        n = len(times)
+        r = self.measurement_std**2 * np.eye(2)
+        h = self._H
+
+        means = np.zeros((n, 4))
+        covs = np.zeros((n, 4, 4))
+        pred_means = np.zeros((n, 4))
+        pred_covs = np.zeros((n, 4, 4))
+
+        # Initial state: first observation, zero velocity, broad covariance.
+        mean = np.array([xy[0, 0], xy[0, 1], 0.0, 0.0])
+        cov = np.diag([r[0, 0], r[1, 1], 25.0, 25.0])
+        pred_means[0], pred_covs[0] = mean, cov
+        mean, cov = self._update(mean, cov, xy[0], r, h)
+        means[0], covs[0] = mean, cov
+
+        for k in range(1, n):
+            dt = float(times[k] - times[k - 1])
+            f = _transition(dt)
+            q = _process_noise(dt, self.accel_var)
+            mean = f @ mean
+            cov = f @ cov @ f.T + q
+            pred_means[k], pred_covs[k] = mean, cov
+            mean, cov = self._update(mean, cov, xy[k], r, h)
+            means[k], covs[k] = mean, cov
+
+        # Rauch–Tung–Striebel backward pass.
+        smoothed_means = means.copy()
+        smoothed_covs = covs.copy()
+        for k in range(n - 2, -1, -1):
+            dt = float(times[k + 1] - times[k])
+            f = _transition(dt)
+            gain = covs[k] @ f.T @ np.linalg.pinv(pred_covs[k + 1])
+            smoothed_means[k] = means[k] + gain @ (smoothed_means[k + 1] - pred_means[k + 1])
+            smoothed_covs[k] = covs[k] + gain @ (smoothed_covs[k + 1] - pred_covs[k + 1]) @ gain.T
+        return smoothed_means, smoothed_covs
+
+    @staticmethod
+    def _update(mean, cov, z, r, h):
+        innovation = z - h @ mean
+        s = h @ cov @ h.T + r
+        gain = cov @ h.T @ np.linalg.inv(s)
+        mean = mean + gain @ innovation
+        cov = (np.eye(4) - gain @ h) @ cov
+        return mean, cov
+
+    # ------------------------------------------------------------------
+    @property
+    def smoothed_positions(self) -> np.ndarray:
+        """``(n, 2)`` smoothed locations at the observation times."""
+        return self._smoothed_means[:, :2].copy()
+
+    def estimate(self, t: float) -> tuple[float, float]:
+        """Estimated location at an arbitrary time ``t``.
+
+        Within the span: constant-velocity prediction from the most recent
+        smoothed state.  Before/after the span: prediction from the first/
+        last smoothed state (extrapolation).
+        """
+        times = self._times
+        if t <= times[0]:
+            base = 0
+        else:
+            base = int(np.searchsorted(times, t, side="right") - 1)
+            base = min(base, len(times) - 1)
+        state = self._smoothed_means[base]
+        dt = float(t - times[base])
+        return (float(state[0] + state[2] * dt), float(state[1] + state[3] * dt))
+
+    def resample(self, n_points: int) -> np.ndarray:
+        """``(n_points, 2)`` locations at uniform times over the span."""
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        if len(self._times) == 1 or self._times[0] == self._times[-1]:
+            return np.tile(self.smoothed_positions[0], (n_points, 1))
+        times = np.linspace(self._times[0], self._times[-1], n_points)
+        return np.array([self.estimate(float(t)) for t in times])
+
+
+class KF(Measure):
+    """Kalman-estimate + DTW baseline as a :class:`Measure` (distance).
+
+    Parameters
+    ----------
+    measurement_std, accel_std:
+        Passed to :class:`KalmanSmoother`.
+    n_resample:
+        Number of uniformly spaced estimates per trajectory fed to DTW.
+    """
+
+    name = "KF"
+    higher_is_better = False
+
+    def __init__(self, measurement_std: float = 5.0, accel_std: float = 1.0, n_resample: int = 30):
+        self.measurement_std = float(measurement_std)
+        self.accel_std = float(accel_std)
+        self.n_resample = int(n_resample)
+        self._cache: dict[int, tuple[Trajectory, np.ndarray]] = {}
+
+    def _resampled(self, trajectory: Trajectory) -> np.ndarray:
+        key = id(trajectory)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] is trajectory:
+            return hit[1]
+        smoother = KalmanSmoother(trajectory, self.measurement_std, self.accel_std)
+        points = smoother.resample(self.n_resample)
+        self._cache[key] = (trajectory, points)
+        return points
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return dtw_distance(self._resampled(a), self._resampled(b))
+
+    def clear_cache(self) -> None:
+        """Release cached smoothed resamplings."""
+        self._cache.clear()

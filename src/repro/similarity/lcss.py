@@ -1,0 +1,68 @@
+"""Longest Common SubSequence similarity (Vlachos et al., ICDE 2002).
+
+Two points "match" when they are within a spatial threshold ``epsilon`` and
+their indices within a window ``delta``; LCSS is the length of the longest
+common subsequence of matching points, normalized by the shorter
+trajectory's length.  The STS paper cites LCSS as a threshold-dependent
+measure whose performance "heavily relies on the parameter settings".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["LCSS", "lcss_similarity"]
+
+
+def lcss_similarity(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    delta: int | None = None,
+) -> float:
+    """Normalized LCSS in ``[0, 1]`` between two ``(n, 2)`` point arrays.
+
+    Parameters
+    ----------
+    epsilon:
+        Spatial matching threshold in meters.
+    delta:
+        Maximum index offset ``|i - j|`` allowed for a match; ``None``
+        disables the temporal-index constraint.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    a = np.asarray(a, dtype=float).reshape(-1, 2)
+    b = np.asarray(b, dtype=float).reshape(-1, 2)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("LCSS is undefined for empty sequences")
+
+    table = np.zeros((n + 1, m + 1), dtype=int)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            within_window = delta is None or abs(i - j) <= delta
+            if within_window and np.hypot(*(a[i - 1] - b[j - 1])) <= epsilon:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(table[n, m]) / min(n, m)
+
+
+class LCSS(Measure):
+    """LCSS as a :class:`Measure` (similarity in ``[0, 1]``)."""
+
+    name = "LCSS"
+    higher_is_better = True
+
+    def __init__(self, epsilon: float, delta: int | None = None):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.delta = delta
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return lcss_similarity(a.xy, b.xy, self.epsilon, self.delta)

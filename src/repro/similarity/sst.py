@@ -1,0 +1,78 @@
+"""SST — Synchronized Spatial-Temporal trajectory similarity (Zhao et al.,
+GeoInformatica 2020).
+
+SST matches points of one trajectory against the other *synchronously*:
+each point ``p`` of ``Tra₁`` is compared against where ``Tra₂`` was at
+``p``'s own timestamp.  Within the other trajectory's time span this is a
+point-to-segment comparison (the bracketing segment, linearly traversed —
+the "minimal point-to-segment" strategy); outside the span, the nearest
+endpoint is used with an additional temporal decay ("maximal
+point-to-point").  Spatial and temporal proximities decay exponentially,
+and the similarity is the symmetric average over both trajectories'
+points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["SST", "sst_similarity"]
+
+
+def _directed_score(a: Trajectory, b: Trajectory, spatial_scale: float, temporal_scale: float) -> float:
+    scores = np.zeros(len(a))
+    for i, p in enumerate(a):
+        if b.covers_time(p.t):
+            # Synchronized point-to-segment: compare with B's position at
+            # p's own timestamp.
+            bx, by = b.interpolate_at(p.t)
+            d = float(np.hypot(p.x - bx, p.y - by))
+            scores[i] = np.exp(-d / spatial_scale)
+        else:
+            # Outside B's span: nearest endpoint, penalized by the time gap.
+            endpoint = b[0] if p.t < b.start_time else b[-1]
+            d = p.distance_to(endpoint)
+            gap = abs(p.t - endpoint.t)
+            scores[i] = np.exp(-d / spatial_scale) * np.exp(-gap / temporal_scale)
+    return float(scores.mean())
+
+
+def sst_similarity(
+    a: Trajectory, b: Trajectory, spatial_scale: float, temporal_scale: float
+) -> float:
+    """Symmetric SST similarity in ``[0, 1]``."""
+    if spatial_scale <= 0 or temporal_scale <= 0:
+        raise ValueError("spatial_scale and temporal_scale must be positive")
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("SST is undefined for empty trajectories")
+    forward = _directed_score(a, b, spatial_scale, temporal_scale)
+    backward = _directed_score(b, a, spatial_scale, temporal_scale)
+    return 0.5 * (forward + backward)
+
+
+class SST(Measure):
+    """SST as a :class:`Measure` (similarity in ``[0, 1]``).
+
+    Parameters
+    ----------
+    spatial_scale:
+        Distance (meters) at which spatial proximity decays to ``1/e``.
+    temporal_scale:
+        Time gap (seconds) at which the out-of-span penalty decays to
+        ``1/e``.
+    """
+
+    name = "SST"
+    higher_is_better = True
+
+    def __init__(self, spatial_scale: float, temporal_scale: float):
+        if spatial_scale <= 0 or temporal_scale <= 0:
+            raise ValueError("spatial_scale and temporal_scale must be positive")
+        self.spatial_scale = float(spatial_scale)
+        self.temporal_scale = float(temporal_scale)
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return sst_similarity(a, b, self.spatial_scale, self.temporal_scale)

@@ -1,0 +1,110 @@
+"""STLIP — Spatio-Temporal Locality In-between Polylines (Pelekis et al.,
+TIME 2007).
+
+LIP measures the area enclosed *between* two polylines: co-located routes
+enclose almost nothing, diverging routes enclose a lot.  STLIP scales the
+spatial LIP by a temporal penalty so that routes traversed at different
+times drift apart even when their geometry matches.
+
+This implementation computes LIP by uniform arc-length parameterization:
+both polylines are resampled at ``n_samples`` equal arc-length fractions
+and the enclosed area is integrated as the trapezoid of the distances
+between corresponding samples.  For non-self-intersecting, similarly
+oriented routes this equals the polygon-decomposition LIP of the original
+paper up to discretization; it is the standard simplification when the
+full polygon arrangement machinery is not needed.  The temporal penalty
+follows the paper's multiplicative form: ``STLIP = LIP · (1 + κ·TD)``
+with ``TD`` the mean normalized time difference of corresponding samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .base import Measure
+
+__all__ = ["STLIP", "stlip_distance", "lip_distance"]
+
+
+def _arc_length_parameterize(xy: np.ndarray, ts: np.ndarray, n_samples: int):
+    """Resample a polyline at equal arc-length fractions.
+
+    Returns ``(points, times)`` at ``n_samples`` positions.  A degenerate
+    (stationary) polyline resamples to copies of its single location with
+    times spread over its span.
+    """
+    seg = np.diff(xy, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1]) if len(seg) else np.empty(0)
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum[-1]
+    fractions = np.linspace(0.0, 1.0, n_samples)
+    if total == 0.0:
+        points = np.tile(xy[0], (n_samples, 1))
+        times = np.linspace(ts[0], ts[-1], n_samples)
+        return points, times
+    targets = fractions * total
+    xs = np.interp(targets, cum, xy[:, 0])
+    ys = np.interp(targets, cum, xy[:, 1])
+    times = np.interp(targets, cum, ts)
+    return np.column_stack([xs, ys]), times
+
+
+def lip_distance(a: Trajectory, b: Trajectory, n_samples: int = 50) -> float:
+    """Approximate area (m²) enclosed between the two routes."""
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("LIP is undefined for empty trajectories")
+    if n_samples < 2:
+        raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+    pa, _ = _arc_length_parameterize(a.xy, a.timestamps, n_samples)
+    pb, _ = _arc_length_parameterize(b.xy, b.timestamps, n_samples)
+    gaps = np.hypot(pa[:, 0] - pb[:, 0], pa[:, 1] - pb[:, 1])
+    # Arc-length step of the midline between the two parameterizations.
+    mid = 0.5 * (pa + pb)
+    steps = np.hypot(*np.diff(mid, axis=0).T)
+    return float(np.sum(0.5 * (gaps[:-1] + gaps[1:]) * steps))
+
+
+def stlip_distance(
+    a: Trajectory,
+    b: Trajectory,
+    kappa: float = 1.0,
+    n_samples: int = 50,
+) -> float:
+    """STLIP: LIP scaled by the temporal-difference penalty.
+
+    ``kappa`` weights how strongly time misalignment inflates the spatial
+    distance; 0 reduces STLIP to LIP.
+    """
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("STLIP is undefined for empty trajectories")
+    pa, ta = _arc_length_parameterize(a.xy, a.timestamps, n_samples)
+    pb, tb = _arc_length_parameterize(b.xy, b.timestamps, n_samples)
+    gaps = np.hypot(pa[:, 0] - pb[:, 0], pa[:, 1] - pb[:, 1])
+    mid = 0.5 * (pa + pb)
+    steps = np.hypot(*np.diff(mid, axis=0).T)
+    lip = float(np.sum(0.5 * (gaps[:-1] + gaps[1:]) * steps))
+    span = max(a.duration, b.duration)
+    if span == 0.0:
+        temporal = 0.0 if ta[0] == tb[0] else 1.0
+    else:
+        temporal = float(np.mean(np.abs(ta - tb)) / span)
+    return lip * (1.0 + kappa * temporal)
+
+
+class STLIP(Measure):
+    """STLIP as a :class:`Measure` (distance: lower = more similar)."""
+
+    name = "STLIP"
+    higher_is_better = False
+
+    def __init__(self, kappa: float = 1.0, n_samples: int = 50):
+        if kappa < 0:
+            raise ValueError(f"kappa must be non-negative, got {kappa}")
+        self.kappa = float(kappa)
+        self.n_samples = int(n_samples)
+
+    def __call__(self, a: Trajectory, b: Trajectory) -> float:
+        return stlip_distance(a, b, kappa=self.kappa, n_samples=self.n_samples)

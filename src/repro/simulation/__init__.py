@@ -1,0 +1,30 @@
+"""Mobility simulation substrate: road network, mall floor plan, sampling."""
+
+from .floorplan import FloorPlan
+from .pedestrian import simulate_companions, simulate_pedestrian_path, simulate_visitors
+from .roadnet import RoadNetwork
+from .sampling import (
+    alternate_split,
+    distort,
+    downsample,
+    periodic_times,
+    poisson_times,
+    sample_path,
+)
+from .vehicle import simulate_taxi_fleet, simulate_taxi_path
+
+__all__ = [
+    "RoadNetwork",
+    "simulate_taxi_path",
+    "simulate_taxi_fleet",
+    "FloorPlan",
+    "simulate_pedestrian_path",
+    "simulate_visitors",
+    "simulate_companions",
+    "periodic_times",
+    "poisson_times",
+    "sample_path",
+    "alternate_split",
+    "downsample",
+    "distort",
+]

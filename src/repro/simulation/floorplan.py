@@ -1,0 +1,147 @@
+"""Shopping-mall floor plan (substrate for the indoor dataset).
+
+The paper's indoor evaluation uses a private WiFi-fingerprint dataset from
+a large mall; we substitute a synthetic mall (DESIGN.md §3).  The plan is a
+corridor lattice with store nodes hanging off the corridors: pedestrians
+can only move along corridors and into stores, which reproduces the
+"complex topological structure" (walls, narrow passages) that the paper
+credits for degrading frequency-based transition estimates indoors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["FloorPlan"]
+
+
+class FloorPlan:
+    """Walkable graph of a mall: corridor waypoints plus store nodes.
+
+    Node attributes: ``pos`` (meters) and ``kind`` (``"corridor"`` or
+    ``"store"``).  Edges carry Euclidean ``length``.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("floor plan must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("floor plan must be connected")
+        self.graph = graph
+        self._positions = {n: np.asarray(d["pos"], dtype=float) for n, d in graph.nodes(data=True)}
+        self._stores = [n for n, d in graph.nodes(data=True) if d["kind"] == "store"]
+        self._corridors = [n for n, d in graph.nodes(data=True) if d["kind"] == "corridor"]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        n_corridors_x: int = 6,
+        n_corridors_y: int = 4,
+        corridor_spacing: float = 15.0,
+        store_depth: float = 5.0,
+        store_fraction: float = 0.6,
+        rng: np.random.Generator | None = None,
+    ) -> "FloorPlan":
+        """Rectangular mall: a corridor lattice with stores off the corridors.
+
+        Parameters
+        ----------
+        n_corridors_x, n_corridors_y:
+            Corridor intersections along each axis; the mall spans roughly
+            ``n_corridors_x × corridor_spacing`` by
+            ``n_corridors_y × corridor_spacing`` meters.
+        store_depth:
+            How far a store entrance node sits off its corridor (meters).
+        store_fraction:
+            Fraction of corridor nodes that get an adjacent store.
+        """
+        if n_corridors_x < 2 or n_corridors_y < 2:
+            raise ValueError("need at least a 2x2 corridor lattice")
+        rng = rng if rng is not None else np.random.default_rng()
+
+        graph = nx.Graph()
+        index = lambda r, c: r * n_corridors_x + c  # noqa: E731 - tiny local helper
+        for r in range(n_corridors_y):
+            for c in range(n_corridors_x):
+                graph.add_node(
+                    index(r, c),
+                    pos=(c * corridor_spacing, r * corridor_spacing),
+                    kind="corridor",
+                )
+        for r in range(n_corridors_y):
+            for c in range(n_corridors_x):
+                if c + 1 < n_corridors_x:
+                    graph.add_edge(index(r, c), index(r, c + 1))
+                if r + 1 < n_corridors_y:
+                    graph.add_edge(index(r, c), index(r + 1, c))
+
+        next_id = n_corridors_x * n_corridors_y
+        for node in list(graph.nodes()):
+            if graph.nodes[node]["kind"] != "corridor" or rng.random() >= store_fraction:
+                continue
+            x, y = graph.nodes[node]["pos"]
+            angle = float(rng.choice([0.0, math.pi / 2, math.pi, 3 * math.pi / 2]))
+            depth = store_depth * float(rng.uniform(0.6, 1.4))
+            graph.add_node(
+                next_id,
+                pos=(x + depth * math.cos(angle), y + depth * math.sin(angle)),
+                kind="store",
+            )
+            graph.add_edge(node, next_id)
+            next_id += 1
+
+        for u, v in graph.edges():
+            pu, pv = graph.nodes[u]["pos"], graph.nodes[v]["pos"]
+            graph.edges[u, v]["length"] = math.hypot(pu[0] - pv[0], pu[1] - pv[1])
+        return cls(graph)
+
+    # ------------------------------------------------------------------
+    @property
+    def stores(self) -> list[int]:
+        """Store node ids."""
+        return list(self._stores)
+
+    @property
+    def corridors(self) -> list[int]:
+        """Corridor node ids."""
+        return list(self._corridors)
+
+    def position(self, node: int) -> np.ndarray:
+        """``(x, y)`` of ``node`` in meters."""
+        return self._positions[node]
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        pts = np.array(list(self._positions.values()))
+        mn = pts.min(axis=0)
+        mx = pts.max(axis=0)
+        return (float(mn[0]), float(mn[1]), float(mx[0]), float(mx[1]))
+
+    def random_store(self, rng: np.random.Generator) -> int:
+        """A uniformly random store (falls back to corridors if none exist)."""
+        pool = self._stores if self._stores else self._corridors
+        return pool[int(rng.integers(len(pool)))]
+
+    def random_entrance(self, rng: np.random.Generator) -> int:
+        """A random corridor node on the mall boundary (an 'entrance')."""
+        pts = np.array([self._positions[n] for n in self._corridors])
+        mn, mx = pts.min(axis=0), pts.max(axis=0)
+        boundary = [
+            n
+            for n in self._corridors
+            if (
+                self._positions[n][0] in (mn[0], mx[0])
+                or self._positions[n][1] in (mn[1], mx[1])
+            )
+        ]
+        pool = boundary if boundary else self._corridors
+        return pool[int(rng.integers(len(pool)))]
+
+    def route(self, origin: int, destination: int) -> np.ndarray:
+        """Shortest walkable polyline ``(k, 2)`` between two nodes."""
+        nodes = nx.shortest_path(self.graph, origin, destination, weight="length")
+        return np.array([self.position(n) for n in nodes])

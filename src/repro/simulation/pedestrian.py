@@ -1,0 +1,125 @@
+"""Pedestrian movement simulation inside a mall floor plan.
+
+A visitor enters the mall, visits a few stores (walking the corridor graph
+at a personal speed, dwelling inside each store), and leaves.  Personal
+walking speeds differ across visitors — the heterogeneity observed by
+Chandra & Bharti (cited as [26] in the paper) that motivates STS's
+personalized speed model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Path
+from .floorplan import FloorPlan
+
+__all__ = ["simulate_pedestrian_path", "simulate_visitors", "simulate_companions"]
+
+
+def _walk_polyline(
+    vertices: list[np.ndarray],
+    times: list[float],
+    polyline: np.ndarray,
+    speed: float,
+    rng: np.random.Generator,
+    speed_cv: float,
+) -> None:
+    """Append a walk along ``polyline`` to the vertex/time lists, in place."""
+    for k in range(len(polyline) - 1):
+        seg = polyline[k + 1] - polyline[k]
+        length = float(np.hypot(seg[0], seg[1]))
+        if length == 0.0:
+            continue
+        step_speed = float(np.clip(rng.normal(speed, speed_cv * speed), 0.3, 3.0))
+        vertices.append(np.asarray(polyline[k + 1], dtype=float))
+        times.append(times[-1] + length / step_speed)
+
+
+def simulate_pedestrian_path(
+    plan: FloorPlan,
+    rng: np.random.Generator,
+    start_time: float = 0.0,
+    n_stops: int = 4,
+    walking_speed_mean: float = 1.25,
+    walking_speed_std: float = 0.35,
+    speed_cv: float = 0.15,
+    dwell_mean: float = 120.0,
+    object_id: str | None = None,
+) -> Path:
+    """One mall visit as a continuous path.
+
+    Parameters
+    ----------
+    n_stops:
+        Number of stores visited between entering and leaving.
+    walking_speed_mean, walking_speed_std:
+        The visitor's personal speed (m/s) drawn once per visit; the mean
+        of 1.25 m/s matches observed pedestrian speed distributions.
+    dwell_mean:
+        Mean dwell time inside each store (exponential), seconds.
+    """
+    if n_stops < 1:
+        raise ValueError(f"n_stops must be >= 1, got {n_stops}")
+    speed = float(np.clip(rng.normal(walking_speed_mean, walking_speed_std), 0.5, 2.5))
+
+    entrance = plan.random_entrance(rng)
+    stops = [plan.random_store(rng) for _ in range(n_stops)]
+    waypoints = [entrance, *stops, plan.random_entrance(rng)]
+
+    vertices: list[np.ndarray] = [plan.position(entrance).copy()]
+    times: list[float] = [start_time]
+    for a, b in zip(waypoints[:-1], waypoints[1:]):
+        polyline = plan.route(a, b)
+        _walk_polyline(vertices, times, polyline, speed, rng, speed_cv)
+        # Dwell at the destination (store browsing): position holds still.
+        dwell = float(rng.exponential(dwell_mean))
+        vertices.append(vertices[-1].copy())
+        times.append(times[-1] + dwell)
+    return Path(np.array(vertices), np.array(times), object_id=object_id)
+
+
+def simulate_visitors(
+    plan: FloorPlan,
+    n_visitors: int,
+    rng: np.random.Generator,
+    time_window: float = 7200.0,
+    **visit_kwargs,
+) -> list[Path]:
+    """``n_visitors`` independent mall visits spread over ``time_window``."""
+    if n_visitors < 1:
+        raise ValueError(f"n_visitors must be >= 1, got {n_visitors}")
+    paths = []
+    for i in range(n_visitors):
+        start = float(rng.uniform(0.0, time_window))
+        paths.append(
+            simulate_pedestrian_path(
+                plan, rng, start_time=start, object_id=f"visitor-{i:04d}", **visit_kwargs
+            )
+        )
+    return paths
+
+
+def simulate_companions(
+    plan: FloorPlan,
+    rng: np.random.Generator,
+    start_time: float = 0.0,
+    lateral_offset: float = 1.0,
+    **visit_kwargs,
+) -> tuple[Path, Path]:
+    """Two people walking the mall *together* (for companion detection).
+
+    The second path is the first with a small constant lateral offset —
+    walking side by side — so the two ground-truth paths co-locate at every
+    instant.  Their *trajectories* will still look different after sporadic
+    sampling and noise, which is exactly the detection problem STS targets.
+    """
+    leader = simulate_pedestrian_path(plan, rng, start_time=start_time, **visit_kwargs)
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    offset = lateral_offset * np.array([np.cos(angle), np.sin(angle)])
+    follower = Path(
+        leader.xy + offset,
+        leader.t.copy(),
+        object_id=(leader.object_id or "companion") + "-b",
+    )
+    return leader, follower

@@ -1,0 +1,148 @@
+"""Synthetic city road network (substrate for the taxi dataset).
+
+The paper's outdoor evaluation uses the public Porto taxi dataset; this
+environment has no network access, so :mod:`repro.simulation` provides a
+road-network substrate instead (see DESIGN.md §3 for the substitution
+argument).  :class:`RoadNetwork` is a planar graph with jittered
+Manhattan-style blocks, random street removals (keeping the network
+connected) and a few diagonal avenues, giving taxi routes the mix of long
+straight runs and irregular turns that real street geometry produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["RoadNetwork"]
+
+
+class RoadNetwork:
+    """A planar street graph with node coordinates in meters.
+
+    Nodes are integers, each carrying a ``pos`` attribute ``(x, y)``; edge
+    weights are Euclidean lengths.  Build one with :meth:`manhattan`.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("road network must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("road network must be connected")
+        self.graph = graph
+        self._positions = {n: np.asarray(d["pos"], dtype=float) for n, d in graph.nodes(data=True)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def manhattan(
+        cls,
+        n_rows: int = 12,
+        n_cols: int = 12,
+        block_size: float = 150.0,
+        rng: np.random.Generator | None = None,
+        jitter: float = 0.15,
+        removal_fraction: float = 0.12,
+        diagonal_fraction: float = 0.05,
+    ) -> "RoadNetwork":
+        """Jittered grid-of-blocks street network.
+
+        Parameters
+        ----------
+        n_rows, n_cols:
+            Intersection counts; the city spans roughly
+            ``n_cols × block_size`` by ``n_rows × block_size`` meters.
+        block_size:
+            Nominal block edge in meters (Porto blocks are ~100–300 m).
+        jitter:
+            Positional noise of intersections, as a fraction of the block.
+        removal_fraction:
+            Fraction of streets randomly removed (dead ends, rivers, parks)
+            — removals that would disconnect the network are skipped.
+        diagonal_fraction:
+            Fraction of blocks gaining a diagonal shortcut (avenues).
+        """
+        if n_rows < 2 or n_cols < 2:
+            raise ValueError("need at least a 2x2 intersection grid")
+        rng = rng if rng is not None else np.random.default_rng()
+
+        graph = nx.Graph()
+        index = lambda r, c: r * n_cols + c  # noqa: E731 - tiny local helper
+        for r in range(n_rows):
+            for c in range(n_cols):
+                x = c * block_size + rng.normal(0.0, jitter * block_size)
+                y = r * block_size + rng.normal(0.0, jitter * block_size)
+                graph.add_node(index(r, c), pos=(float(x), float(y)))
+        for r in range(n_rows):
+            for c in range(n_cols):
+                if c + 1 < n_cols:
+                    graph.add_edge(index(r, c), index(r, c + 1))
+                if r + 1 < n_rows:
+                    graph.add_edge(index(r, c), index(r + 1, c))
+        # Diagonal avenues across a random subset of blocks.
+        for r in range(n_rows - 1):
+            for c in range(n_cols - 1):
+                if rng.random() < diagonal_fraction:
+                    if rng.random() < 0.5:
+                        graph.add_edge(index(r, c), index(r + 1, c + 1))
+                    else:
+                        graph.add_edge(index(r, c + 1), index(r + 1, c))
+        # Random street removals that keep the network connected.
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        to_remove = int(removal_fraction * len(edges))
+        removed = 0
+        for u, v in edges:
+            if removed >= to_remove:
+                break
+            graph.remove_edge(u, v)
+            if nx.is_connected(graph):
+                removed += 1
+            else:
+                graph.add_edge(u, v)
+        cls._set_lengths(graph)
+        return cls(graph)
+
+    @staticmethod
+    def _set_lengths(graph: nx.Graph) -> None:
+        for u, v in graph.edges():
+            pu = graph.nodes[u]["pos"]
+            pv = graph.nodes[v]["pos"]
+            graph.edges[u, v]["length"] = math.hypot(pu[0] - pv[0], pu[1] - pv[1])
+
+    # ------------------------------------------------------------------
+    def position(self, node: int) -> np.ndarray:
+        """``(x, y)`` of ``node`` in meters."""
+        return self._positions[node]
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all intersections."""
+        pts = np.array(list(self._positions.values()))
+        mn = pts.min(axis=0)
+        mx = pts.max(axis=0)
+        return (float(mn[0]), float(mn[1]), float(mx[0]), float(mx[1]))
+
+    def random_node(self, rng: np.random.Generator) -> int:
+        """A uniformly random intersection."""
+        nodes = list(self.graph.nodes())
+        return nodes[int(rng.integers(len(nodes)))]
+
+    def random_od_pair(self, rng: np.random.Generator, min_distance: float = 0.0) -> tuple[int, int]:
+        """Random origin/destination with straight-line separation >= ``min_distance``."""
+        for _ in range(200):
+            a = self.random_node(rng)
+            b = self.random_node(rng)
+            if a != b:
+                d = float(np.hypot(*(self.position(a) - self.position(b))))
+                if d >= min_distance:
+                    return a, b
+        raise RuntimeError(
+            f"could not find an O-D pair at least {min_distance} m apart; "
+            "is min_distance larger than the network extent?"
+        )
+
+    def route(self, origin: int, destination: int) -> np.ndarray:
+        """Shortest-path polyline ``(k, 2)`` from ``origin`` to ``destination``."""
+        nodes = nx.shortest_path(self.graph, origin, destination, weight="length")
+        return np.array([self.position(n) for n in nodes])

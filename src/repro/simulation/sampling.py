@@ -1,0 +1,138 @@
+"""Sampling, splitting and distortion treatments (Section VI of the paper).
+
+This module turns continuous :class:`~repro.core.trajectory.Path` objects
+into discrete trajectories and applies the experimental treatments the
+paper evaluates:
+
+* **periodic / Poisson sampling** — a taxi terminal reporting every 15 s
+  vs. WiFi sightings with random (exponential) gaps;
+* **alternate split** (Fig. 3) — sub-trajectories of alternating points,
+  manufacturing two "sensing systems" that observed the same object;
+* **rate-ρ downsampling** — keep a random fraction of points (the low /
+  heterogeneous sampling-rate treatments of Figs. 4–7);
+* **Gaussian distortion** (Eq. 14) — location noise of radius β meters
+  (Figs. 8–9).
+
+All randomized treatments take an explicit :class:`numpy.random.Generator`
+for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Path, Trajectory, TrajectoryPoint
+
+__all__ = [
+    "periodic_times",
+    "poisson_times",
+    "sample_path",
+    "alternate_split",
+    "downsample",
+    "distort",
+]
+
+
+def periodic_times(start: float, end: float, interval: float) -> np.ndarray:
+    """Sampling times every ``interval`` seconds in ``[start, end]``."""
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if end < start:
+        raise ValueError(f"end ({end}) must be >= start ({start})")
+    return np.arange(start, end + 1e-9, interval)
+
+
+def poisson_times(
+    start: float, end: float, mean_interval: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sporadic sampling times with exponential gaps (Poisson process).
+
+    Always includes a sample at ``start``; models asynchronous, randomly
+    timed sightings (WiFi probes, CDR events).
+    """
+    if mean_interval <= 0:
+        raise ValueError(f"mean_interval must be positive, got {mean_interval}")
+    if end < start:
+        raise ValueError(f"end ({end}) must be >= start ({start})")
+    times = [start]
+    t = start
+    while True:
+        t += float(rng.exponential(mean_interval))
+        if t > end:
+            break
+        times.append(t)
+    return np.array(times)
+
+
+def sample_path(
+    path: Path,
+    times: np.ndarray,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+    object_id: str | None = None,
+) -> Trajectory:
+    """Observe ``path`` at ``times``, with optional Gaussian location noise.
+
+    Times outside the path's span are dropped (a sensor cannot observe an
+    object before it appears or after it leaves).
+    """
+    times = np.asarray(times, dtype=float)
+    inside = times[(times >= path.start_time) & (times <= path.end_time)]
+    traj = path.sample(inside, object_id=object_id)
+    if noise_std > 0.0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        traj = distort(traj, noise_std, rng)
+    return traj
+
+
+def alternate_split(trajectory: Trajectory) -> tuple[Trajectory, Trajectory]:
+    """Fig. 3: split into odd-indexed and even-indexed sub-trajectories.
+
+    The two halves simulate two different sensing systems that each caught
+    every other sighting of the same object; matching them back up is the
+    ground-truth task of Section VI-C.
+    """
+    if len(trajectory) < 2:
+        raise ValueError("alternate split needs at least 2 points")
+    first = trajectory.subsample(range(0, len(trajectory), 2))
+    second = trajectory.subsample(range(1, len(trajectory), 2))
+    return first, second
+
+
+def downsample(
+    trajectory: Trajectory, rate: float, rng: np.random.Generator, min_points: int = 2
+) -> Trajectory:
+    """Keep a random fraction ``rate`` of the points (order preserved).
+
+    The number kept is ``max(min_points, round(rate * n))``, clipped to
+    ``n``; the paper's sampling-rate treatments use rates 0.1–0.9.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    n = len(trajectory)
+    if n == 0:
+        raise ValueError("cannot downsample an empty trajectory")
+    keep = min(n, max(min_points, int(round(rate * n))))
+    if keep >= n:
+        return trajectory
+    indices = np.sort(rng.choice(n, size=keep, replace=False))
+    return trajectory.subsample(indices.tolist())
+
+
+def distort(trajectory: Trajectory, beta: float, rng: np.random.Generator) -> Trajectory:
+    """Eq. 14: add Gaussian noise of radius ``beta`` meters to every location.
+
+    ``x_i += β·N(0,1)``, ``y_i += β·N(0,1)`` — the location-noise treatment
+    of Figs. 8–9 (β up to 8 m indoors, up to 100 m outdoors).
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    if beta == 0.0:
+        return trajectory
+    offsets = rng.standard_normal((len(trajectory), 2)) * beta
+    points = [
+        TrajectoryPoint(p.x + float(dx), p.y + float(dy), p.t)
+        for p, (dx, dy) in zip(trajectory, offsets)
+    ]
+    return Trajectory(points, object_id=trajectory.object_id)

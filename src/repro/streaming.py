@@ -1,0 +1,178 @@
+"""Online co-location detection over a stream of location events.
+
+The batch pipeline (trajectories in, STS out) assumes data at rest.  Live
+deployments — group monitoring, real-time contact tracing ([6], [7] in the
+paper) — instead see an unordered stream of ``(object, x, y, t)`` sighting
+events.  :class:`StreamingColocationDetector` maintains a sliding window
+of recent observations per object and, on demand, evaluates the STS
+machinery over the windows of every concurrently-active pair.
+
+The detector is deliberately windowed: the personalized speed model
+(Eq. 6) is re-estimated from each window, so an object whose behaviour
+changes (walk → drive) is re-personalized as old samples age out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .core.grid import Grid
+from .core.noise import GaussianNoiseModel, NoiseModel
+from .core.sts import STS
+from .core.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = ["SightingEvent", "PairScore", "StreamingColocationDetector"]
+
+
+@dataclass(frozen=True)
+class SightingEvent:
+    """One stream record: an object seen at a location at a time."""
+
+    object_id: str
+    x: float
+    y: float
+    t: float
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """STS of two objects' current windows at evaluation time."""
+
+    object_a: str
+    object_b: str
+    similarity: float
+
+    def __str__(self) -> str:
+        return f"{self.object_a} ~ {self.object_b}: {self.similarity:.4f}"
+
+
+class StreamingColocationDetector:
+    """Sliding-window co-location detection.
+
+    Parameters
+    ----------
+    grid:
+        Spatial partition of the monitored area.
+    window:
+        Sliding-window length in seconds; observations older than
+        ``now - window`` are evicted.
+    noise_model:
+        Sensing noise; defaults to a Gaussian at the grid cell size.
+    min_points:
+        Minimum observations a window needs before the object is scored
+        (below this the speed model is too degenerate to be meaningful).
+
+    Events may arrive slightly out of order; each object's window is kept
+    time-sorted.  Eviction happens on ingest and on evaluation, driven by
+    the newest timestamp seen so far ("stream time").
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        window: float = 600.0,
+        noise_model: NoiseModel | None = None,
+        min_points: int = 3,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if min_points < 1:
+            raise ValueError(f"min_points must be >= 1, got {min_points}")
+        self.grid = grid
+        self.window = float(window)
+        self.noise_model = noise_model if noise_model is not None else GaussianNoiseModel(grid.cell_size)
+        self.min_points = int(min_points)
+        self._windows: dict[str, deque[TrajectoryPoint]] = {}
+        self._now = float("-inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def stream_time(self) -> float:
+        """Newest timestamp ingested so far (-inf before the first event)."""
+        return self._now
+
+    @property
+    def active_objects(self) -> list[str]:
+        """Objects currently holding at least one in-window observation."""
+        for oid in self._windows:
+            self._evict(oid)
+        return sorted(oid for oid, win in self._windows.items() if win)
+
+    def ingest(self, event: SightingEvent) -> None:
+        """Add one sighting; evicts expired observations as time advances.
+
+        Events older than the current window lower bound are dropped
+        outright (too late to matter).
+        """
+        self._now = max(self._now, event.t)
+        horizon = self._now - self.window
+        if event.t < horizon:
+            return
+        window = self._windows.setdefault(event.object_id, deque())
+        window.append(TrajectoryPoint(event.x, event.y, event.t))
+        # Keep the window time-sorted under slight out-of-order arrival.
+        if len(window) >= 2 and window[-2].t > window[-1].t:
+            ordered = sorted(window, key=lambda p: p.t)
+            window.clear()
+            window.extend(ordered)
+        self._evict(event.object_id)
+
+    def ingest_many(self, events) -> None:
+        """Ingest an iterable of events."""
+        for event in events:
+            self.ingest(event)
+
+    def _evict(self, object_id: str) -> None:
+        horizon = self._now - self.window
+        window = self._windows[object_id]
+        while window and window[0].t < horizon:
+            window.popleft()
+
+    # ------------------------------------------------------------------
+    def window_of(self, object_id: str) -> Trajectory:
+        """The object's current window as a trajectory (may be empty)."""
+        self._windows.setdefault(object_id, deque())
+        self._evict(object_id)
+        return Trajectory(list(self._windows[object_id]), object_id=object_id)
+
+    def evaluate(self, threshold: float = 0.0) -> list[PairScore]:
+        """STS over every scorable pair of active objects, best first.
+
+        A fresh :class:`STS` instance is built per evaluation so windows
+        are re-personalized; only pairs scoring above ``threshold`` are
+        returned.
+        """
+        measure = STS(self.grid, noise_model=self.noise_model)
+        windows = {
+            oid: self.window_of(oid)
+            for oid in list(self._windows)
+        }
+        scorable = sorted(oid for oid, w in windows.items() if len(w) >= self.min_points)
+        scores: list[PairScore] = []
+        for i, a in enumerate(scorable):
+            for b in scorable[i + 1 :]:
+                value = measure.similarity(windows[a], windows[b])
+                if value > threshold:
+                    scores.append(PairScore(a, b, value))
+        scores.sort(key=lambda s: -s.similarity)
+        return scores
+
+    def companions_of(self, object_id: str, threshold: float = 0.0) -> list[PairScore]:
+        """Pairs involving ``object_id`` above ``threshold``, best first."""
+        target = self.window_of(object_id)
+        if len(target) < self.min_points:
+            return []
+        measure = STS(self.grid, noise_model=self.noise_model)
+        scores = []
+        for oid in self.active_objects:
+            if oid == object_id:
+                continue
+            other = self.window_of(oid)
+            if len(other) < self.min_points:
+                continue
+            value = measure.similarity(target, other)
+            if value > threshold:
+                scores.append(PairScore(object_id, oid, value))
+        scores.sort(key=lambda s: -s.similarity)
+        return scores

@@ -1,0 +1,104 @@
+"""Terminal visualization: trajectories and probability fields as text.
+
+The library runs in headless environments (and ships no plotting
+dependency), so debugging aids render to plain text: trajectories drawn
+over the grid, S-T probability distributions as shaded heatmaps, and
+co-location profiles as bar strips.  Rows are printed north-up (larger y
+first), matching how the maps would be plotted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.grid import Grid
+from .core.stprob import TrajectorySTP
+from .core.trajectory import Trajectory
+
+__all__ = ["render_trajectories", "render_stp", "render_profile"]
+
+#: Probability shading ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+#: Labels assigned to trajectories in drawing order.
+_LABELS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _downscale(grid: Grid, max_cols: int) -> int:
+    """How many grid cells one character covers per axis."""
+    return max(1, int(np.ceil(grid.n_cols / max_cols)))
+
+
+def render_trajectories(
+    grid: Grid,
+    trajectories: list[Trajectory],
+    max_cols: int = 78,
+) -> str:
+    """Draw trajectories over the grid; each gets a letter, overlaps '+'.
+
+    Observation cells are marked with the trajectory's letter (``a`` for
+    the first, ``b`` for the second, ...); cells visited by more than one
+    trajectory show ``+``.
+    """
+    if not trajectories:
+        raise ValueError("nothing to render")
+    scale = _downscale(grid, max_cols)
+    rows = int(np.ceil(grid.n_rows / scale))
+    cols = int(np.ceil(grid.n_cols / scale))
+    canvas = np.full((rows, cols), " ", dtype="<U1")
+    for k, traj in enumerate(trajectories):
+        label = _LABELS[k % len(_LABELS)]
+        cells = grid.cells_of(traj.xy)
+        for cell in np.unique(cells):
+            r, c = divmod(int(cell), grid.n_cols)
+            r, c = r // scale, c // scale
+            canvas[r, c] = "+" if canvas[r, c] not in (" ", label) else label
+    lines = ["".join(row) for row in canvas[::-1]]  # north-up
+    legend = "  ".join(
+        f"{_LABELS[k % len(_LABELS)]}={t.object_id or f'traj-{k}'}"
+        for k, t in enumerate(trajectories)
+    )
+    return "\n".join([*lines, legend])
+
+
+def render_stp(stp: TrajectorySTP, t: float, max_cols: int = 78) -> str:
+    """The S-T probability distribution at time ``t`` as a shaded heatmap.
+
+    Shades are relative to the peak probability at that time; an all-blank
+    map means ``t`` is outside the trajectory's span.
+    """
+    grid = stp.grid
+    dense = stp.stp_dense(t).reshape(grid.n_rows, grid.n_cols)
+    scale = _downscale(grid, max_cols)
+    rows = int(np.ceil(grid.n_rows / scale))
+    cols = int(np.ceil(grid.n_cols / scale))
+    coarse = np.zeros((rows, cols))
+    for r in range(rows):
+        for c in range(cols):
+            block = dense[r * scale : (r + 1) * scale, c * scale : (c + 1) * scale]
+            coarse[r, c] = block.sum()
+    peak = coarse.max()
+    lines = []
+    for row in coarse[::-1]:
+        if peak <= 0:
+            lines.append(" " * cols)
+            continue
+        indices = np.minimum((row / peak * (len(_RAMP) - 1)).astype(int), len(_RAMP) - 1)
+        lines.append("".join(_RAMP[i] for i in indices))
+    header = f"STP at t={t:g} (peak cell prob {peak:.3g})"
+    return "\n".join([header, *lines])
+
+
+def render_profile(times: np.ndarray, values: np.ndarray, width: int = 50) -> str:
+    """A time series (e.g. a co-location profile) as horizontal bars."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    if times.size == 0:
+        return "(empty profile)"
+    top = values.max()
+    lines = []
+    for t, v in zip(times, values):
+        bar = "#" * int(round(v / top * width)) if top > 0 else ""
+        lines.append(f"t={t:8.1f}  {v:6.4f} {bar}")
+    return "\n".join(lines)

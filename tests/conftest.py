@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic trajectories, grids and corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.trajectory import Trajectory, TrajectoryPoint
+from repro.datasets import mall_dataset, taxi_dataset
+
+
+@pytest.fixture
+def straight_trajectory() -> Trajectory:
+    """Ten points walking east at exactly 1 m/s, one sample per second."""
+    return Trajectory.from_arrays(
+        xs=np.arange(10.0), ys=np.zeros(10), ts=np.arange(10.0), object_id="straight"
+    )
+
+
+@pytest.fixture
+def l_shaped_trajectory() -> Trajectory:
+    """East for 5 s then north for 5 s, at 2 m/s."""
+    xs = [0, 2, 4, 6, 8, 10, 10, 10, 10, 10, 10]
+    ys = [0, 0, 0, 0, 0, 0, 2, 4, 6, 8, 10]
+    return Trajectory.from_arrays(xs, ys, np.arange(11.0), object_id="l-shape")
+
+
+@pytest.fixture
+def single_point_trajectory() -> Trajectory:
+    return Trajectory([TrajectoryPoint(3.0, 4.0, 5.0)], object_id="lonely")
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A 10x10 grid of 2 m cells over [0, 20] x [0, 20]."""
+    return Grid(0.0, 0.0, 20.0, 20.0, cell_size=2.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_mall_dataset():
+    """Session-cached small mall corpus (simulation is the slow part)."""
+    return mall_dataset(n_trajectories=6, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_taxi_dataset():
+    """Session-cached small taxi corpus."""
+    return taxi_dataset(n_trajectories=6, seed=5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

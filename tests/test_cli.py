@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_matching_defaults(self):
+        args = build_parser().parse_args(["matching"])
+        assert args.dataset == "taxi"
+        assert args.size == 30
+        assert args.seed == 0
+
+    def test_experiment_figure_choices(self):
+        args = build_parser().parse_args(["experiment", "fig10", "--dataset", "mall"])
+        assert args.figure == "fig10"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_list_measures(self, capsys):
+        assert main(["list-measures"]) == 0
+        out = capsys.readouterr().out
+        for name in ["dtw", "cats", "edwp", "sst", "wgm"]:
+            assert name in out
+
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "corpus.csv"
+        code = main(
+            ["generate", "--dataset", "taxi", "--size", "2", "--seed", "1", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.datasets import load_trajectories_csv
+
+        assert len(load_trajectories_csv(out_file)) == 2
+
+    def test_matching_subset(self, capsys):
+        code = main(
+            ["matching", "--dataset", "taxi", "--size", "4", "--seed", "2", "--methods", "WGM", "SST"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WGM" in out and "SST" in out and "precision" in out
+
+    def test_experiment_fig10_mall(self, capsys):
+        code = main(["experiment", "fig10", "--dataset", "mall", "--size", "4", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STS-N" in out and "STS-F" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--dataset",
+                "taxi",
+                "--size",
+                "4",
+                "--seed",
+                "2",
+                "--only",
+                "fig10",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "component ablation" in out_file.read_text()
+
+    def test_link_command(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.csv"
+        main(["generate", "--dataset", "taxi", "--size", "3", "--seed", "5", "--out", str(corpus)])
+        capsys.readouterr()
+        code = main(
+            [
+                "link",
+                "--queries",
+                str(corpus),
+                "--gallery",
+                str(corpus),
+                "--cell",
+                "100",
+                "--sigma",
+                "10",
+                "--top",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # every query's best match is itself
+        for line in out.strip().splitlines():
+            query_id = line.split(":")[0]
+            assert f"{query_id}: {query_id}" in line
+
+    def test_events_command(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.csv"
+        main(["generate", "--dataset", "mall", "--size", "2", "--seed", "5", "--out", str(corpus)])
+        capsys.readouterr()
+        code = main(
+            [
+                "events",
+                "--corpus",
+                str(corpus),
+                "--a",
+                "visitor-0000",
+                "--b",
+                "visitor-0001",
+                "--cell",
+                "3",
+                "--sigma",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STS(visitor-0000, visitor-0001)" in out
+
+    def test_groups_command(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.csv"
+        main(["generate", "--dataset", "mall", "--size", "3", "--seed", "5", "--out", str(corpus)])
+        capsys.readouterr()
+        code = main(
+            ["groups", "--corpus", str(corpus), "--cell", "3", "--sigma", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trajectories" in out and "threshold" in out
+
+    def test_groups_needs_two(self, tmp_path, capsys):
+        corpus = tmp_path / "one.csv"
+        main(["generate", "--dataset", "mall", "--size", "1", "--seed", "5", "--out", str(corpus)])
+        with pytest.raises(SystemExit, match="two"):
+            main(["groups", "--corpus", str(corpus), "--cell", "3", "--sigma", "3"])
+
+    def test_events_unknown_object(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.csv"
+        main(["generate", "--dataset", "mall", "--size", "2", "--seed", "5", "--out", str(corpus)])
+        with pytest.raises(SystemExit, match="not in corpus"):
+            main(
+                [
+                    "events",
+                    "--corpus",
+                    str(corpus),
+                    "--a",
+                    "nobody",
+                    "--b",
+                    "visitor-0001",
+                    "--cell",
+                    "3",
+                    "--sigma",
+                    "3",
+                ]
+            )

@@ -1,0 +1,143 @@
+"""Unit tests for the companion-detection evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval.companion import (
+    CompanionCorpus,
+    average_precision,
+    companion_corpus,
+    evaluate_companion_detection,
+    roc_auc,
+)
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1], dtype=bool)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted_separation(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(2000) < 0.3
+        scores = rng.random(2000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_half_credit(self):
+        labels = np.array([1, 0], dtype=bool)
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            roc_auc(np.zeros(3, dtype=bool), np.ones(3))
+        with pytest.raises(ValueError, match="align"):
+            roc_auc(np.ones(2, dtype=bool), np.ones(3))
+
+    def test_matches_pair_counting(self):
+        rng = np.random.default_rng(1)
+        labels = rng.random(60) < 0.4
+        scores = rng.normal(size=60)
+        pos = scores[labels]
+        neg = scores[~labels]
+        brute = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
+        assert roc_auc(labels, scores) == pytest.approx(float(brute))
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_worst_ranking(self):
+        labels = np.array([0, 0, 1], dtype=bool)
+        scores = np.array([0.9, 0.8, 0.1])
+        assert average_precision(labels, scores) == pytest.approx(1.0 / 3.0)
+
+    def test_known_interleaving(self):
+        # positions 1 and 3 in the ranking are positive: AP = (1/1 + 2/3)/2
+        labels = np.array([1, 0, 1, 0], dtype=bool)
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        assert average_precision(labels, scores) == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            average_precision(np.zeros(3, dtype=bool), np.ones(3))
+
+
+class TestCompanionCorpus:
+    def test_structure(self):
+        corpus = companion_corpus(n_companion_pairs=3, n_independents=4, seed=1)
+        assert len(corpus.trajectories) == 10
+        assert len(corpus.companion_pairs) == 3
+        assert corpus.is_companion(0, 1)
+        assert corpus.is_companion(1, 0)  # order-insensitive
+        assert not corpus.is_companion(0, 2)
+
+    def test_companions_overlap_in_time(self):
+        corpus = companion_corpus(n_companion_pairs=2, n_independents=0, seed=2)
+        for i, j in corpus.companion_pairs:
+            a, b = corpus.trajectories[i], corpus.trajectories[j]
+            assert min(a.end_time, b.end_time) > max(a.start_time, b.start_time)
+
+    def test_deterministic(self):
+        a = companion_corpus(seed=5)
+        b = companion_corpus(seed=5)
+        for ta, tb in zip(a.trajectories, b.trajectories):
+            assert ta == tb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            companion_corpus(n_companion_pairs=0)
+        with pytest.raises(ValueError):
+            companion_corpus(n_independents=-1)
+
+
+class TestEvaluateDetection:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return companion_corpus(n_companion_pairs=3, n_independents=5, seed=3)
+
+    def test_sts_detects_well(self, corpus):
+        from repro.core.noise import GaussianNoiseModel
+        from repro.core.sts import STS
+        from repro.eval import grid_covering
+
+        grid = grid_covering(corpus.trajectories, corpus.location_error, margin=20.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(corpus.location_error))
+        result = evaluate_companion_detection(measure, corpus)
+        assert result.n_positive == 3
+        assert result.auc > 0.9
+        assert result.average_precision > 0.7
+        assert "AUC" in str(result)
+
+    def test_degenerate_measure_is_chance(self, corpus):
+        class Constant:
+            name = "const"
+
+            def score(self, a, b):
+                return 0.5
+
+        result = evaluate_companion_detection(Constant(), corpus)
+        assert result.auc == pytest.approx(0.5)
+
+    def test_spatial_only_weaker_than_sts(self, corpus):
+        # DTW ignores time entirely — it should not beat STS on this task.
+        from repro.core.noise import GaussianNoiseModel
+        from repro.core.sts import STS
+        from repro.eval import grid_covering
+        from repro.similarity import DTW
+
+        grid = grid_covering(corpus.trajectories, corpus.location_error, margin=20.0)
+        sts_result = evaluate_companion_detection(
+            STS(grid, noise_model=GaussianNoiseModel(corpus.location_error)), corpus
+        )
+        dtw_result = evaluate_companion_detection(DTW(), corpus)
+        assert sts_result.auc >= dtw_result.auc - 0.05

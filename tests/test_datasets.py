@@ -1,0 +1,234 @@
+"""Unit tests for dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.datasets import (
+    MIN_TRAJECTORY_LENGTH,
+    load_mall_records,
+    load_porto_csv,
+    load_trajectories_csv,
+    mall_dataset,
+    project_lonlat,
+    save_trajectories_csv,
+    taxi_dataset,
+)
+from repro.datasets.porto import iter_porto_rows
+
+
+class TestSyntheticDatasets:
+    def test_taxi_dataset_shape(self, tiny_taxi_dataset):
+        ds = tiny_taxi_dataset
+        assert ds.name == "taxi"
+        assert len(ds) == 6
+        assert all(len(t) >= MIN_TRAJECTORY_LENGTH for t in ds.trajectories)
+
+    def test_taxi_report_interval(self, tiny_taxi_dataset):
+        for traj in tiny_taxi_dataset.trajectories:
+            gaps = np.diff(traj.timestamps)
+            np.testing.assert_allclose(gaps, 15.0)
+
+    def test_mall_dataset_shape(self, tiny_mall_dataset):
+        ds = tiny_mall_dataset
+        assert ds.name == "mall"
+        assert len(ds) == 6
+        assert all(len(t) >= MIN_TRAJECTORY_LENGTH for t in ds.trajectories)
+
+    def test_mall_sampling_sporadic(self, tiny_mall_dataset):
+        # Poisson gaps: heterogeneous, not all equal.
+        gaps = np.concatenate([np.diff(t.timestamps) for t in tiny_mall_dataset.trajectories])
+        assert gaps.std() > 1.0
+
+    def test_deterministic_given_seed(self):
+        a = taxi_dataset(n_trajectories=3, seed=2)
+        b = taxi_dataset(n_trajectories=3, seed=2)
+        for ta, tb in zip(a.trajectories, b.trajectories):
+            assert ta == tb
+
+    def test_different_seeds_differ(self):
+        a = mall_dataset(n_trajectories=3, seed=1)
+        b = mall_dataset(n_trajectories=3, seed=2)
+        assert any(ta != tb for ta, tb in zip(a.trajectories, b.trajectories))
+
+    def test_make_grid_covers_all_points(self, tiny_mall_dataset):
+        grid = tiny_mall_dataset.make_grid()
+        pts = tiny_mall_dataset.all_points()
+        assert (pts[:, 0] >= grid.min_x).all()
+        assert (pts[:, 0] <= grid.max_x).all()
+        assert (pts[:, 1] >= grid.min_y).all()
+        assert (pts[:, 1] <= grid.max_y).all()
+
+    def test_make_grid_custom_cell(self, tiny_mall_dataset):
+        grid = tiny_mall_dataset.make_grid(cell_size=6.0)
+        assert grid.cell_size == 6.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            taxi_dataset(n_trajectories=0)
+        with pytest.raises(ValueError):
+            mall_dataset(n_trajectories=-1)
+
+    def test_metadata_present(self, tiny_taxi_dataset, tiny_mall_dataset):
+        assert tiny_taxi_dataset.cell_size == 100.0
+        assert tiny_mall_dataset.cell_size == 3.0
+        assert tiny_taxi_dataset.noise_levels
+        assert tiny_mall_dataset.grid_sizes
+
+    def test_time_window_controls_start_spread(self):
+        tight = taxi_dataset(n_trajectories=6, seed=3, time_window=60.0)
+        wide = taxi_dataset(n_trajectories=6, seed=3, time_window=3600.0)
+        spread = lambda ds: max(t.start_time for t in ds.trajectories) - min(  # noqa: E731
+            t.start_time for t in ds.trajectories
+        )
+        assert spread(tight) < spread(wide)
+
+
+class TestTrajectoryCSV:
+    def test_roundtrip(self, tmp_path, straight_trajectory, l_shaped_trajectory):
+        path = tmp_path / "out.csv"
+        rows = save_trajectories_csv([straight_trajectory, l_shaped_trajectory], path)
+        assert rows == len(straight_trajectory) + len(l_shaped_trajectory)
+        loaded = load_trajectories_csv(path)
+        assert loaded[0] == straight_trajectory
+        assert loaded[1] == l_shaped_trajectory
+        assert loaded[0].object_id == "straight"
+
+    def test_anonymous_trajectories_get_ids(self, tmp_path):
+        anon = Trajectory.from_arrays([0, 1], [0, 0], [0, 1])
+        path = tmp_path / "anon.csv"
+        save_trajectories_csv([anon], path)
+        loaded = load_trajectories_csv(path)
+        assert loaded[0].object_id == "trajectory-000000"
+
+    def test_min_length_filter(self, tmp_path, straight_trajectory, single_point_trajectory):
+        path = tmp_path / "mixed.csv"
+        save_trajectories_csv([straight_trajectory, single_point_trajectory], path)
+        loaded = load_trajectories_csv(path, min_length=5)
+        assert len(loaded) == 1
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            load_trajectories_csv(path)
+
+    def test_malformed_row_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("object_id,x,y,t\nid,1.0,oops,3.0\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trajectories_csv(path)
+
+    def test_float_precision_roundtrip(self, tmp_path):
+        traj = Trajectory.from_arrays([0.1 + 0.2], [1e-17], [123456789.123456], "p")
+        path = tmp_path / "prec.csv"
+        save_trajectories_csv([traj], path)
+        loaded = load_trajectories_csv(path)
+        assert loaded[0] == traj
+
+
+PORTO_HEADER = (
+    '"TRIP_ID","CALL_TYPE","ORIGIN_CALL","ORIGIN_STAND","TAXI_ID",'
+    '"TIMESTAMP","DAY_TYPE","MISSING_DATA","POLYLINE"\n'
+)
+
+
+def porto_row(trip_id, timestamp, polyline, missing="False"):
+    import json
+
+    return (
+        f'"{trip_id}","A","","","20000001","{timestamp}","A","{missing}",'
+        f'"{json.dumps(polyline)}"\n'
+    )
+
+
+class TestPortoLoader:
+    @pytest.fixture
+    def porto_csv(self, tmp_path):
+        poly_long = [[-8.61 + 0.0001 * k, 41.14 + 0.0001 * k] for k in range(25)]
+        poly_short = [[-8.61, 41.14]] * 3
+        path = tmp_path / "porto.csv"
+        path.write_text(
+            PORTO_HEADER
+            + porto_row("T1", 1372636858, poly_long)
+            + porto_row("T2", 1372637000, poly_short)
+            + porto_row("T3", 1372638000, poly_long, missing="True")
+            + porto_row("T4", 1372639000, [])
+            + porto_row("T5", 1372640000, poly_long)
+        )
+        return path
+
+    def test_loads_and_filters(self, porto_csv):
+        trajectories = load_porto_csv(porto_csv, min_length=20)
+        assert [t.object_id for t in trajectories] == ["T1", "T5"]
+        assert all(len(t) == 25 for t in trajectories)
+
+    def test_timestamps_every_15s(self, porto_csv):
+        traj = load_porto_csv(porto_csv, min_length=20)[0]
+        np.testing.assert_allclose(np.diff(traj.timestamps), 15.0)
+        assert traj.start_time == 1372636858.0
+
+    def test_max_trajectories(self, porto_csv):
+        assert len(load_porto_csv(porto_csv, min_length=20, max_trajectories=1)) == 1
+
+    def test_iter_rows_skips_missing_and_empty(self, porto_csv):
+        rows = list(iter_porto_rows(porto_csv))
+        assert [r["TRIP_ID"] for r in rows] == ["T1", "T2", "T5"]
+
+    def test_not_porto_format(self, tmp_path):
+        path = tmp_path / "nope.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="POLYLINE"):
+            list(iter_porto_rows(path))
+
+    def test_projection_scale(self):
+        # 0.001 degrees of latitude is ~111 m everywhere.
+        x, y = project_lonlat(-8.61, 41.141, -8.61, 41.14)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(111.0, rel=0.01)
+
+    def test_projection_longitude_shrinks_with_latitude(self):
+        x_eq, _ = project_lonlat(0.001, 0.0, 0.0, 0.0)
+        x_north, _ = project_lonlat(0.001, 60.0, 0.0, 60.0)
+        assert x_north == pytest.approx(x_eq * 0.5, rel=0.01)
+
+
+class TestMallLoader:
+    @pytest.fixture
+    def mall_csv(self, tmp_path):
+        lines = ["mac,x,y,timestamp\n"]
+        # device A: 25 sightings; device B: 3 sightings (filtered); junk row
+        for k in range(25):
+            lines.append(f"aa:bb,{k * 1.5},{k % 7},{1000 + 20 * k}\n")
+        for k in range(3):
+            lines.append(f"cc:dd,{k},{k},{2000 + k}\n")
+        lines.append("ee:ff,not_a_number,0,0\n")
+        path = tmp_path / "mall.csv"
+        path.write_text("".join(lines))
+        return path
+
+    def test_groups_by_mac_and_filters(self, mall_csv):
+        trajectories = load_mall_records(mall_csv, min_length=20)
+        assert len(trajectories) == 1
+        assert trajectories[0].object_id == "aa:bb"
+        assert len(trajectories[0]) == 25
+
+    def test_sorted_by_time(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "mac,x,y,timestamp\n"
+            + "".join(f"m,{k},0,{100 - k}\n" for k in range(25))
+        )
+        traj = load_mall_records(path, min_length=20)[0]
+        assert np.all(np.diff(traj.timestamps) > 0)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("mac,x,y\nm,1,2\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            load_mall_records(path)
+
+    def test_junk_rows_skipped_not_fatal(self, mall_csv):
+        trajectories = load_mall_records(mall_csv, min_length=1)
+        macs = {t.object_id for t in trajectories}
+        assert "ee:ff" not in macs

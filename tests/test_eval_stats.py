@@ -1,0 +1,112 @@
+"""Unit tests for bootstrap CIs and paired method comparison."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    ConfidenceInterval,
+    PairedComparison,
+    bootstrap_ci,
+    compare_ranks,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        ranks = np.array([1.0, 1.0, 2.0, 1.0, 3.0, 1.0])
+        ci = bootstrap_ci(ranks, "precision")
+        assert ci.estimate in ci
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_degenerate_all_perfect(self):
+        ci = bootstrap_ci(np.ones(10), "precision")
+        assert ci.estimate == 1.0
+        assert ci.low == 1.0 and ci.high == 1.0
+
+    def test_mean_rank_metric(self):
+        ranks = np.array([1.0, 3.0, 5.0])
+        ci = bootstrap_ci(ranks, "mean_rank")
+        assert ci.estimate == pytest.approx(3.0)
+        assert ci.low >= 1.0
+
+    def test_custom_metric(self):
+        ranks = np.array([1.0, 2.0, 9.0])
+        ci = bootstrap_ci(ranks, metric=lambda r: float(np.median(r)))
+        assert ci.estimate == 2.0
+
+    def test_width_shrinks_with_more_queries(self):
+        rng = np.random.default_rng(0)
+        small = rng.integers(1, 5, size=10).astype(float)
+        big = np.tile(small, 40)
+        ci_small = bootstrap_ci(small, "mean_rank", seed=1)
+        ci_big = bootstrap_ci(big, "mean_rank", seed=1)
+        assert (ci_big.high - ci_big.low) < (ci_small.high - ci_small.low)
+
+    def test_deterministic_given_seed(self):
+        ranks = np.array([1.0, 2.0, 1.0, 4.0])
+        a = bootstrap_ci(ranks, "precision", seed=7)
+        b = bootstrap_ci(ranks, "precision", seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), "precision")
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), "precision", confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), "precision", n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), "nope")
+
+    def test_str(self):
+        ci = ConfidenceInterval(0.5, 0.3, 0.7, 0.95)
+        assert "0.500" in str(ci) and "95%" in str(ci)
+
+
+class TestCompareRanks:
+    def test_clear_winner(self):
+        a = np.ones(20)
+        b = np.full(20, 5.0)
+        outcome = compare_ranks(a, b)
+        assert outcome.wins_a == 20
+        assert outcome.wins_b == 0
+        assert outcome.significant(0.05)
+
+    def test_identical_methods(self):
+        ranks = np.array([1.0, 2.0, 3.0])
+        outcome = compare_ranks(ranks, ranks)
+        assert outcome.ties == 3
+        assert outcome.p_value == 1.0
+        assert not outcome.significant()
+
+    def test_balanced_split_not_significant(self):
+        a = np.array([1.0, 2.0] * 10)
+        b = np.array([2.0, 1.0] * 10)
+        outcome = compare_ranks(a, b)
+        assert outcome.wins_a == outcome.wins_b == 10
+        assert not outcome.significant()
+
+    def test_counts_partition_queries(self):
+        a = np.array([1.0, 2.0, 2.0, 4.0])
+        b = np.array([2.0, 2.0, 1.0, 4.0])
+        outcome = compare_ranks(a, b)
+        assert outcome.n == 4
+        assert (outcome.wins_a, outcome.wins_b, outcome.ties) == (1, 1, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            compare_ranks(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            compare_ranks(np.array([]), np.array([]))
+
+    def test_str(self):
+        outcome = PairedComparison(3, 1, 2, 0.62)
+        assert "3" in str(outcome) and "p=0.62" in str(outcome)
+
+    def test_small_advantage_needs_evidence(self):
+        # 6-4 split: not significant at 0.05
+        a = np.array([1.0] * 6 + [3.0] * 4)
+        b = np.array([2.0] * 10)
+        assert not compare_ranks(a, b).significant(0.05)

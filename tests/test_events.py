@@ -1,0 +1,127 @@
+"""Unit tests for co-location event detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import (
+    ColocationEvent,
+    colocation_timeline,
+    detect_colocation_events,
+)
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 100, 20, cell_size=2.0)
+
+
+@pytest.fixture
+def measure(grid):
+    return STS(grid, noise_model=GaussianNoiseModel(1.0))
+
+
+def walker(x0, speed, ts, y=10.0):
+    ts = np.asarray(ts, dtype=float)
+    return Trajectory.from_arrays(x0 + speed * ts, np.full(len(ts), y), ts)
+
+
+class TestColocationTimeline:
+    def test_no_temporal_overlap_empty(self, measure):
+        a = walker(0, 1.0, np.arange(0, 10))
+        b = walker(0, 1.0, np.arange(100, 110))
+        times, cps = colocation_timeline(measure, a, b)
+        assert times.size == 0 and cps.size == 0
+
+    def test_covers_overlap_window(self, measure):
+        a = walker(0, 1.0, np.arange(0, 21, 2))
+        b = walker(0, 1.0, np.arange(10, 31, 2))
+        times, cps = colocation_timeline(measure, a, b)
+        assert times[0] == pytest.approx(10.0)
+        assert times[-1] == pytest.approx(20.0)
+        assert len(times) == len(cps)
+
+    def test_includes_observed_timestamps(self, measure):
+        a = walker(0, 1.0, [0.0, 7.3, 20.0])
+        b = walker(0, 1.0, [1.0, 13.7, 20.0])
+        times, _ = colocation_timeline(measure, a, b, time_step=5.0)
+        assert 7.3 in times and 13.7 in times
+
+    def test_spans_touching_at_an_instant(self, measure):
+        a = walker(0, 1.0, np.arange(0, 11))
+        b = walker(0, 1.0, np.arange(10, 21))  # shares exactly t=10
+        times, cps = colocation_timeline(measure, a, b)
+        assert len(times) == 1
+        assert times[0] == 10.0
+        assert 0.0 <= cps[0] <= 1.0
+
+    def test_invalid_time_step(self, measure):
+        a = walker(0, 1.0, np.arange(0, 10))
+        with pytest.raises(ValueError, match="time_step"):
+            colocation_timeline(measure, a, a, time_step=0.0)
+
+    def test_probabilities_in_range(self, measure):
+        a = walker(0, 1.0, np.arange(0, 20, 3))
+        b = walker(0.5, 1.0, np.arange(1, 20, 3))
+        _, cps = colocation_timeline(measure, a, b)
+        assert (cps >= 0).all() and (cps <= 1).all()
+
+
+class TestDetectEvents:
+    def test_co_movers_single_long_event(self, measure):
+        a = walker(0, 1.0, np.arange(0, 30, 3))
+        b = walker(0.5, 1.0, np.arange(1, 30, 3))
+        self_level = measure.similarity(a, a)
+        events = detect_colocation_events(measure, a, b, threshold=0.3 * self_level)
+        assert len(events) == 1
+        assert events[0].duration > 20.0
+
+    def test_crossing_walkers_brief_event(self, measure):
+        # opposite directions: one crossing near t=25 at x=30
+        a = walker(5, 1.0, np.arange(0, 50, 4))
+        b = walker(55, -1.0, np.arange(0, 50, 4))
+        events = detect_colocation_events(measure, a, b, threshold=0.01, time_step=2.0)
+        assert len(events) >= 1
+        main = max(events, key=lambda e: e.peak_probability)
+        assert 15.0 < main.peak_time < 35.0
+        # the crossing is brief relative to the walk
+        assert main.duration < 30.0
+
+    def test_separated_walkers_no_events(self, measure):
+        a = walker(0, 1.0, np.arange(0, 30, 3), y=2.0)
+        b = walker(0, 1.0, np.arange(0, 30, 3), y=18.0)
+        assert detect_colocation_events(measure, a, b, threshold=0.01) == []
+
+    def test_min_duration_filters(self, measure):
+        a = walker(5, 1.0, np.arange(0, 50, 4))
+        b = walker(55, -1.0, np.arange(0, 50, 4))
+        all_events = detect_colocation_events(measure, a, b, threshold=0.01, time_step=2.0)
+        long_only = detect_colocation_events(
+            measure, a, b, threshold=0.01, time_step=2.0, min_duration=1e6
+        )
+        assert len(long_only) < max(len(all_events), 1) or long_only == []
+
+    def test_exposure_positive_for_events(self, measure):
+        a = walker(0, 1.0, np.arange(0, 30, 3))
+        b = walker(0.5, 1.0, np.arange(1, 30, 3))
+        events = detect_colocation_events(measure, a, b, threshold=0.005)
+        assert events and all(e.exposure > 0 for e in events)
+
+    def test_invalid_threshold(self, measure):
+        a = walker(0, 1.0, np.arange(0, 10))
+        with pytest.raises(ValueError, match="threshold"):
+            detect_colocation_events(measure, a, a, threshold=0.0)
+
+    def test_no_overlap_returns_empty(self, measure):
+        a = walker(0, 1.0, np.arange(0, 10))
+        b = walker(0, 1.0, np.arange(50, 60))
+        assert detect_colocation_events(measure, a, b) == []
+
+    def test_event_str(self):
+        event = ColocationEvent(10.0, 20.0, 0.5, 15.0, 4.2)
+        text = str(event)
+        assert "10s" in text and "0.500" in text
+        assert event.duration == 10.0

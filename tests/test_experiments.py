@@ -1,0 +1,176 @@
+"""Tests for the per-figure experiment runners (reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import mall_dataset, taxi_dataset
+from repro.eval.experiments import (
+    SweepResult,
+    ablation_experiment,
+    cross_similarity_experiment,
+    default_measures,
+    grid_covering,
+    grid_size_experiment,
+    heterogeneous_rate_experiment,
+    median_sampling_interval,
+    noise_experiment,
+    parameter_sensitivity_experiment,
+    sampling_rate_experiment,
+)
+
+FAST_METHODS = ["STS", "CATS", "SST", "WGM"]
+
+
+@pytest.fixture(scope="module")
+def small_taxi():
+    return taxi_dataset(n_trajectories=6, seed=9)
+
+
+@pytest.fixture(scope="module")
+def small_mall():
+    return mall_dataset(n_trajectories=6, seed=9)
+
+
+class TestHelpers:
+    def test_median_sampling_interval(self, small_taxi):
+        assert median_sampling_interval(small_taxi.trajectories) == pytest.approx(15.0)
+
+    def test_median_interval_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_sampling_interval([])
+
+    def test_grid_covering(self, small_taxi):
+        grid = grid_covering(small_taxi.trajectories, 100.0, margin=50.0)
+        pts = np.vstack([t.xy for t in small_taxi.trajectories])
+        assert (pts[:, 0] >= grid.min_x).all() and (pts[:, 0] <= grid.max_x).all()
+
+    def test_default_measures_full_set(self, small_taxi):
+        grid = grid_covering(small_taxi.trajectories, 100.0, 50.0)
+        measures = default_measures(grid, small_taxi.trajectories, 10.0)
+        assert set(measures) == {"STS", "CATS", "SST", "WGM", "APM", "EDwP", "KF"}
+
+    def test_default_measures_subset_and_unknown(self, small_taxi):
+        grid = grid_covering(small_taxi.trajectories, 100.0, 50.0)
+        subset = default_measures(grid, small_taxi.trajectories, 10.0, include=["STS", "WGM"])
+        assert list(subset) == ["STS", "WGM"]
+        with pytest.raises(KeyError, match="unknown"):
+            default_measures(grid, small_taxi.trajectories, 10.0, include=["nope"])
+
+
+class TestSweepResult:
+    def test_record_and_series(self):
+        result = SweepResult("exp", "ds", "x", [0.1, 0.2])
+        result.record("precision", "STS", 0.9)
+        result.record("precision", "STS", 1.0)
+        assert result.series("precision", "STS") == [0.9, 1.0]
+
+    def test_format_table(self):
+        result = SweepResult("exp", "ds", "rate", [0.1, 0.2])
+        result.record("precision", "STS", 0.913)
+        result.record("precision", "STS", 1.0)
+        table = result.format_table("precision")
+        assert "STS" in table and "0.913" in table and "rate" in table
+
+    def test_format_table_handles_extreme_values(self):
+        result = SweepResult("exp", "ds", "rate", [0.1])
+        result.record("deviation", "WGM", 5.398e7)
+        result.record("deviation", "STS", 1.2e-9)
+        table = result.format_table("deviation")
+        # general formatting keeps the columns aligned and parseable
+        rows = table.splitlines()
+        assert "5.398e+07" in table
+        assert all(len(r.split()) == 2 for r in rows[2:])
+
+    def test_json_roundtrip(self, tmp_path):
+        result = SweepResult("exp", "ds", "rate", [0.1, 0.2])
+        result.record("precision", "STS", 0.9)
+        result.record("precision", "STS", 1.0)
+        result.record("mean_rank", "STS", 1.5)
+        result.record("mean_rank", "STS", 1.0)
+        path = tmp_path / "result.json"
+        result.save(path)
+        loaded = SweepResult.load(path)
+        assert loaded.experiment == "exp"
+        assert loaded.x_values == [0.1, 0.2]
+        assert loaded.series("precision", "STS") == [0.9, 1.0]
+        assert loaded.series("mean_rank", "STS") == [1.5, 1.0]
+
+    def test_from_dict_roundtrip(self):
+        result = SweepResult("e", "d", "x", [1.0])
+        result.record("m", "A", 0.5)
+        assert SweepResult.from_dict(result.to_dict()) == result
+
+
+class TestExperimentRunners:
+    def test_sampling_rate_experiment(self, small_taxi):
+        result = sampling_rate_experiment(
+            small_taxi, rates=[0.4, 0.8], methods=FAST_METHODS, seed=1
+        )
+        assert result.x_values == [0.4, 0.8]
+        for method in FAST_METHODS:
+            assert len(result.series("precision", method)) == 2
+            assert len(result.series("mean_rank", method)) == 2
+            assert all(0 <= v <= 1 for v in result.series("precision", method))
+            assert all(v >= 1 for v in result.series("mean_rank", method))
+
+    def test_heterogeneous_rate_experiment(self, small_mall):
+        result = heterogeneous_rate_experiment(
+            small_mall, alphas=[0.5], methods=["STS", "WGM"], seed=1
+        )
+        assert set(result.metrics["precision"]) == {"STS", "WGM"}
+
+    def test_noise_experiment_includes_clean_reference(self, small_taxi):
+        result = noise_experiment(small_taxi, betas=None, methods=["WGM"], seed=1)
+        assert result.x_values[0] == 0.0
+        assert result.x_values[1:] == small_taxi.noise_levels
+
+    def test_noise_experiment_custom_betas(self, small_mall):
+        result = noise_experiment(small_mall, betas=[2.0], methods=["CATS"], seed=1)
+        assert result.x_values == [2.0]
+
+    def test_ablation_experiment_variants(self, small_mall):
+        result = ablation_experiment(small_mall, beta=3.0, seed=1)
+        assert set(result.metrics["precision"]) == {"STS", "STS-N", "STS-G", "STS-F"}
+        assert result.x_values == [3.0]
+
+    def test_ablation_default_beta_by_dataset(self, small_mall):
+        result = ablation_experiment(small_mall, seed=1)
+        assert result.x_values == [6.0]
+
+    def test_cross_similarity_experiment(self):
+        # A tight time window guarantees temporally-overlapping pairs that
+        # every method scores meaningfully.
+        dataset = taxi_dataset(n_trajectories=8, seed=9, time_window=300.0)
+        result = cross_similarity_experiment(
+            dataset, rates=[0.3, 0.7], n_pairs=5, seed=1, methods=["STS", "WGM"]
+        )
+        for method in ["STS", "WGM"]:
+            series = result.series("deviation", method)
+            assert len(series) == 2
+            assert all(v >= 0 for v in series)
+        assert result.metrics["n_pairs"]["all"][0] >= 1
+
+    def test_cross_similarity_needs_two(self):
+        ds = taxi_dataset(n_trajectories=1, seed=0)
+        with pytest.raises(ValueError, match="two"):
+            cross_similarity_experiment(ds, rates=[0.5], n_pairs=2)
+
+    def test_parameter_sensitivity_experiment(self, small_taxi):
+        result = parameter_sensitivity_experiment(
+            small_taxi, multipliers=[0.5, 1.0, 2.0], seed=1
+        )
+        assert result.x_values == [0.5, 1.0, 2.0]
+        assert set(result.metrics["precision"]) == {"STS", "CATS", "SST", "WGM"}
+        for series in result.metrics["precision"].values():
+            assert len(series) == 3
+            assert all(0 <= v <= 1 for v in series)
+
+    def test_ablation_with_rate(self, small_mall):
+        result = ablation_experiment(small_mall, beta=3.0, rate=0.5, seed=1)
+        assert set(result.metrics["precision"]) == {"STS", "STS-N", "STS-G", "STS-F"}
+
+    def test_grid_size_experiment(self, small_mall):
+        result = grid_size_experiment(small_mall, grid_sizes=[3.0, 6.0], seed=1)
+        assert len(result.series("running_time_s", "STS")) == 2
+        assert all(v > 0 for v in result.series("running_time_s", "STS"))
+        assert all(0 <= v <= 1 for v in result.series("precision", "STS"))

@@ -1,0 +1,123 @@
+"""Unit tests for geographic coordinate support."""
+
+import numpy as np
+import pytest
+
+from repro.geo import LocalProjector, haversine_distance, trajectories_to_geojson
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(-8.61, 41.14, -8.61, 41.14) == 0.0
+
+    def test_one_degree_latitude(self):
+        # 1 degree of latitude ≈ 111.2 km everywhere
+        d = haversine_distance(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_distance(0.0, 0.0, 1.0, 0.0)
+        at_60 = haversine_distance(0.0, 60.0, 1.0, 60.0)
+        assert at_60 == pytest.approx(at_equator * 0.5, rel=0.01)
+
+    def test_symmetric(self):
+        a = haversine_distance(-8.61, 41.14, -8.60, 41.15)
+        b = haversine_distance(-8.60, 41.15, -8.61, 41.14)
+        assert a == pytest.approx(b)
+
+
+class TestLocalProjector:
+    @pytest.fixture
+    def porto(self):
+        return LocalProjector(ref_lon=-8.62, ref_lat=41.15)
+
+    def test_reference_maps_to_origin(self, porto):
+        assert porto.to_xy(-8.62, 41.15) == (pytest.approx(0.0), pytest.approx(0.0))
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            LocalProjector(0.0, 90.0)
+        with pytest.raises(ValueError):
+            LocalProjector(0.0, -95.0)
+
+    def test_roundtrip_exact(self, porto, rng):
+        lons = -8.62 + rng.uniform(-0.1, 0.1, 50)
+        lats = 41.15 + rng.uniform(-0.1, 0.1, 50)
+        x, y = porto.to_xy(lons, lats)
+        back_lon, back_lat = porto.to_lonlat(x, y)
+        np.testing.assert_allclose(back_lon, lons, rtol=1e-12)
+        np.testing.assert_allclose(back_lat, lats, rtol=1e-12)
+
+    def test_matches_haversine_at_city_scale(self, porto, rng):
+        # projected Euclidean distance vs great-circle, within 0.5% over ~10 km
+        for _ in range(20):
+            lon = -8.62 + rng.uniform(-0.05, 0.05)
+            lat = 41.15 + rng.uniform(-0.05, 0.05)
+            x, y = porto.to_xy(lon, lat)
+            planar = float(np.hypot(x, y))
+            great_circle = haversine_distance(-8.62, 41.15, lon, lat)
+            assert planar == pytest.approx(great_circle, rel=5e-3)
+
+    def test_scalar_and_array_forms(self, porto):
+        xs, ys = porto.to_xy(np.array([-8.62, -8.61]), np.array([41.15, 41.16]))
+        assert xs.shape == (2,)
+        x0, y0 = porto.to_xy(-8.61, 41.16)
+        assert x0 == pytest.approx(xs[1])
+        assert y0 == pytest.approx(ys[1])
+
+    def test_centered_on(self):
+        projector = LocalProjector.centered_on([-8.60, -8.64], [41.10, 41.20])
+        assert projector.ref_lon == pytest.approx(-8.62)
+        assert projector.ref_lat == pytest.approx(41.15)
+        with pytest.raises(ValueError):
+            LocalProjector.centered_on([], [])
+
+    def test_trajectory_roundtrip(self, porto):
+        lons = [-8.620, -8.619, -8.618]
+        lats = [41.150, 41.151, 41.152]
+        ts = [0.0, 15.0, 30.0]
+        traj = porto.trajectory_from_lonlat(lons, lats, ts, object_id="trip")
+        assert traj.object_id == "trip"
+        assert len(traj) == 3
+        back_lons, back_lats, back_ts = porto.trajectory_to_lonlat(traj)
+        np.testing.assert_allclose(back_lons, lons, rtol=1e-12)
+        np.testing.assert_allclose(back_lats, lats, rtol=1e-12)
+        np.testing.assert_allclose(back_ts, ts)
+
+    def test_trajectory_length_mismatch(self, porto):
+        with pytest.raises(ValueError, match="equal length"):
+            porto.trajectory_from_lonlat([0.0], [0.0, 1.0], [0.0])
+
+    def test_geojson_export(self, porto):
+        import json
+
+        from repro.core.trajectory import Trajectory
+
+        traj = porto.trajectory_from_lonlat(
+            [-8.620, -8.619], [41.150, 41.151], [0.0, 15.0], object_id="trip"
+        )
+        point = porto.trajectory_from_lonlat([-8.618], [41.152], [30.0], object_id="lone")
+        collection = trajectories_to_geojson(
+            porto, [traj, point, Trajectory([])], properties={"source": "test"}
+        )
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == 2  # empty one skipped
+        line, lone = collection["features"]
+        assert line["geometry"]["type"] == "LineString"
+        assert line["properties"]["object_id"] == "trip"
+        assert line["properties"]["source"] == "test"
+        assert line["properties"]["times"] == [0.0, 15.0]
+        np.testing.assert_allclose(
+            line["geometry"]["coordinates"][0], [-8.620, 41.150], rtol=1e-12
+        )
+        assert lone["geometry"]["type"] == "Point"
+        json.dumps(collection)  # serializable
+
+    def test_agrees_with_porto_loader_projection(self):
+        from repro.datasets.porto import project_lonlat
+
+        projector = LocalProjector(-8.62, 41.15)
+        x1, y1 = projector.to_xy(-8.61, 41.16)
+        x2, y2 = project_lonlat(-8.61, 41.16, -8.62, 41.15)
+        assert x1 == pytest.approx(x2)
+        assert y1 == pytest.approx(y2)

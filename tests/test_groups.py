@@ -1,0 +1,115 @@
+"""Unit tests for group detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.groups import GroupResult, detect_groups, similarity_graph
+from repro.similarity import SST
+
+
+def walker(x0=0.0, y=0.0, t0=0.0, n=8, oid=None):
+    xs = x0 + np.arange(n, dtype=float)
+    return Trajectory.from_arrays(xs, np.full(n, float(y)), t0 + np.arange(n, dtype=float), oid)
+
+
+@pytest.fixture
+def measure():
+    return SST(spatial_scale=2.0, temporal_scale=5.0)
+
+
+class TestSimilarityGraph:
+    def test_edges_above_threshold_only(self, measure):
+        trajectories = [walker(y=0.0), walker(y=0.5), walker(y=50.0)]
+        graph, scored = similarity_graph(measure, trajectories, threshold=0.5)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert scored == 3  # all pairs overlap temporally
+
+    def test_temporal_prefilter_skips_scoring(self, measure):
+        trajectories = [walker(t0=0.0), walker(t0=1000.0)]
+        _graph, scored = similarity_graph(measure, trajectories, threshold=0.5)
+        assert scored == 0
+
+    def test_edge_carries_similarity(self, measure):
+        trajectories = [walker(y=0.0), walker(y=0.5)]
+        graph, _ = similarity_graph(measure, trajectories, threshold=0.1)
+        assert graph.edges[0, 1]["similarity"] == pytest.approx(
+            measure(trajectories[0], trajectories[1])
+        )
+
+    def test_invalid_threshold(self, measure):
+        with pytest.raises(ValueError):
+            similarity_graph(measure, [walker()], threshold=0.0)
+
+    def test_all_nodes_present(self, measure):
+        trajectories = [walker(y=float(100 * k)) for k in range(4)]
+        graph, _ = similarity_graph(measure, trajectories, threshold=0.5)
+        assert graph.number_of_nodes() == 4
+
+
+class TestDetectGroups:
+    def test_finds_one_group(self, measure):
+        trajectories = [
+            walker(y=0.0, oid="a"),
+            walker(y=0.5, oid="b"),
+            walker(y=80.0, oid="loner"),
+        ]
+        result = detect_groups(measure, trajectories, threshold=0.5)
+        assert result.groups == ((0, 1),)
+        assert result.group_of(0) == (0, 1)
+        assert result.group_of(2) is None
+
+    def test_transitive_group(self, measure):
+        # chain: a~b and b~c but a-c weaker; one component of three
+        trajectories = [walker(y=0.0), walker(y=1.2), walker(y=2.4)]
+        result = detect_groups(measure, trajectories, threshold=0.4)
+        assert result.groups == ((0, 1, 2),)
+
+    def test_two_separate_groups(self, measure):
+        trajectories = [
+            walker(y=0.0),
+            walker(y=0.5),
+            walker(y=60.0),
+            walker(y=60.5),
+        ]
+        result = detect_groups(measure, trajectories, threshold=0.5)
+        assert result.groups == ((0, 1), (2, 3))
+
+    def test_no_groups(self, measure):
+        trajectories = [walker(y=float(100 * k)) for k in range(3)]
+        result = detect_groups(measure, trajectories, threshold=0.5)
+        assert result.groups == ()
+        assert result.edges == ()
+
+    def test_edges_sorted_and_scored_count(self, measure):
+        trajectories = [walker(y=0.0), walker(y=0.5), walker(y=1.0)]
+        result = detect_groups(measure, trajectories, threshold=0.3)
+        assert result.pairs_scored == 3
+        assert list(result.edges) == sorted(result.edges)
+
+    def test_with_sts(self):
+        grid = Grid(-5, -5, 40, 40, cell_size=2.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(1.0))
+        rng = np.random.default_rng(2)
+        base = walker(y=10.0, n=10)
+        companion = Trajectory(
+            [type(p)(p.x + rng.normal(0, 0.5), p.y + rng.normal(0, 0.5), p.t + 0.5) for p in base]
+        )
+        loner = walker(y=30.0, n=10)
+        self_level = measure.similarity(base, base)
+        result = detect_groups(measure, [base, companion, loner], threshold=0.2 * self_level)
+        assert result.groups == ((0, 1),)
+
+    def test_empty_collection(self, measure):
+        result = detect_groups(measure, [], threshold=0.5)
+        assert result.groups == ()
+        assert result.pairs_scored == 0
+
+    def test_group_result_immutable(self):
+        result = GroupResult(groups=((0, 1),), edges=((0, 1, 0.9),), pairs_scored=1)
+        with pytest.raises(AttributeError):
+            result.groups = ()  # type: ignore[misc]

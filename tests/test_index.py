@@ -1,0 +1,168 @@
+"""Unit tests for the candidate pre-filters and the filtered matcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.trajectory import Trajectory
+from repro.index import (
+    FilteredMatcher,
+    bounding_box_filter,
+    cell_signature_filter,
+    time_overlap_filter,
+)
+from repro.similarity import SST
+
+
+def walker(x0=0.0, y=0.0, t0=0.0, n=10, oid=None):
+    xs = x0 + np.arange(n, dtype=float)
+    return Trajectory.from_arrays(xs, np.full(n, float(y)), t0 + np.arange(n, dtype=float), oid)
+
+
+class TestTimeOverlapFilter:
+    def test_keeps_overlapping(self):
+        query = walker(t0=0.0)
+        gallery = [walker(t0=5.0), walker(t0=100.0), walker(t0=-5.0)]
+        keep = time_overlap_filter(query, gallery)
+        np.testing.assert_array_equal(keep, [0, 2])
+
+    def test_touching_spans_kept(self):
+        query = walker(t0=0.0, n=10)  # span [0, 9]
+        gallery = [walker(t0=9.0)]
+        assert len(time_overlap_filter(query, gallery)) == 1
+
+    def test_min_overlap(self):
+        query = walker(t0=0.0, n=10)
+        gallery = [walker(t0=8.0)]  # 1 second shared
+        assert len(time_overlap_filter(query, gallery, min_overlap=2.0)) == 0
+        assert len(time_overlap_filter(query, gallery, min_overlap=1.0)) == 1
+
+    def test_invalid_min_overlap(self):
+        with pytest.raises(ValueError):
+            time_overlap_filter(walker(), [walker()], min_overlap=-1.0)
+
+    def test_lossless_for_sts(self):
+        # filtered-out candidates would score exactly 0 under STS
+        from repro.core.noise import GaussianNoiseModel
+        from repro.core.sts import STS
+
+        query = walker(t0=0.0)
+        rejected = walker(t0=1000.0)
+        grid = Grid(-5, -5, 30, 30, 2.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(1.0))
+        assert measure.similarity(query, rejected) == 0.0
+        assert len(time_overlap_filter(query, [rejected])) == 0
+
+
+class TestBoundingBoxFilter:
+    def test_keeps_nearby(self):
+        query = walker(x0=0.0, y=0.0)
+        gallery = [walker(x0=0.0, y=3.0), walker(x0=0.0, y=500.0)]
+        keep = bounding_box_filter(query, gallery, slack=10.0)
+        np.testing.assert_array_equal(keep, [0])
+
+    def test_slack_widens(self):
+        query = walker(y=0.0)
+        gallery = [walker(y=20.0)]
+        assert len(bounding_box_filter(query, gallery, slack=5.0)) == 0
+        assert len(bounding_box_filter(query, gallery, slack=25.0)) == 1
+
+    def test_overlapping_boxes_always_kept(self):
+        query = walker()
+        assert len(bounding_box_filter(query, [query], slack=0.0)) == 1
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            bounding_box_filter(walker(), [walker()], slack=-1.0)
+
+
+class TestCellSignatureFilter:
+    @pytest.fixture
+    def grid(self):
+        return Grid(-10, -60, 60, 60, cell_size=2.0)
+
+    def test_shared_route_kept(self, grid):
+        query = walker(y=0.0)
+        gallery = [walker(y=0.5), walker(y=-50.0)]
+        keep = cell_signature_filter(query, gallery, grid)
+        np.testing.assert_array_equal(keep, [0])
+
+    def test_dilation_zero_exact_cells(self, grid):
+        query = walker(y=0.0)
+        neighbor = walker(y=2.5)  # one cell row away
+        assert len(cell_signature_filter(query, [neighbor], grid, dilation=0)) == 0
+        assert len(cell_signature_filter(query, [neighbor], grid, dilation=1)) == 1
+
+    def test_min_shared(self, grid):
+        query = walker(n=10, y=0.0)
+        # candidate crosses the query's route at a single cell
+        crosser = Trajectory.from_arrays(
+            np.full(10, 5.0), np.linspace(-9, 9, 10), np.arange(10.0)
+        )
+        assert len(cell_signature_filter(query, [crosser], grid, min_shared=1)) == 1
+        assert len(cell_signature_filter(query, [crosser], grid, min_shared=8)) == 0
+
+    def test_invalid_params(self, grid):
+        with pytest.raises(ValueError):
+            cell_signature_filter(walker(), [walker()], grid, dilation=-1)
+        with pytest.raises(ValueError):
+            cell_signature_filter(walker(), [walker()], grid, min_shared=0)
+
+
+class TestFilteredMatcher:
+    @pytest.fixture
+    def measure(self):
+        return SST(spatial_scale=2.0, temporal_scale=5.0)
+
+    def test_query_ranks_survivors(self, measure):
+        query = walker(y=0.5, oid="q")
+        gallery = [
+            walker(y=0.0, oid="true"),
+            walker(y=5.0, oid="near"),
+            walker(y=0.0, t0=1000.0, oid="wrong-time"),
+            walker(x0=500.0, oid="wrong-place"),
+        ]
+        matcher = FilteredMatcher(measure, spatial_slack=20.0)
+        report = matcher.query(query, gallery)
+        assert report.gallery_size == 4
+        assert report.candidates_scored == 2  # time + box filters fired
+        assert report.matches[0].trajectory.object_id == "true"
+        assert report.filter_rate == pytest.approx(0.5)
+
+    def test_top_k(self, measure):
+        query = walker(y=0.5)
+        gallery = [walker(y=float(dy)) for dy in range(5)]
+        matcher = FilteredMatcher(measure, spatial_slack=100.0)
+        report = matcher.query(query, gallery, k=2)
+        assert len(report.matches) == 2
+
+    def test_invalid_k(self, measure):
+        matcher = FilteredMatcher(measure)
+        with pytest.raises(ValueError):
+            matcher.query(walker(), [walker()], k=0)
+
+    def test_all_filtered_returns_empty(self, measure):
+        query = walker(t0=0.0)
+        gallery = [walker(t0=1e6)]
+        report = FilteredMatcher(measure).query(query, gallery)
+        assert report.matches == []
+        assert report.candidates_scored == 0
+        assert "filtered" in str(report)
+
+    def test_grid_signature_stage(self, measure):
+        grid = Grid(-10, -60, 600, 60, cell_size=2.0)
+        query = walker(y=0.0)
+        parallel_far = walker(y=50.0)  # overlaps in time and x-range
+        matcher = FilteredMatcher(measure, grid=grid, spatial_slack=200.0, signature_dilation=2)
+        report = matcher.query(query, [parallel_far])
+        assert report.candidates_scored == 0
+
+    def test_matches_unfiltered_ranking_on_survivors(self, measure):
+        from repro.eval import rank_gallery
+
+        query = walker(y=0.5)
+        gallery = [walker(y=float(dy)) for dy in range(4)]
+        matcher = FilteredMatcher(measure, spatial_slack=100.0)
+        filtered = matcher.query(query, gallery).matches
+        full = rank_gallery(measure, query, gallery)
+        assert [m.index for m in filtered] == [m.index for m in full]

@@ -1,0 +1,122 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the end-to-end flows the examples and benchmarks rely on:
+simulate → sample → treat → measure → evaluate, on tiny corpora.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.noise import GaussianNoiseModel
+from repro.core.sts import STS, sts_f, sts_g, sts_n
+from repro.datasets import load_trajectories_csv, save_trajectories_csv
+from repro.eval import (
+    build_matching_pair,
+    default_measures,
+    evaluate_matching,
+    grid_covering,
+)
+from repro.simulation import (
+    FloorPlan,
+    distort,
+    downsample,
+    poisson_times,
+    sample_path,
+    simulate_companions,
+    simulate_visitors,
+)
+
+
+class TestCompanionDetection:
+    """The paper's motivating application: detect people walking together."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        rng = np.random.default_rng(17)
+        plan = FloorPlan.generate(rng=rng)
+        leader_path, follower_path = simulate_companions(plan, rng, lateral_offset=1.5)
+        stranger_paths = simulate_visitors(plan, 3, rng, time_window=0.0)
+
+        def observe(path, oid):
+            times = poisson_times(path.start_time, path.end_time, 15.0, rng)
+            return sample_path(path, times, noise_std=3.0, rng=rng, object_id=oid)
+
+        leader = observe(leader_path, "leader")
+        follower = observe(follower_path, "follower")
+        strangers = [observe(p, f"s{i}") for i, p in enumerate(stranger_paths)]
+        corpus = [leader, follower, *strangers]
+        grid = grid_covering(corpus, 3.0, margin=20.0)
+        return leader, follower, strangers, grid
+
+    def test_sts_detects_companion(self, scenario):
+        leader, follower, strangers, grid = scenario
+        measure = STS(grid, noise_model=GaussianNoiseModel(3.0))
+        companion_score = measure.similarity(leader, follower)
+        stranger_scores = [measure.similarity(leader, s) for s in strangers]
+        assert companion_score > max(stranger_scores)
+
+    def test_variants_also_rank_companion_first(self, scenario):
+        leader, follower, strangers, grid = scenario
+        corpus = [leader, follower, *strangers]
+        for variant in (sts_n(grid), sts_g(grid, corpus), sts_f(grid, corpus)):
+            companion = variant.similarity(leader, follower)
+            others = [variant.similarity(leader, s) for s in strangers]
+            assert companion >= max(others), variant.name
+
+
+class TestMatchingPipeline:
+    def test_full_pipeline_with_treatments(self, tiny_taxi_dataset):
+        rng = np.random.default_rng(3)
+        d1, d2 = build_matching_pair(tiny_taxi_dataset.trajectories)
+        d1 = [distort(downsample(t, 0.6, rng), 10.0, rng) for t in d1]
+        d2 = [distort(downsample(t, 0.6, rng), 10.0, rng) for t in d2]
+        corpus = d1 + d2
+        grid = grid_covering(corpus, tiny_taxi_dataset.cell_size, tiny_taxi_dataset.margin)
+        measures = default_measures(grid, corpus, 15.0, include=["STS", "CATS"])
+        for measure in measures.values():
+            result = evaluate_matching(measure, d1, d2)
+            assert result.precision >= 0.5  # tiny gallery, mild treatment
+
+    def test_sts_survives_csv_roundtrip(self, tmp_path, tiny_mall_dataset):
+        # similarity computed on reloaded trajectories matches the original
+        trajectories = tiny_mall_dataset.trajectories[:3]
+        path = tmp_path / "corpus.csv"
+        save_trajectories_csv(trajectories, path)
+        reloaded = load_trajectories_csv(path)
+        grid = grid_covering(trajectories, 3.0, margin=20.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(3.0))
+        for orig, back in zip(trajectories, reloaded):
+            assert orig == back
+        a = measure.similarity(trajectories[0], trajectories[1])
+        b = measure.similarity(reloaded[0], reloaded[1])
+        assert a == pytest.approx(b)
+
+
+class TestRobustnessShape:
+    """Coarse shape assertions matching the paper's headline claims."""
+
+    def test_sts_beats_wgm_under_heterogeneous_sampling(self, tiny_taxi_dataset):
+        rng = np.random.default_rng(5)
+        d1, d2full = build_matching_pair(tiny_taxi_dataset.trajectories)
+        d2 = [downsample(t, 0.2, rng) for t in d2full]
+        corpus = d1 + d2
+        grid = grid_covering(corpus, tiny_taxi_dataset.cell_size, tiny_taxi_dataset.margin)
+        measures = default_measures(grid, corpus, 10.0, include=["STS", "WGM"])
+        sts_result = evaluate_matching(measures["STS"], d1, d2)
+        wgm_result = evaluate_matching(measures["WGM"], d1, d2)
+        assert sts_result.mean_rank <= wgm_result.mean_rank
+
+    def test_precision_degrades_with_noise(self, tiny_mall_dataset):
+        # sanity: more injected noise should not improve STS matching
+        rng = np.random.default_rng(7)
+        d1, d2 = build_matching_pair(tiny_mall_dataset.trajectories)
+        results = []
+        for beta in (0.0, 12.0):
+            q = [distort(t, beta, rng) for t in d1]
+            g = [distort(t, beta, rng) for t in d2]
+            corpus = q + g
+            grid = grid_covering(corpus, 3.0, margin=60.0)
+            sigma = max(3.0, beta)
+            measure = STS(grid, noise_model=GaussianNoiseModel(sigma))
+            results.append(evaluate_matching(measure, q, g).mean_rank)
+        assert results[0] <= results[1] + 0.51  # allow small-sample wiggle

@@ -1,0 +1,128 @@
+"""Unit tests for the inverted spatio-temporal trajectory index."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.trajectory import Trajectory
+from repro.index import TrajectoryIndex
+from repro.similarity import SST
+
+
+def walker(x0=0.0, y=0.0, t0=0.0, n=10, oid=None):
+    xs = x0 + np.arange(n, dtype=float)
+    return Trajectory.from_arrays(xs, np.full(n, float(y)), t0 + np.arange(n, dtype=float), oid)
+
+
+@pytest.fixture
+def grid():
+    return Grid(-10, -60, 120, 60, cell_size=2.0)
+
+
+class TestBuild:
+    def test_add_returns_sequential_ids(self, grid):
+        index = TrajectoryIndex(grid)
+        assert index.add(walker()) == 0
+        assert index.add(walker(y=5)) == 1
+        assert len(index) == 2
+
+    def test_add_all_and_get(self, grid):
+        index = TrajectoryIndex(grid)
+        trajectories = [walker(oid="a"), walker(y=5, oid="b")]
+        ids = index.add_all(trajectories)
+        assert ids == [0, 1]
+        assert index.get(1).object_id == "b"
+
+    def test_empty_trajectory_rejected(self, grid):
+        with pytest.raises(ValueError, match="empty"):
+            TrajectoryIndex(grid).add(Trajectory([]))
+
+    def test_invalid_dilation(self, grid):
+        with pytest.raises(ValueError, match="dilation"):
+            TrajectoryIndex(grid, dilation=-1)
+
+    def test_repr(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add(walker())
+        assert "n=1" in repr(index)
+
+
+class TestCandidates:
+    def test_spatial_and_temporal_filtering(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add(walker(y=0.5, oid="true"))          # 0: co-located
+        index.add(walker(y=50.0, oid="far"))          # 1: wrong place
+        index.add(walker(y=0.5, t0=900.0, oid="late"))  # 2: wrong time
+        ids = index.candidates(walker(y=0.0))
+        np.testing.assert_array_equal(ids, [0])
+
+    def test_empty_index(self, grid):
+        assert len(TrajectoryIndex(grid).candidates(walker())) == 0
+
+    def test_min_time_overlap(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add(walker(t0=8.0))  # overlaps query [0, 9] by 1 s
+        assert len(index.candidates(walker(), min_time_overlap=2.0)) == 0
+        assert len(index.candidates(walker(), min_time_overlap=0.5)) == 1
+
+    def test_negative_overlap_rejected(self, grid):
+        with pytest.raises(ValueError):
+            TrajectoryIndex(grid).candidates(walker(), min_time_overlap=-1.0)
+
+    def test_dilation_widens_recall(self, grid):
+        tight = TrajectoryIndex(grid, dilation=0)
+        wide = TrajectoryIndex(grid, dilation=2)
+        neighbor = walker(y=3.0)  # ~1.5 cells away
+        tight.add(neighbor)
+        wide.add(neighbor)
+        query = walker(y=0.0)
+        assert len(tight.candidates(query)) == 0
+        assert len(wide.candidates(query)) == 1
+
+    def test_matches_linear_scan(self, grid, rng):
+        # the index's candidate set equals the brute-force filter result
+        from repro.index import cell_signature_filter, time_overlap_filter
+
+        index = TrajectoryIndex(grid, dilation=1)
+        gallery = [
+            walker(x0=float(rng.uniform(0, 80)), y=float(rng.uniform(-40, 40)),
+                   t0=float(rng.uniform(0, 30)))
+            for _ in range(30)
+        ]
+        index.add_all(gallery)
+        query = walker(x0=40.0, y=0.0, t0=10.0)
+        got = set(index.candidates(query).tolist())
+        time_keep = set(time_overlap_filter(query, gallery).tolist())
+        sig_keep = set(cell_signature_filter(query, gallery, grid, dilation=1).tolist())
+        assert got == (time_keep & sig_keep)
+
+
+class TestQuery:
+    def test_ranks_candidates(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add(walker(y=0.0, oid="best"))
+        index.add(walker(y=4.0, oid="worse"))
+        index.add(walker(y=200.0, oid="filtered"))
+        measure = SST(spatial_scale=2.0, temporal_scale=5.0)
+        matches = index.query(walker(y=0.5), measure)
+        assert [m.trajectory.object_id for m in matches] == ["best", "worse"]
+
+    def test_top_k(self, grid):
+        index = TrajectoryIndex(grid)
+        for dy in range(5):
+            index.add(walker(y=float(dy)))
+        measure = SST(spatial_scale=2.0, temporal_scale=5.0)
+        assert len(index.query(walker(y=0.5), measure, k=2)) == 2
+
+    def test_invalid_k(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add(walker())
+        with pytest.raises(ValueError):
+            index.query(walker(), SST(2.0, 5.0), k=0)
+
+    def test_ids_resolve_via_get(self, grid):
+        index = TrajectoryIndex(grid)
+        index.add_all([walker(y=0.0), walker(y=1.0)])
+        measure = SST(spatial_scale=2.0, temporal_scale=5.0)
+        for match in index.query(walker(y=0.5), measure):
+            assert index.get(match.index) is match.trajectory

@@ -1,0 +1,79 @@
+"""Unit tests for the trajectory-matching harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.eval.matching import MatchingResult, build_matching_pair, evaluate_matching
+from repro.similarity import DTW
+
+
+def make_corpus(n=6, length=12, spacing=50.0):
+    """Well-separated straight-line trajectories (easy to re-identify)."""
+    corpus = []
+    for k in range(n):
+        xs = np.arange(length, dtype=float)
+        ys = np.full(length, k * spacing)
+        corpus.append(Trajectory.from_arrays(xs, ys, np.arange(length, dtype=float), f"obj-{k}"))
+    return corpus
+
+
+class TestBuildMatchingPair:
+    def test_splits_every_trajectory(self):
+        corpus = make_corpus()
+        d1, d2 = build_matching_pair(corpus)
+        assert len(d1) == len(d2) == len(corpus)
+        for original, first, second in zip(corpus, d1, d2):
+            assert len(first) + len(second) == len(original)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            build_matching_pair([])
+
+
+class TestEvaluateMatching:
+    def test_perfect_measure(self):
+        corpus = make_corpus()
+        d1, d2 = build_matching_pair(corpus)
+        result = evaluate_matching(DTW(), d1, d2)
+        assert result.precision == 1.0
+        assert result.mean_rank == 1.0
+        assert result.measure == "DTW"
+        assert result.n_queries == len(corpus)
+
+    def test_mismatched_lengths_raise(self):
+        corpus = make_corpus()
+        d1, d2 = build_matching_pair(corpus)
+        with pytest.raises(ValueError, match="1:1"):
+            evaluate_matching(DTW(), d1[:-1], d2)
+
+    def test_adversarial_measure_ranks_last(self):
+        class AntiDTW:
+            name = "anti"
+
+            def score(self, a, b):
+                return DTW()(a, b)  # distance as similarity: worst ordering
+
+        corpus = make_corpus()
+        d1, d2 = build_matching_pair(corpus)
+        result = evaluate_matching(AntiDTW(), d1, d2)
+        assert result.precision == 0.0
+        assert result.mean_rank > len(corpus) / 2
+
+    def test_result_str(self):
+        result = MatchingResult("X", 0.5, 2.25, np.array([1.0, 3.5]))
+        text = str(result)
+        assert "X" in text and "0.500" in text and "2.25" in text
+
+    def test_sts_end_to_end_small(self):
+        from repro.core.grid import Grid
+        from repro.core.noise import GaussianNoiseModel
+        from repro.core.sts import STS
+
+        corpus = make_corpus(n=4, length=10, spacing=30.0)
+        d1, d2 = build_matching_pair(corpus)
+        pts = np.vstack([t.xy for t in corpus])
+        grid = Grid.covering(pts, cell_size=5.0, margin=10.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(3.0))
+        result = evaluate_matching(measure, d1, d2)
+        assert result.precision == 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for evaluation metrics (Eq. 11–13)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    cross_similarity_deviation,
+    mean_rank,
+    precision,
+    ranks_from_scores,
+)
+
+
+class TestRanksFromScores:
+    def test_perfect_diagonal(self):
+        scores = np.eye(4)
+        np.testing.assert_allclose(ranks_from_scores(scores), np.ones(4))
+
+    def test_worst_case(self):
+        # true match scored strictly below every other candidate
+        scores = np.ones((3, 3))
+        np.fill_diagonal(scores, 0.0)
+        np.testing.assert_allclose(ranks_from_scores(scores), [3, 3, 3])
+
+    def test_middle_rank(self):
+        scores = np.array(
+            [
+                [0.5, 0.9, 0.1],  # one better -> rank 2
+                [0.0, 1.0, 0.0],  # best -> rank 1
+                [0.9, 0.8, 0.7],  # two better -> rank 3
+            ]
+        )
+        np.testing.assert_allclose(ranks_from_scores(scores), [2, 1, 3])
+
+    def test_ties_average(self):
+        # constant scores: every query ties with all others
+        scores = np.ones((5, 5))
+        expected = 1.0 + 0.5 * 4
+        np.testing.assert_allclose(ranks_from_scores(scores), expected)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            ranks_from_scores(np.ones((2, 3)))
+
+
+class TestPrecisionAndMeanRank:
+    def test_precision_eq11(self):
+        ranks = np.array([1.0, 2.0, 1.0, 5.0])
+        assert precision(ranks) == pytest.approx(0.5)
+
+    def test_precision_all_correct(self):
+        assert precision(np.ones(7)) == 1.0
+
+    def test_precision_tied_first_not_counted(self):
+        # average-rank 1.5 (tie with one other) is not an exact top-1
+        assert precision(np.array([1.5])) == 0.0
+
+    def test_mean_rank_eq12(self):
+        assert mean_rank(np.array([1.0, 3.0, 5.0])) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            precision(np.array([]))
+        with pytest.raises(ValueError):
+            mean_rank(np.array([]))
+
+    def test_constant_measure_is_chance_level(self):
+        # A degenerate measure must not look good: mean rank = (n+1)/2.
+        n = 9
+        ranks = ranks_from_scores(np.full((n, n), 0.42))
+        assert mean_rank(ranks) == pytest.approx((n + 1) / 2)
+        assert precision(ranks) == 0.0
+
+
+class TestCrossSimilarityDeviation:
+    def test_eq13(self):
+        assert cross_similarity_deviation(2.0, 1.5) == pytest.approx(0.25)
+
+    def test_zero_when_unchanged(self):
+        assert cross_similarity_deviation(0.7, 0.7) == 0.0
+
+    def test_sign_irrelevant(self):
+        assert cross_similarity_deviation(2.0, 2.5) == pytest.approx(
+            cross_similarity_deviation(2.0, 1.5)
+        )
+
+    def test_zero_reference_zero_sub(self):
+        assert cross_similarity_deviation(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero_sub(self):
+        assert cross_similarity_deviation(0.0, 1.0) > 1e6  # guarded blow-up
+
+    def test_negative_reference(self):
+        # distances passed as scores may be negated; |.| handles it
+        assert cross_similarity_deviation(-2.0, -1.0) == pytest.approx(0.5)

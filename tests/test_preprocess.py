@@ -1,0 +1,161 @@
+"""Unit tests for trajectory preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.preprocess import (
+    clean,
+    deduplicate_timestamps,
+    remove_speed_outliers,
+    smooth,
+    split_on_gaps,
+)
+
+
+class TestDeduplicateTimestamps:
+    def test_collapses_duplicates_to_centroid(self):
+        traj = Trajectory.from_arrays([0, 2, 4, 10], [0, 2, 0, 0], [0, 1, 1, 2])
+        out = deduplicate_timestamps(traj)
+        assert len(out) == 3
+        assert out[1].x == pytest.approx(3.0)
+        assert out[1].y == pytest.approx(1.0)
+        assert out[1].t == 1.0
+
+    def test_no_duplicates_is_identity(self, straight_trajectory):
+        out = deduplicate_timestamps(straight_trajectory)
+        assert out == straight_trajectory
+
+    def test_empty(self):
+        empty = Trajectory([])
+        assert len(deduplicate_timestamps(empty)) == 0
+
+    def test_preserves_object_id(self, straight_trajectory):
+        assert deduplicate_timestamps(straight_trajectory).object_id == "straight"
+
+    def test_all_same_timestamp(self):
+        traj = Trajectory.from_arrays([0, 2, 4], [0, 0, 0], [5, 5, 5])
+        out = deduplicate_timestamps(traj)
+        assert len(out) == 1
+        assert out[0].x == pytest.approx(2.0)
+
+
+class TestSplitOnGaps:
+    def test_splits_at_large_gaps(self):
+        ts = [0, 1, 2, 100, 101, 102]
+        traj = Trajectory.from_arrays(np.arange(6.0), np.zeros(6), ts, "dev")
+        segments = split_on_gaps(traj, max_gap=10.0)
+        assert len(segments) == 2
+        assert [len(s) for s in segments] == [3, 3]
+        assert segments[0].object_id == "dev#0"
+        assert segments[1].object_id == "dev#1"
+
+    def test_no_gap_keeps_one_segment_same_id(self, straight_trajectory):
+        segments = split_on_gaps(straight_trajectory, max_gap=10.0)
+        assert len(segments) == 1
+        assert segments[0].object_id == "straight"
+
+    def test_short_segments_dropped(self):
+        ts = [0, 100, 101, 102]
+        traj = Trajectory.from_arrays(np.arange(4.0), np.zeros(4), ts)
+        segments = split_on_gaps(traj, max_gap=10.0, min_points=2)
+        assert len(segments) == 1
+        assert len(segments[0]) == 3
+
+    def test_empty_input(self):
+        assert split_on_gaps(Trajectory([]), max_gap=10.0) == []
+
+    def test_validation(self, straight_trajectory):
+        with pytest.raises(ValueError):
+            split_on_gaps(straight_trajectory, max_gap=0.0)
+        with pytest.raises(ValueError):
+            split_on_gaps(straight_trajectory, max_gap=1.0, min_points=0)
+
+    def test_boundary_gap_exactly_max_not_split(self):
+        traj = Trajectory.from_arrays([0, 1], [0, 0], [0, 10])
+        assert len(split_on_gaps(traj, max_gap=10.0)) == 1
+
+
+class TestRemoveSpeedOutliers:
+    def test_removes_gps_jump(self):
+        # steady 1 m/s walk with one 1000 m teleport in the middle
+        xs = [0.0, 1.0, 2.0, 1000.0, 4.0, 5.0]
+        traj = Trajectory.from_arrays(xs, np.zeros(6), np.arange(6.0))
+        out = remove_speed_outliers(traj, max_speed=10.0)
+        assert 1000.0 not in [p.x for p in out]
+        assert len(out) == 5
+
+    def test_clean_trajectory_unchanged(self, straight_trajectory):
+        out = remove_speed_outliers(straight_trajectory, max_speed=10.0)
+        assert out == straight_trajectory
+
+    def test_consecutive_jumps_removed(self):
+        xs = [0.0, 1.0, 500.0, 501.0, 4.0, 5.0]
+        traj = Trajectory.from_arrays(xs, np.zeros(6), np.arange(6.0))
+        out = remove_speed_outliers(traj, max_speed=10.0)
+        assert all(p.x < 100 for p in out)
+
+    def test_first_point_always_kept(self):
+        traj = Trajectory.from_arrays([0.0, 1.0], [0.0, 0.0], [0.0, 1.0])
+        out = remove_speed_outliers(traj, max_speed=0.1)
+        assert out[0] == traj[0]
+
+    def test_validation(self, straight_trajectory):
+        with pytest.raises(ValueError):
+            remove_speed_outliers(straight_trajectory, max_speed=0.0)
+        with pytest.raises(ValueError):
+            remove_speed_outliers(straight_trajectory, max_speed=1.0, max_passes=0)
+
+    def test_resulting_speeds_bounded(self, rng):
+        xs = np.cumsum(rng.normal(1, 0.2, 30))
+        xs[10] += 300.0  # spike
+        traj = Trajectory.from_arrays(xs, np.zeros(30), np.arange(30.0))
+        out = remove_speed_outliers(traj, max_speed=5.0)
+        assert (out.speeds() <= 5.0 + 1e-9).all()
+
+
+class TestSmooth:
+    def test_reduces_noise(self, rng):
+        ts = np.arange(50.0)
+        clean_xs = 2.0 * ts
+        noisy = Trajectory.from_arrays(clean_xs + rng.normal(0, 3, 50), np.zeros(50), ts)
+        smoothed = smooth(noisy, window=5)
+        raw_err = np.abs(noisy.xy[:, 0] - clean_xs).mean()
+        new_err = np.abs(smoothed.xy[:, 0] - clean_xs).mean()
+        assert new_err < raw_err
+
+    def test_preserves_timestamps_and_length(self, straight_trajectory):
+        out = smooth(straight_trajectory, window=3)
+        assert len(out) == len(straight_trajectory)
+        np.testing.assert_allclose(out.timestamps, straight_trajectory.timestamps)
+
+    def test_window_one_identity(self, straight_trajectory):
+        assert smooth(straight_trajectory, window=1) == straight_trajectory
+
+    def test_even_window_rejected(self, straight_trajectory):
+        with pytest.raises(ValueError, match="odd"):
+            smooth(straight_trajectory, window=4)
+
+    def test_straight_line_invariant(self, straight_trajectory):
+        out = smooth(straight_trajectory, window=3)
+        np.testing.assert_allclose(out.xy[:, 1], 0.0)
+        # interior points of a uniform line are unchanged
+        np.testing.assert_allclose(out.xy[1:-1, 0], straight_trajectory.xy[1:-1, 0])
+
+
+class TestCleanPipeline:
+    def test_end_to_end(self):
+        # duplicate timestamps + a GPS spike + a session gap
+        xs = [0.0, 0.5, 1.0, 800.0, 3.0, 4.0, 100.0, 101.0, 102.0]
+        ys = [0.0] * 9
+        ts = [0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 500.0, 501.0, 502.0]
+        traj = Trajectory.from_arrays(xs, ys, ts, "dev")
+        trips = clean(traj, max_speed=10.0, max_gap=60.0)
+        assert len(trips) == 2
+        for trip in trips:
+            assert (trip.speeds() <= 10.0 + 1e-9).all()
+        assert len(trips[0]) == 4  # dedup merged the first two, spike removed
+
+    def test_everything_filtered(self):
+        traj = Trajectory.from_arrays([0.0], [0.0], [0.0])
+        assert clean(traj, max_speed=10.0, max_gap=60.0, min_points=2) == []

@@ -1,0 +1,63 @@
+"""Public-API surface checks: exports resolve, public items are documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", [m for m in MODULES if "cli" not in m])
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+def _public_items():
+    items = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if obj.__module__.startswith("repro"):
+                    items.append((f"{module_name}.{name}", obj))
+    return items
+
+
+@pytest.mark.parametrize("qualname,obj", _public_items())
+def test_public_items_documented(qualname, obj):
+    assert inspect.getdoc(obj), f"{qualname} lacks a docstring"
+
+
+@pytest.mark.parametrize(
+    "qualname,obj",
+    [(q, o) for q, o in _public_items() if inspect.isclass(o)],
+)
+def test_public_classes_document_their_methods(qualname, obj):
+    for name, member in inspect.getmembers(obj, predicate=inspect.isfunction):
+        if name.startswith("_") or member.__module__ is None:
+            continue
+        if not member.__module__.startswith("repro"):
+            continue
+        assert inspect.getdoc(member), f"{qualname}.{name} lacks a docstring"
+
+
+def test_top_level_version():
+    assert repro.__version__
+    assert all(part.isdigit() for part in repro.__version__.split("."))

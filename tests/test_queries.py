@@ -1,0 +1,73 @@
+"""Unit tests for the similarity-query helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.eval.queries import most_similar, rank_gallery, top_k
+from repro.similarity import DTW, SST
+
+
+def walker(y, oid):
+    xs = np.arange(10.0)
+    return Trajectory.from_arrays(xs, np.full(10, float(y)), np.arange(10.0), oid)
+
+
+@pytest.fixture
+def gallery():
+    return [walker(0, "near"), walker(5, "mid"), walker(50, "far")]
+
+
+@pytest.fixture
+def query():
+    return walker(0.5, "query")
+
+
+class TestRankGallery:
+    def test_sorted_most_similar_first(self, query, gallery):
+        ranked = rank_gallery(DTW(), query, gallery)
+        assert [m.trajectory.object_id for m in ranked] == ["near", "mid", "far"]
+        assert ranked[0].score >= ranked[1].score >= ranked[2].score
+
+    def test_indices_point_into_gallery(self, query, gallery):
+        ranked = rank_gallery(DTW(), query, gallery)
+        for match in ranked:
+            assert gallery[match.index] is match.trajectory
+
+    def test_similarity_measure_orientation(self, query, gallery):
+        ranked = rank_gallery(SST(spatial_scale=2.0, temporal_scale=5.0), query, gallery)
+        assert ranked[0].trajectory.object_id == "near"
+
+    def test_empty_gallery_raises(self, query):
+        with pytest.raises(ValueError, match="empty"):
+            rank_gallery(DTW(), query, [])
+
+    def test_stable_under_ties(self, query):
+        twins = [walker(3, "first"), walker(3, "second")]
+        ranked = rank_gallery(DTW(), query, twins)
+        assert [m.trajectory.object_id for m in ranked] == ["first", "second"]
+
+
+class TestTopKAndBest:
+    def test_top_k_truncates(self, query, gallery):
+        assert len(top_k(DTW(), query, gallery, 2)) == 2
+        assert len(top_k(DTW(), query, gallery, 99)) == 3
+
+    def test_top_k_invalid(self, query, gallery):
+        with pytest.raises(ValueError):
+            top_k(DTW(), query, gallery, 0)
+
+    def test_most_similar(self, query, gallery):
+        best = most_similar(DTW(), query, gallery)
+        assert best.trajectory.object_id == "near"
+        assert "near" in str(best)
+
+    def test_works_with_sts(self, query, gallery):
+        from repro.core.grid import Grid
+        from repro.core.noise import GaussianNoiseModel
+        from repro.core.sts import STS
+
+        grid = Grid(-5, -5, 60, 60, cell_size=2.0)
+        measure = STS(grid, noise_model=GaussianNoiseModel(1.0))
+        best = most_similar(measure, query, gallery)
+        assert best.trajectory.object_id == "near"

@@ -1,0 +1,49 @@
+"""Tests for the run-everything report runner."""
+
+import pytest
+
+from repro.datasets import taxi_dataset
+from repro.eval.runner import ExperimentReport, render_markdown, run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return taxi_dataset(n_trajectories=5, seed=4)
+
+
+class TestRunAll:
+    def test_subset_selection(self, small_dataset):
+        report = run_all_experiments(small_dataset, only=["fig10"])
+        assert list(report.results) == ["fig10"]
+        assert report.runtimes["fig10"] > 0
+        assert report.total_runtime == report.runtimes["fig10"]
+
+    def test_unknown_id_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            run_all_experiments(small_dataset, only=["fig99"])
+
+    def test_results_carry_dataset_name(self, small_dataset):
+        report = run_all_experiments(small_dataset, only=["fig10"])
+        assert report.dataset == "taxi"
+        assert report.results["fig10"].dataset == "taxi"
+
+    def test_extension_experiment_available(self, small_dataset):
+        report = run_all_experiments(small_dataset, only=["ext_sensitivity"])
+        result = report.results["ext_sensitivity"]
+        assert "STS" in result.metrics["precision"]
+        text = render_markdown(report)
+        assert "parameter sensitivity" in text
+
+
+class TestRenderMarkdown:
+    def test_renders_tables_and_runtimes(self, small_dataset):
+        report = run_all_experiments(small_dataset, only=["fig10"])
+        text = render_markdown(report)
+        assert "# Evaluation report — taxi corpus" in text
+        assert "Fig. 10: component ablation" in text
+        assert "STS-N" in text
+        assert "Runtime:" in text
+
+    def test_empty_report(self):
+        text = render_markdown(ExperimentReport(dataset="x"))
+        assert "x corpus" in text

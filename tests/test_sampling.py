@@ -1,0 +1,163 @@
+"""Unit tests for sampling, splitting and distortion treatments."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Path, Trajectory
+from repro.simulation.sampling import (
+    alternate_split,
+    distort,
+    downsample,
+    periodic_times,
+    poisson_times,
+    sample_path,
+)
+
+
+@pytest.fixture
+def line_path():
+    return Path(np.array([[0.0, 0.0], [100.0, 0.0]]), np.array([0.0, 100.0]), object_id="line")
+
+
+class TestSamplingTimes:
+    def test_periodic_spacing(self):
+        times = periodic_times(0.0, 60.0, 15.0)
+        np.testing.assert_allclose(times, [0, 15, 30, 45, 60])
+
+    def test_periodic_includes_endpoint_when_divisible(self):
+        assert periodic_times(0.0, 45.0, 15.0)[-1] == pytest.approx(45.0)
+
+    def test_periodic_invalid(self):
+        with pytest.raises(ValueError):
+            periodic_times(0, 10, 0.0)
+        with pytest.raises(ValueError):
+            periodic_times(10, 0, 1.0)
+
+    def test_poisson_starts_at_start(self, rng):
+        times = poisson_times(5.0, 100.0, 10.0, rng)
+        assert times[0] == 5.0
+        assert (times <= 100.0).all()
+        assert np.all(np.diff(times) > 0)
+
+    def test_poisson_mean_interval(self, rng):
+        times = poisson_times(0.0, 100000.0, 10.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_poisson_invalid(self, rng):
+        with pytest.raises(ValueError):
+            poisson_times(0, 10, -1.0, rng)
+        with pytest.raises(ValueError):
+            poisson_times(10, 0, 1.0, rng)
+
+
+class TestSamplePath:
+    def test_noise_free_on_path(self, line_path):
+        traj = sample_path(line_path, np.array([0.0, 50.0, 100.0]))
+        assert traj[1].x == pytest.approx(50.0)
+        assert traj[1].y == pytest.approx(0.0)
+
+    def test_out_of_span_times_dropped(self, line_path):
+        traj = sample_path(line_path, np.array([-10.0, 50.0, 500.0]))
+        assert len(traj) == 1
+
+    def test_noise_requires_rng(self, line_path):
+        with pytest.raises(ValueError, match="rng"):
+            sample_path(line_path, np.array([0.0]), noise_std=1.0)
+
+    def test_noise_perturbs(self, line_path, rng):
+        clean = sample_path(line_path, np.arange(0.0, 101.0, 10.0))
+        noisy = sample_path(line_path, np.arange(0.0, 101.0, 10.0), noise_std=5.0, rng=rng)
+        assert not np.allclose(clean.xy, noisy.xy)
+        # but stays within a few sigma
+        assert np.abs(noisy.xy - clean.xy).max() < 5.0 * 5
+
+    def test_object_id_propagation(self, line_path):
+        traj = sample_path(line_path, np.array([0.0]))
+        assert traj.object_id == "line"
+        traj2 = sample_path(line_path, np.array([0.0]), object_id="override")
+        assert traj2.object_id == "override"
+
+
+class TestAlternateSplit:
+    def test_partition(self, straight_trajectory):
+        first, second = alternate_split(straight_trajectory)
+        assert len(first) == 5 and len(second) == 5
+        merged = sorted([p.t for p in first] + [p.t for p in second])
+        np.testing.assert_allclose(merged, straight_trajectory.timestamps)
+
+    def test_interleaved_times(self, straight_trajectory):
+        first, second = alternate_split(straight_trajectory)
+        assert first.timestamps[0] < second.timestamps[0]
+        assert (first.timestamps == np.arange(0, 10, 2)).all()
+
+    def test_odd_length(self):
+        traj = Trajectory.from_arrays(np.arange(7.0), np.zeros(7), np.arange(7.0))
+        first, second = alternate_split(traj)
+        assert len(first) == 4 and len(second) == 3
+
+    def test_too_short_raises(self, single_point_trajectory):
+        with pytest.raises(ValueError):
+            alternate_split(single_point_trajectory)
+
+    def test_no_shared_points(self, straight_trajectory):
+        first, second = alternate_split(straight_trajectory)
+        assert set(p.t for p in first).isdisjoint(p.t for p in second)
+
+
+class TestDownsample:
+    def test_keeps_fraction(self, rng):
+        traj = Trajectory.from_arrays(np.arange(100.0), np.zeros(100), np.arange(100.0))
+        sub = downsample(traj, 0.3, rng)
+        assert len(sub) == 30
+
+    def test_preserves_order_and_membership(self, rng, straight_trajectory):
+        sub = downsample(straight_trajectory, 0.5, rng)
+        assert np.all(np.diff(sub.timestamps) > 0)
+        original_times = set(straight_trajectory.timestamps)
+        assert all(p.t in original_times for p in sub)
+
+    def test_rate_one_identity(self, rng, straight_trajectory):
+        assert downsample(straight_trajectory, 1.0, rng) == straight_trajectory
+
+    def test_min_points_floor(self, rng, straight_trajectory):
+        sub = downsample(straight_trajectory, 0.01, rng, min_points=2)
+        assert len(sub) == 2
+
+    def test_invalid_rate(self, rng, straight_trajectory):
+        with pytest.raises(ValueError):
+            downsample(straight_trajectory, 0.0, rng)
+        with pytest.raises(ValueError):
+            downsample(straight_trajectory, 1.5, rng)
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            downsample(Trajectory([]), 0.5, rng)
+
+    def test_deterministic_given_seed(self, straight_trajectory):
+        a = downsample(straight_trajectory, 0.4, np.random.default_rng(9))
+        b = downsample(straight_trajectory, 0.4, np.random.default_rng(9))
+        assert a == b
+
+
+class TestDistort:
+    def test_zero_beta_identity(self, rng, straight_trajectory):
+        assert distort(straight_trajectory, 0.0, rng) is straight_trajectory
+
+    def test_preserves_timestamps_and_length(self, rng, straight_trajectory):
+        noisy = distort(straight_trajectory, 3.0, rng)
+        assert len(noisy) == len(straight_trajectory)
+        np.testing.assert_allclose(noisy.timestamps, straight_trajectory.timestamps)
+
+    def test_noise_magnitude_matches_eq14(self):
+        traj = Trajectory.from_arrays(np.zeros(5000), np.zeros(5000), np.arange(5000.0))
+        noisy = distort(traj, 4.0, np.random.default_rng(0))
+        assert noisy.xy[:, 0].std() == pytest.approx(4.0, rel=0.1)
+        assert noisy.xy[:, 1].std() == pytest.approx(4.0, rel=0.1)
+
+    def test_negative_beta_raises(self, rng, straight_trajectory):
+        with pytest.raises(ValueError):
+            distort(straight_trajectory, -1.0, rng)
+
+    def test_object_id_preserved(self, rng, straight_trajectory):
+        assert distort(straight_trajectory, 1.0, rng).object_id == "straight"

@@ -1,0 +1,327 @@
+"""Unit tests for the paper's baselines: CATS, EDwP, APM, KF, WGM, SST."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.trajectory import Trajectory
+from repro.similarity import (
+    APM,
+    CATS,
+    KF,
+    SST,
+    WGM,
+    EDwP,
+    KalmanSmoother,
+    calibrate_to_anchors,
+    cats_similarity,
+    edwp_distance,
+    sst_similarity,
+    wgm_similarity,
+)
+
+
+def east_walk(offset_y=0.0, t0=0.0, n=6, step=2.0, dt=1.0):
+    xs = np.arange(n) * step
+    return Trajectory.from_arrays(xs, np.full(n, offset_y), t0 + np.arange(n) * dt)
+
+
+class TestCATS:
+    def test_identical_is_one(self):
+        a = east_walk()
+        assert cats_similarity(a, a, epsilon=1.0, tau=0.5) == pytest.approx(1.0)
+
+    def test_spatially_far_is_zero(self):
+        a = east_walk()
+        b = east_walk(offset_y=100.0)
+        assert cats_similarity(a, b, epsilon=5.0, tau=0.5) == 0.0
+
+    def test_temporally_far_is_zero(self):
+        a = east_walk()
+        b = east_walk(t0=1000.0)
+        assert cats_similarity(a, b, epsilon=5.0, tau=10.0) == 0.0
+
+    def test_symmetric(self):
+        a = east_walk()
+        b = east_walk(offset_y=1.0, t0=0.3)
+        assert cats_similarity(a, b, 3.0, 2.0) == pytest.approx(cats_similarity(b, a, 3.0, 2.0))
+
+    def test_linear_decay_with_distance(self):
+        a = east_walk()
+        near = east_walk(offset_y=1.0)
+        far = east_walk(offset_y=3.0)
+        assert cats_similarity(a, near, 5.0, 0.5) > cats_similarity(a, far, 5.0, 0.5)
+
+    def test_wider_tau_finds_more_clues(self):
+        a = east_walk()
+        b = east_walk(t0=1.5)  # offset sampling times
+        tight = cats_similarity(a, b, 5.0, 0.4)
+        loose = cats_similarity(a, b, 5.0, 3.0)
+        assert loose >= tight
+
+    def test_parameter_validation(self):
+        a = east_walk()
+        with pytest.raises(ValueError):
+            cats_similarity(a, a, epsilon=0.0, tau=1.0)
+        with pytest.raises(ValueError):
+            cats_similarity(a, a, epsilon=1.0, tau=0.0)
+        with pytest.raises(ValueError):
+            CATS(epsilon=-1.0, tau=1.0)
+
+    def test_range(self):
+        a = east_walk()
+        b = east_walk(offset_y=0.5, t0=0.2)
+        assert 0.0 <= cats_similarity(a, b, 2.0, 1.0) <= 1.0
+
+
+class TestEDwP:
+    def test_identical_is_zero(self):
+        a = east_walk()
+        assert edwp_distance(a.xy, a.xy) == pytest.approx(0.0)
+
+    def test_subsampled_route_stays_close(self):
+        # EDwP's selling point: a downsampled version of the same geometry
+        # is much closer than a parallel route.
+        dense = east_walk(n=9, step=1.0)
+        sparse = dense.subsample([0, 4, 8])
+        other = east_walk(offset_y=5.0, n=9, step=1.0)
+        assert edwp_distance(dense.xy, sparse.xy) < edwp_distance(dense.xy, other.xy)
+
+    def test_on_segment_points_are_free(self):
+        # inserting a point that lies exactly on the other's segment
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        assert edwp_distance(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric(self):
+        a = east_walk(n=4).xy
+        b = east_walk(offset_y=2.0, n=5).xy
+        assert edwp_distance(a, b) == pytest.approx(edwp_distance(b, a))
+
+    def test_grows_with_separation(self):
+        a = east_walk()
+        near = east_walk(offset_y=1.0)
+        far = east_walk(offset_y=10.0)
+        assert edwp_distance(a.xy, far.xy) > edwp_distance(a.xy, near.xy)
+
+    def test_single_point_inputs(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert edwp_distance(a, a) == pytest.approx(0.0)
+        assert edwp_distance(a, b) > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            edwp_distance(np.empty((0, 2)), np.array([[0.0, 0.0]]))
+
+    def test_measure_orientation(self):
+        m = EDwP()
+        assert not m.higher_is_better
+
+
+class TestAPM:
+    @pytest.fixture
+    def grid(self):
+        return Grid(-5, -5, 30, 30, cell_size=2.0)
+
+    def test_calibration_snaps_to_centers(self, grid):
+        traj = east_walk()
+        anchors = calibrate_to_anchors(traj, grid)
+        centers = grid.centers()
+        for anchor in anchors:
+            assert any(np.allclose(anchor, c) for c in centers)
+
+    def test_calibration_dedupes_consecutive(self, grid):
+        # A stationary trajectory (within one cell) calibrates to one anchor.
+        traj = Trajectory.from_arrays([1.2, 1.3, 1.4], [1.2, 1.2, 1.3], [0, 1, 2])
+        anchors = calibrate_to_anchors(traj, grid)
+        assert len(anchors) == 1
+
+    def test_calibration_unifies_sampling(self, grid):
+        dense = east_walk(n=11, step=1.0)
+        sparse = dense.subsample([0, 5, 10])
+        a1 = calibrate_to_anchors(dense, grid)
+        a2 = calibrate_to_anchors(sparse, grid)
+        np.testing.assert_allclose(a1, a2)
+
+    def test_empty_trajectory_raises(self, grid):
+        with pytest.raises(ValueError):
+            calibrate_to_anchors(Trajectory([]), grid)
+
+    def test_invalid_step_fraction(self, grid):
+        with pytest.raises(ValueError):
+            calibrate_to_anchors(east_walk(), grid, step_fraction=0.0)
+
+    def test_measure_identical_zero(self, grid):
+        m = APM(grid)
+        a = east_walk()
+        assert m(a, a) == pytest.approx(0.0)
+
+    def test_measure_caches_calibration(self, grid):
+        m = APM(grid)
+        a, b = east_walk(), east_walk(offset_y=4.0)
+        m(a, b)
+        assert len(m._cache) == 2
+        m.clear_cache()
+        assert len(m._cache) == 0
+
+
+class TestKalman:
+    def test_smoother_tracks_constant_velocity(self):
+        rng = np.random.default_rng(0)
+        ts = np.arange(20.0)
+        xs = 2.0 * ts + rng.normal(0, 1.0, 20)
+        traj = Trajectory.from_arrays(xs, np.zeros(20), ts)
+        smoother = KalmanSmoother(traj, measurement_std=1.0, accel_std=0.1)
+        smoothed = smoother.smoothed_positions
+        raw_err = np.abs(xs - 2.0 * ts).mean()
+        smooth_err = np.abs(smoothed[:, 0] - 2.0 * ts).mean()
+        assert smooth_err < raw_err  # smoothing reduces noise
+
+    def test_estimate_interpolates(self):
+        ts = np.arange(10.0)
+        traj = Trajectory.from_arrays(3.0 * ts, np.zeros(10), ts)
+        smoother = KalmanSmoother(traj, measurement_std=0.5, accel_std=0.1)
+        x, y = smoother.estimate(4.5)
+        assert x == pytest.approx(13.5, abs=1.0)
+
+    def test_estimate_extrapolates_beyond_span(self):
+        ts = np.arange(10.0)
+        traj = Trajectory.from_arrays(3.0 * ts, np.zeros(10), ts)
+        smoother = KalmanSmoother(traj, measurement_std=0.5, accel_std=0.1)
+        x, _ = smoother.estimate(11.0)
+        assert x > 27.0  # keeps moving east
+
+    def test_resample_count_and_span(self):
+        traj = east_walk(n=8)
+        smoother = KalmanSmoother(traj, measurement_std=0.5)
+        pts = smoother.resample(5)
+        assert pts.shape == (5, 2)
+
+    def test_resample_single_point_trajectory(self):
+        traj = Trajectory.from_arrays([1.0], [2.0], [0.0])
+        smoother = KalmanSmoother(traj, measurement_std=0.5)
+        pts = smoother.resample(4)
+        assert pts.shape == (4, 2)
+        np.testing.assert_allclose(pts, np.tile(pts[0], (4, 1)))
+
+    def test_invalid_params(self):
+        traj = east_walk()
+        with pytest.raises(ValueError):
+            KalmanSmoother(traj, measurement_std=0.0)
+        with pytest.raises(ValueError):
+            KalmanSmoother(traj, accel_std=-1.0)
+        with pytest.raises(ValueError):
+            KalmanSmoother(Trajectory([]))
+
+    def test_kf_measure_identical_near_zero(self):
+        m = KF(measurement_std=0.5, n_resample=10)
+        a = east_walk(n=10)
+        assert m(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kf_measure_separates(self):
+        m = KF(measurement_std=0.5, n_resample=10)
+        a = east_walk(n=10)
+        near = east_walk(offset_y=1.0, n=10)
+        far = east_walk(offset_y=20.0, n=10)
+        assert m(a, far) > m(a, near)
+
+    def test_resample_invalid(self):
+        smoother = KalmanSmoother(east_walk())
+        with pytest.raises(ValueError):
+            smoother.resample(0)
+
+
+class TestWGM:
+    def test_identical_is_one(self):
+        a = east_walk()
+        assert wgm_similarity(a, a, spatial_scale=2.0, temporal_scale=2.0) == pytest.approx(1.0)
+
+    def test_decays_with_distance(self):
+        a = east_walk()
+        near = east_walk(offset_y=1.0)
+        far = east_walk(offset_y=10.0)
+        s_near = wgm_similarity(a, near, 2.0, 2.0)
+        s_far = wgm_similarity(a, far, 2.0, 2.0)
+        assert s_near > s_far
+
+    def test_decays_with_time_gap(self):
+        a = east_walk()
+        sync = east_walk()
+        late = east_walk(t0=10.0)
+        assert wgm_similarity(a, sync, 2.0, 2.0) > wgm_similarity(a, late, 2.0, 2.0)
+
+    def test_weight_extremes(self):
+        a = east_walk()
+        b = east_walk(offset_y=5.0, t0=0.0)  # spatial gap only
+        spatial_only = wgm_similarity(a, b, 2.0, 2.0, weight=1.0)
+        temporal_only = wgm_similarity(a, b, 2.0, 2.0, weight=0.0)
+        assert temporal_only == pytest.approx(1.0)  # same timestamps
+        assert spatial_only < 1.0
+
+    def test_n_points_two_uses_endpoints(self):
+        # n_points=2 ignores mid-trajectory differences entirely.
+        a = east_walk(n=5)
+        wiggly_xs = [0.0, 2.0, 100.0, 6.0, 8.0]
+        wiggly = Trajectory.from_arrays(wiggly_xs, np.zeros(5), np.arange(5.0))
+        assert wgm_similarity(a, wiggly, 2.0, 2.0, n_points=2) == pytest.approx(1.0)
+        assert wgm_similarity(a, wiggly, 2.0, 2.0, n_points=5) < 1.0
+
+    def test_parameter_validation(self):
+        a = east_walk()
+        with pytest.raises(ValueError):
+            wgm_similarity(a, a, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            wgm_similarity(a, a, 1.0, 1.0, weight=1.5)
+        with pytest.raises(ValueError):
+            wgm_similarity(a, a, 1.0, 1.0, n_points=0)
+        with pytest.raises(ValueError):
+            WGM(spatial_scale=1.0, temporal_scale=-1.0)
+
+    def test_symmetric(self):
+        a = east_walk()
+        b = east_walk(offset_y=2.0, t0=1.0, n=4)
+        assert wgm_similarity(a, b, 2.0, 2.0) == pytest.approx(wgm_similarity(b, a, 2.0, 2.0))
+
+
+class TestSST:
+    def test_identical_is_one(self):
+        a = east_walk()
+        assert sst_similarity(a, a, spatial_scale=2.0, temporal_scale=2.0) == pytest.approx(1.0)
+
+    def test_synchronized_interpolation(self):
+        # b samples the same path at offset times; synchronized comparison
+        # should still see them as nearly identical.
+        a = east_walk(n=11, step=1.0)  # x = t
+        b = Trajectory.from_arrays(
+            np.arange(0.5, 10.0, 1.0), np.zeros(10), np.arange(0.5, 10.0, 1.0)
+        )
+        assert sst_similarity(a, b, 2.0, 2.0) > 0.95
+
+    def test_out_of_span_penalized(self):
+        a = east_walk()
+        late = east_walk(t0=100.0)
+        assert sst_similarity(a, late, 2.0, 2.0) < 0.01
+
+    def test_decays_with_lateral_offset(self):
+        a = east_walk()
+        near = east_walk(offset_y=1.0)
+        far = east_walk(offset_y=10.0)
+        assert sst_similarity(a, near, 2.0, 2.0) > sst_similarity(a, far, 2.0, 2.0)
+
+    def test_symmetric(self):
+        a = east_walk(n=6)
+        b = east_walk(offset_y=2.0, t0=1.5, n=4)
+        assert sst_similarity(a, b, 2.0, 2.0) == pytest.approx(sst_similarity(b, a, 2.0, 2.0))
+
+    def test_parameter_validation(self):
+        a = east_walk()
+        with pytest.raises(ValueError):
+            sst_similarity(a, a, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            SST(spatial_scale=1.0, temporal_scale=0.0)
+
+    def test_range(self):
+        a = east_walk()
+        b = east_walk(offset_y=3.0, t0=2.0)
+        assert 0.0 <= sst_similarity(a, b, 2.0, 2.0) <= 1.0

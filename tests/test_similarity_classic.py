@@ -1,0 +1,227 @@
+"""Unit tests for the classic measures: DTW, LCSS, EDR, ERP, Fréchet, Hausdorff."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.similarity import (
+    DTW,
+    EDR,
+    ERP,
+    LCSS,
+    Frechet,
+    Hausdorff,
+    dtw_distance,
+    edr_distance,
+    erp_distance,
+    frechet_distance,
+    hausdorff_distance,
+    lcss_similarity,
+)
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+LINE = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+
+
+def traj(xy, ts=None):
+    xy = np.asarray(xy, dtype=float)
+    ts = np.arange(len(xy), dtype=float) if ts is None else ts
+    return Trajectory.from_arrays(xy[:, 0], xy[:, 1], ts)
+
+
+class TestDTW:
+    def test_identical_is_zero(self):
+        assert dtw_distance(SQUARE, SQUARE) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 1.0]])
+        # optimal alignment pairs index-to-index at distance 1 each
+        assert dtw_distance(a, b) == pytest.approx(2.0)
+
+    def test_symmetric(self):
+        assert dtw_distance(SQUARE, LINE) == pytest.approx(dtw_distance(LINE, SQUARE))
+
+    def test_handles_unequal_lengths(self):
+        a = np.array([[0.0, 0.0], [5.0, 0.0]])
+        b = np.array([[0.0, 0.0], [2.5, 0.0], [5.0, 0.0]])
+        assert dtw_distance(a, b) == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.empty((0, 2)), SQUARE)
+
+    def test_window_constrains(self):
+        a = np.column_stack([np.arange(10.0), np.zeros(10)])
+        b = np.column_stack([np.arange(10.0)[::-1], np.zeros(10)])
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, window=1)
+        assert banded >= unconstrained
+
+    def test_measure_orientation(self):
+        m = DTW()
+        a, b = traj(SQUARE), traj(LINE)
+        assert not m.higher_is_better
+        assert m.score(a, b) == -m(a, b)
+
+    def test_repeated_points_free(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0], [1.0, 0.0]])
+        assert dtw_distance(a, b) == pytest.approx(0.0)
+
+
+class TestLCSS:
+    def test_identical_is_one(self):
+        assert lcss_similarity(SQUARE, SQUARE, epsilon=0.1) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        far = SQUARE + 100.0
+        assert lcss_similarity(SQUARE, far, epsilon=0.1) == 0.0
+
+    def test_epsilon_widens_matches(self):
+        shifted = SQUARE + 0.5
+        tight = lcss_similarity(SQUARE, shifted, epsilon=0.1)
+        loose = lcss_similarity(SQUARE, shifted, epsilon=2.0)
+        assert loose > tight
+
+    def test_delta_restricts_matching(self):
+        a = np.column_stack([np.arange(6.0), np.zeros(6)])
+        b = a[::-1].copy()  # reversed: matches need large index offsets
+        free = lcss_similarity(a, b, epsilon=0.1)
+        windowed = lcss_similarity(a, b, epsilon=0.1, delta=1)
+        assert windowed <= free
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            lcss_similarity(SQUARE, SQUARE, epsilon=0.0)
+
+    def test_range(self):
+        value = lcss_similarity(SQUARE, LINE, epsilon=0.5)
+        assert 0.0 <= value <= 1.0
+
+    def test_measure_class(self):
+        m = LCSS(epsilon=0.5)
+        assert m.higher_is_better
+        assert m(traj(SQUARE), traj(SQUARE)) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            LCSS(epsilon=-1.0)
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        assert edr_distance(SQUARE, SQUARE, epsilon=0.1) == 0.0
+
+    def test_completely_different(self):
+        far = SQUARE + 100.0
+        # all 4 points must be substituted
+        assert edr_distance(SQUARE, far, epsilon=0.1) == 4.0
+
+    def test_length_difference_costs_insertions(self):
+        a = LINE
+        b = LINE[:2]
+        assert edr_distance(a, b, epsilon=0.1) == 1.0
+
+    def test_bounded_by_max_length(self):
+        value = edr_distance(SQUARE, LINE, epsilon=0.01)
+        assert value <= max(len(SQUARE), len(LINE))
+
+    def test_symmetric(self):
+        assert edr_distance(SQUARE, LINE, 0.5) == pytest.approx(edr_distance(LINE, SQUARE, 0.5))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            edr_distance(SQUARE, LINE, epsilon=-1.0)
+
+    def test_measure_class(self):
+        m = EDR(epsilon=0.5)
+        assert not m.higher_is_better
+        assert m(traj(SQUARE), traj(SQUARE)) == 0.0
+
+
+class TestERP:
+    def test_identical_is_zero(self):
+        assert erp_distance(SQUARE, SQUARE, gap=(0.0, 0.0)) == pytest.approx(0.0)
+
+    def test_triangle_inequality_with_fixed_gap(self, rng):
+        g = (0.0, 0.0)
+        for _ in range(10):
+            a = rng.normal(size=(4, 2))
+            b = rng.normal(size=(5, 2))
+            c = rng.normal(size=(3, 2))
+            ab = erp_distance(a, b, gap=g)
+            bc = erp_distance(b, c, gap=g)
+            ac = erp_distance(a, c, gap=g)
+            assert ac <= ab + bc + 1e-9
+
+    def test_gap_cost_for_extra_points(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[1.0, 0.0], [3.0, 0.0]])
+        # extra point costs its distance to the gap point
+        assert erp_distance(a, b, gap=(0.0, 0.0)) == pytest.approx(3.0)
+
+    def test_default_gap_is_centroid(self):
+        value = erp_distance(SQUARE, SQUARE)
+        assert value == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        g = (0.0, 0.0)
+        assert erp_distance(SQUARE, LINE, gap=g) == pytest.approx(erp_distance(LINE, SQUARE, gap=g))
+
+    def test_measure_class(self):
+        m = ERP(gap=(0.0, 0.0))
+        assert not m.higher_is_better
+        assert m(traj(SQUARE), traj(SQUARE)) == pytest.approx(0.0)
+
+
+class TestFrechet:
+    def test_identical_is_zero(self):
+        assert frechet_distance(SQUARE, SQUARE) == pytest.approx(0.0)
+
+    def test_parallel_lines(self):
+        a = np.column_stack([np.arange(5.0), np.zeros(5)])
+        b = np.column_stack([np.arange(5.0), np.full(5, 3.0)])
+        assert frechet_distance(a, b) == pytest.approx(3.0)
+
+    def test_sensitive_to_single_outlier(self):
+        a = np.column_stack([np.arange(5.0), np.zeros(5)])
+        b = a.copy()
+        b[2, 1] = 50.0  # one noisy point dominates
+        assert frechet_distance(a, b) == pytest.approx(50.0)
+
+    def test_at_least_endpoint_distance(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(4, 2))
+        d = frechet_distance(a, b)
+        assert d >= np.hypot(*(a[0] - b[0])) - 1e-9
+        assert d >= np.hypot(*(a[-1] - b[-1])) - 1e-9
+
+    def test_symmetric(self):
+        assert frechet_distance(SQUARE, LINE) == pytest.approx(frechet_distance(LINE, SQUARE))
+
+    def test_measure_class(self):
+        m = Frechet()
+        assert not m.higher_is_better
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self):
+        assert hausdorff_distance(SQUARE, SQUARE) == 0.0
+
+    def test_order_invariant(self):
+        shuffled = SQUARE[[2, 0, 3, 1]]
+        assert hausdorff_distance(SQUARE, shuffled) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        assert hausdorff_distance(SQUARE, LINE) == pytest.approx(
+            hausdorff_distance(LINE, SQUARE)
+        )
+
+    def test_measure_class(self):
+        m = Hausdorff()
+        assert not m.higher_is_better
+        assert m(traj(SQUARE), traj(SQUARE)) == 0.0

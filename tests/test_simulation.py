@@ -1,0 +1,208 @@
+"""Unit tests for the mobility simulation substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.simulation.floorplan import FloorPlan
+from repro.simulation.pedestrian import (
+    simulate_companions,
+    simulate_pedestrian_path,
+    simulate_visitors,
+)
+from repro.simulation.roadnet import RoadNetwork
+from repro.simulation.vehicle import simulate_taxi_fleet, simulate_taxi_path
+
+
+class TestRoadNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return RoadNetwork.manhattan(n_rows=8, n_cols=8, rng=np.random.default_rng(0))
+
+    def test_connected(self, network):
+        assert nx.is_connected(network.graph)
+
+    def test_requires_connected_graph(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0, 0))
+        g.add_node(1, pos=(1, 1))
+        with pytest.raises(ValueError, match="connected"):
+            RoadNetwork(g)
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError, match="node"):
+            RoadNetwork(nx.Graph())
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError, match="2x2"):
+            RoadNetwork.manhattan(n_rows=1, n_cols=5)
+
+    def test_edges_have_lengths(self, network):
+        for _u, _v, data in network.graph.edges(data=True):
+            assert data["length"] > 0
+
+    def test_bounding_box_sane(self, network):
+        min_x, min_y, max_x, max_y = network.bounding_box()
+        assert max_x - min_x > 700  # 8 blocks of ~150 m
+        assert max_y - min_y > 700
+
+    def test_route_endpoints(self, network):
+        rng = np.random.default_rng(1)
+        a, b = network.random_od_pair(rng, min_distance=400)
+        route = network.route(a, b)
+        np.testing.assert_allclose(route[0], network.position(a))
+        np.testing.assert_allclose(route[-1], network.position(b))
+
+    def test_od_pair_respects_min_distance(self, network):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = network.random_od_pair(rng, min_distance=600)
+            d = np.hypot(*(network.position(a) - network.position(b)))
+            assert d >= 600
+
+    def test_od_pair_impossible_distance_raises(self, network):
+        rng = np.random.default_rng(3)
+        with pytest.raises(RuntimeError, match="O-D pair"):
+            network.random_od_pair(rng, min_distance=1e9)
+
+    def test_removal_keeps_connectivity(self):
+        net = RoadNetwork.manhattan(
+            n_rows=6, n_cols=6, removal_fraction=0.4, rng=np.random.default_rng(4)
+        )
+        assert nx.is_connected(net.graph)
+
+    def test_deterministic_with_seed(self):
+        a = RoadNetwork.manhattan(n_rows=5, n_cols=5, rng=np.random.default_rng(7))
+        b = RoadNetwork.manhattan(n_rows=5, n_cols=5, rng=np.random.default_rng(7))
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+
+class TestTaxiSimulation:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return RoadNetwork.manhattan(n_rows=8, n_cols=8, rng=np.random.default_rng(0))
+
+    def test_path_is_time_ordered(self, network):
+        path = simulate_taxi_path(network, np.random.default_rng(1))
+        assert np.all(np.diff(path.t) >= 0)
+
+    def test_path_speeds_plausible(self, network):
+        path = simulate_taxi_path(network, np.random.default_rng(2))
+        seg = np.diff(path.xy, axis=0)
+        dt = np.diff(path.t)
+        speeds = np.hypot(seg[:, 0], seg[:, 1])[dt > 0] / dt[dt > 0]
+        assert (speeds > 0.3).all()
+        assert (speeds < 31.0).all()
+
+    def test_min_trip_distance_honored(self, network):
+        path = simulate_taxi_path(network, np.random.default_rng(3), min_trip_distance=800)
+        start = path.xy[0]
+        end = path.xy[-1]
+        assert np.hypot(*(end - start)) >= 800 * 0.99
+
+    def test_start_time_offset(self, network):
+        path = simulate_taxi_path(network, np.random.default_rng(4), start_time=500.0)
+        assert path.start_time == pytest.approx(500.0)
+
+    def test_fleet_size_and_ids(self, network):
+        fleet = simulate_taxi_fleet(network, 5, np.random.default_rng(5))
+        assert len(fleet) == 5
+        assert len({p.object_id for p in fleet}) == 5
+
+    def test_fleet_start_times_spread(self, network):
+        fleet = simulate_taxi_fleet(network, 20, np.random.default_rng(6), time_window=3600)
+        starts = [p.start_time for p in fleet]
+        assert max(starts) - min(starts) > 600
+
+    def test_fleet_invalid_count(self, network):
+        with pytest.raises(ValueError):
+            simulate_taxi_fleet(network, 0, np.random.default_rng(0))
+
+
+class TestFloorPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return FloorPlan.generate(rng=np.random.default_rng(0))
+
+    def test_connected(self, plan):
+        assert nx.is_connected(plan.graph)
+
+    def test_has_stores_and_corridors(self, plan):
+        assert len(plan.stores) > 0
+        assert len(plan.corridors) > 0
+
+    def test_store_nodes_kind(self, plan):
+        for s in plan.stores:
+            assert plan.graph.nodes[s]["kind"] == "store"
+
+    def test_too_small_lattice_rejected(self):
+        with pytest.raises(ValueError, match="2x2"):
+            FloorPlan.generate(n_corridors_x=1)
+
+    def test_route_walkable(self, plan):
+        rng = np.random.default_rng(1)
+        a = plan.random_entrance(rng)
+        b = plan.random_store(rng)
+        route = plan.route(a, b)
+        np.testing.assert_allclose(route[0], plan.position(a))
+        np.testing.assert_allclose(route[-1], plan.position(b))
+
+    def test_entrance_on_boundary(self, plan):
+        rng = np.random.default_rng(2)
+        min_x, min_y, max_x, max_y = plan.bounding_box()
+        corridor_pts = np.array([plan.position(n) for n in plan.corridors])
+        cmn, cmx = corridor_pts.min(axis=0), corridor_pts.max(axis=0)
+        for _ in range(10):
+            e = plan.random_entrance(rng)
+            x, y = plan.position(e)
+            assert x in (cmn[0], cmx[0]) or y in (cmn[1], cmx[1])
+
+
+class TestPedestrianSimulation:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return FloorPlan.generate(rng=np.random.default_rng(0))
+
+    def test_path_time_ordered(self, plan):
+        path = simulate_pedestrian_path(plan, np.random.default_rng(1))
+        assert np.all(np.diff(path.t) >= 0)
+
+    def test_walking_speeds_human(self, plan):
+        path = simulate_pedestrian_path(plan, np.random.default_rng(2))
+        seg = np.diff(path.xy, axis=0)
+        dt = np.diff(path.t)
+        moving = np.hypot(seg[:, 0], seg[:, 1]) > 1e-9
+        speeds = np.hypot(seg[moving, 0], seg[moving, 1]) / dt[moving]
+        assert (speeds < 3.1).all()
+
+    def test_dwell_creates_stationary_segments(self, plan):
+        path = simulate_pedestrian_path(plan, np.random.default_rng(3), dwell_mean=300.0)
+        seg = np.diff(path.xy, axis=0)
+        dt = np.diff(path.t)
+        stationary = (np.hypot(seg[:, 0], seg[:, 1]) < 1e-9) & (dt > 1.0)
+        assert stationary.any()
+
+    def test_invalid_stops(self, plan):
+        with pytest.raises(ValueError):
+            simulate_pedestrian_path(plan, np.random.default_rng(0), n_stops=0)
+
+    def test_visitors_spread_and_ids(self, plan):
+        visitors = simulate_visitors(plan, 8, np.random.default_rng(4))
+        assert len(visitors) == 8
+        assert len({v.object_id for v in visitors}) == 8
+
+    def test_visitors_invalid_count(self, plan):
+        with pytest.raises(ValueError):
+            simulate_visitors(plan, 0, np.random.default_rng(0))
+
+    def test_companions_colocated(self, plan):
+        leader, follower = simulate_companions(
+            plan, np.random.default_rng(5), lateral_offset=1.0
+        )
+        assert leader.start_time == follower.start_time
+        # At every shared instant the two are exactly 1 m apart.
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0]:
+            t = leader.start_time + frac * (leader.end_time - leader.start_time)
+            la = np.array(leader.locate(t))
+            fo = np.array(follower.locate(t))
+            assert np.hypot(*(la - fo)) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,147 @@
+"""Unit tests for the personalized speed models (Eq. 6–7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.speed import (
+    GaussianSpeedModel,
+    KDESpeedModel,
+    silverman_bandwidth,
+)
+from repro.core.trajectory import Trajectory
+
+
+class TestSilvermanBandwidth:
+    def test_formula(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        sigma = samples.std()
+        expected = (4.0 * sigma**5 / (3.0 * 5)) ** 0.2
+        assert silverman_bandwidth(samples) == pytest.approx(expected)
+
+    def test_empty_samples_floor(self):
+        assert silverman_bandwidth(np.array([])) == pytest.approx(1e-3)
+
+    def test_single_sample_scales_with_magnitude(self):
+        h = silverman_bandwidth(np.array([10.0]))
+        assert h == pytest.approx(0.5)  # 0.05 * 10
+
+    def test_zero_variance_floor(self):
+        h = silverman_bandwidth(np.array([2.0, 2.0, 2.0]))
+        assert h > 0
+        assert h == pytest.approx(0.1)  # 0.05 * 2
+
+    def test_shrinks_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(5, 1, size=10)
+        big = np.concatenate([small] * 100)
+        assert silverman_bandwidth(big) < silverman_bandwidth(small)
+
+
+class TestKDESpeedModel:
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KDESpeedModel([1.0, -0.5])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            KDESpeedModel([1.0, np.nan])
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            KDESpeedModel([1.0, 2.0], bandwidth=0.0)
+
+    def test_density_matches_eq6(self):
+        samples = np.array([1.0, 2.0, 3.0])
+        model = KDESpeedModel(samples, bandwidth=0.5, approx=False)
+        v = 1.7
+        kernel = lambda z: np.exp(-0.5 * z * z) / np.sqrt(2 * np.pi)  # noqa: E731
+        expected = np.mean([kernel((v - s) / 0.5) for s in samples]) / 0.5
+        assert model.density(v) == pytest.approx(expected)
+
+    def test_transition_weight_is_h_times_density(self):
+        model = KDESpeedModel([1.0, 2.0, 4.0], bandwidth=0.3, approx=False)
+        v = 2.2
+        assert model.transition_weight(v) == pytest.approx(0.3 * model.density(v))
+
+    def test_density_integrates_to_one(self):
+        model = KDESpeedModel([1.0, 1.5, 2.0, 3.0], approx=False)
+        xs = np.linspace(-20, 30, 20001)
+        integral = np.trapezoid(model.density(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_density_peaks_near_samples(self):
+        model = KDESpeedModel([2.0] * 10, bandwidth=0.2, approx=False)
+        assert model.density(2.0) > model.density(3.0)
+        assert model.density(2.0) > model.density(1.0)
+
+    def test_vector_and_scalar_agree(self):
+        model = KDESpeedModel([1.0, 2.0], approx=False)
+        vec = model.density(np.array([1.5, 2.5]))
+        assert vec[0] == pytest.approx(model.density(1.5))
+        assert vec[1] == pytest.approx(model.density(2.5))
+
+    def test_interpolated_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        samples = np.abs(rng.normal(2.0, 0.7, size=200))
+        exact = KDESpeedModel(samples, approx=False)
+        approx = KDESpeedModel(samples, approx=True)
+        vs = np.linspace(0, exact.max_plausible_speed(), 500)
+        # interp path only triggers on large batches
+        np.testing.assert_allclose(
+            approx.transition_weight(vs), exact.transition_weight(vs), atol=1e-6
+        )
+
+    def test_interp_zero_beyond_plausible(self):
+        model = KDESpeedModel(np.full(100, 2.0), bandwidth=0.1)
+        vs = np.full(100, model.max_plausible_speed() * 2)
+        assert np.all(model.transition_weight(vs) == 0.0)
+
+    def test_from_trajectory(self, straight_trajectory):
+        model = KDESpeedModel.from_trajectory(straight_trajectory)
+        np.testing.assert_allclose(model.samples, np.ones(9))
+
+    def test_from_trajectories_pools(self, straight_trajectory):
+        fast = Trajectory.from_arrays([0, 10], [0, 0], [0, 1])
+        model = KDESpeedModel.from_trajectories([straight_trajectory, fast])
+        assert len(model.samples) == 10
+        assert 10.0 in model.samples
+
+    def test_degenerate_single_point_trajectory(self, single_point_trajectory):
+        model = KDESpeedModel.from_trajectory(single_point_trajectory)
+        assert len(model.samples) == 0
+        assert model.transition_weight(0.0) > 0  # nearly-stationary prior
+        assert model.transition_weight(100.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_max_plausible_speed(self):
+        model = KDESpeedModel([1.0, 5.0], bandwidth=0.5, truncate=4.0)
+        assert model.max_plausible_speed() == pytest.approx(5.0 + 2.0)
+
+    def test_repr(self):
+        assert "n=2" in repr(KDESpeedModel([1.0, 2.0]))
+
+
+class TestGaussianSpeedModel:
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            GaussianSpeedModel(mean=1.0, std=0.0)
+
+    def test_density_is_normal_pdf(self):
+        model = GaussianSpeedModel(mean=2.0, std=0.5)
+        from scipy.stats import norm
+
+        assert model.density(2.3) == pytest.approx(norm.pdf(2.3, 2.0, 0.5))
+
+    def test_transition_weight_peak_at_mean(self):
+        model = GaussianSpeedModel(mean=2.0, std=0.5)
+        assert model.transition_weight(2.0) > model.transition_weight(3.0)
+        assert model.transition_weight(2.0) == pytest.approx(1 / np.sqrt(2 * np.pi))
+
+    def test_max_plausible_speed(self):
+        model = GaussianSpeedModel(mean=2.0, std=0.5, truncate=3.0)
+        assert model.max_plausible_speed() == pytest.approx(3.5)
+
+    def test_vectorized(self):
+        model = GaussianSpeedModel(mean=1.0, std=1.0)
+        out = model.density(np.array([0.0, 1.0, 2.0]))
+        assert out.shape == (3,)
+        assert out[1] == max(out)

@@ -1,0 +1,91 @@
+"""Unit tests for the STLIP measure."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.similarity import STLIP, lip_distance, stlip_distance
+
+
+def route(y, ts=None, n=11, length=10.0):
+    xs = np.linspace(0.0, length, n)
+    ts = np.linspace(0.0, 10.0, n) if ts is None else ts
+    return Trajectory.from_arrays(xs, np.full(n, float(y)), ts)
+
+
+class TestLIP:
+    def test_identical_routes_zero(self):
+        a = route(0.0)
+        assert lip_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_parallel_routes_area(self):
+        # Two parallel 10 m segments 3 m apart enclose a 30 m² strip.
+        a = route(0.0)
+        b = route(3.0)
+        assert lip_distance(a, b) == pytest.approx(30.0, rel=0.02)
+
+    def test_grows_with_separation(self):
+        a = route(0.0)
+        assert lip_distance(a, route(5.0)) > lip_distance(a, route(1.0))
+
+    def test_sampling_invariance(self):
+        # LIP depends on the geometry, not on how densely it was sampled.
+        a_dense = route(0.0, n=41)
+        a_sparse = route(0.0, n=3)
+        b = route(4.0)
+        dense = lip_distance(a_dense, b)
+        sparse = lip_distance(a_sparse, b)
+        assert dense == pytest.approx(sparse, rel=0.05)
+
+    def test_stationary_trajectory(self):
+        still = Trajectory.from_arrays([5.0, 5.0], [2.0, 2.0], [0.0, 10.0])
+        moving = route(0.0)
+        assert lip_distance(still, moving) > 0
+
+    def test_invalid_inputs(self):
+        a = route(0.0)
+        with pytest.raises(ValueError):
+            lip_distance(Trajectory([]), a)
+        with pytest.raises(ValueError):
+            lip_distance(a, a, n_samples=1)
+
+
+class TestSTLIP:
+    def test_reduces_to_lip_when_kappa_zero(self):
+        a = route(0.0)
+        b = route(3.0)
+        assert stlip_distance(a, b, kappa=0.0) == pytest.approx(lip_distance(a, b))
+
+    def test_time_shift_inflates_distance(self):
+        a = route(0.0)
+        sync = route(2.0)
+        late = route(2.0, ts=np.linspace(5.0, 15.0, 11))
+        assert stlip_distance(a, late, kappa=1.0) > stlip_distance(a, sync, kappa=1.0)
+
+    def test_symmetric(self):
+        a = route(0.0)
+        b = route(3.0, ts=np.linspace(2.0, 9.0, 11))
+        assert stlip_distance(a, b) == pytest.approx(stlip_distance(b, a))
+
+    def test_kappa_scales_penalty(self):
+        a = route(0.0)
+        late = route(2.0, ts=np.linspace(5.0, 15.0, 11))
+        weak = stlip_distance(a, late, kappa=0.5)
+        strong = stlip_distance(a, late, kappa=2.0)
+        assert strong > weak
+
+    def test_invalid_kappa(self):
+        a = route(0.0)
+        with pytest.raises(ValueError):
+            stlip_distance(a, a, kappa=-1.0)
+        with pytest.raises(ValueError):
+            STLIP(kappa=-0.1)
+
+    def test_measure_orientation_and_registry(self):
+        m = STLIP()
+        assert not m.higher_is_better
+        a, b = route(0.0), route(3.0)
+        assert m.score(a, b) == -m(a, b)
+        from repro.similarity import available_measures
+
+        assert "stlip" in available_measures()

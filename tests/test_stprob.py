@@ -1,0 +1,207 @@
+"""Unit tests for spatial-temporal probability estimation (Eq. 4–5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import DeterministicNoiseModel, GaussianNoiseModel
+from repro.core.speed import KDESpeedModel
+from repro.core.stprob import TrajectorySTP
+from repro.core.transition import FrequencyTransitionModel, SpeedTransitionModel
+from repro.core.trajectory import Trajectory
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 40, 20, cell_size=2.0)
+
+
+@pytest.fixture
+def walker():
+    """Walks east at 1 m/s along y=10, sampled every 4 s."""
+    xs = [2.0, 6.0, 10.0, 14.0, 18.0, 22.0]
+    return Trajectory.from_arrays(xs, [10.0] * 6, [0.0, 4.0, 8.0, 12.0, 16.0, 20.0])
+
+
+def make_stp(traj, grid, mode="auto", noise=None, transition=None):
+    noise = noise if noise is not None else GaussianNoiseModel(2.0)
+    transition = transition or SpeedTransitionModel(
+        KDESpeedModel.from_trajectory(traj, approx=False)
+    )
+    return TrajectorySTP(traj, grid, noise, transition, mode=mode)
+
+
+class TestConstruction:
+    def test_empty_trajectory_rejected(self, grid):
+        with pytest.raises(ValueError, match="empty"):
+            make_stp(Trajectory([]), grid)
+
+    def test_invalid_mode(self, grid, walker):
+        with pytest.raises(ValueError, match="mode"):
+            make_stp(walker, grid, mode="warp")
+
+    def test_fft_requires_isotropic(self, grid, walker):
+        freq = FrequencyTransitionModel(grid).fit([walker])
+        with pytest.raises(ValueError, match="isotropic"):
+            make_stp(walker, grid, mode="fft", transition=freq)
+
+    def test_auto_resolves_by_model(self, grid, walker):
+        stp = make_stp(walker, grid, mode="auto")
+        assert stp._resolved_mode == "fft"
+        freq = FrequencyTransitionModel(grid).fit([walker])
+        stp2 = make_stp(walker, grid, mode="auto", transition=freq)
+        assert stp2._resolved_mode == "pruned"
+
+
+class TestEq5Cases:
+    def test_outside_span_is_zero(self, grid, walker):
+        stp = make_stp(walker, grid)
+        cells, probs = stp.stp(-5.0)
+        assert len(cells) == 0 and len(probs) == 0
+        assert stp.stp_dense(25.0).sum() == 0.0
+
+    def test_observed_time_returns_noise_distribution(self, grid, walker):
+        noise = GaussianNoiseModel(2.0)
+        stp = make_stp(walker, grid, noise=noise)
+        cells, probs = stp.stp(8.0)  # third observation at (10, 10)
+        exp_cells, exp_probs = noise.cell_distribution(grid, 10.0, 10.0)
+        np.testing.assert_array_equal(cells, exp_cells)
+        np.testing.assert_allclose(probs, exp_probs)
+
+    def test_interpolated_sums_to_one(self, grid, walker):
+        stp = make_stp(walker, grid)
+        for t in [1.0, 2.0, 6.5, 13.7, 19.9]:
+            _, probs = stp.stp(t)
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_interpolated_mass_near_expected_position(self, grid, walker):
+        stp = make_stp(walker, grid)
+        cells, probs = stp.stp(10.0)  # expect near x=12, y=10
+        centers = grid.centers()[cells]
+        mean_x = float(np.dot(probs, centers[:, 0]))
+        mean_y = float(np.dot(probs, centers[:, 1]))
+        assert mean_x == pytest.approx(12.0, abs=2.5)
+        assert mean_y == pytest.approx(10.0, abs=2.5)
+
+    def test_interpolation_follows_time(self, grid, walker):
+        stp = make_stp(walker, grid)
+        xs = []
+        for t in [1.0, 5.0, 9.0, 13.0, 17.0]:
+            cells, probs = stp.stp(t)
+            centers = grid.centers()[cells]
+            xs.append(float(np.dot(probs, centers[:, 0])))
+        assert all(a < b for a, b in zip(xs, xs[1:]))  # drifts east over time
+
+
+class TestModeAgreement:
+    @pytest.mark.parametrize("t", [1.0, 6.5, 10.0, 15.3, 19.0])
+    def test_pruned_matches_dense(self, grid, walker, t):
+        dense = make_stp(walker, grid, mode="dense")
+        pruned = make_stp(walker, grid, mode="pruned")
+        np.testing.assert_allclose(
+            pruned.stp_dense(t), dense.stp_dense(t), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("t", [1.0, 6.5, 10.0, 15.3, 19.0])
+    def test_fft_matches_dense(self, grid, walker, t):
+        dense = make_stp(walker, grid, mode="dense")
+        fft = make_stp(walker, grid, mode="fft")
+        np.testing.assert_allclose(fft.stp_dense(t), dense.stp_dense(t), atol=1e-9)
+
+    def test_fft_matches_dense_with_deterministic_noise(self, grid, walker):
+        dense = make_stp(walker, grid, mode="dense", noise=DeterministicNoiseModel())
+        fft = make_stp(walker, grid, mode="fft", noise=DeterministicNoiseModel())
+        for t in [2.0, 9.5, 18.0]:
+            np.testing.assert_allclose(fft.stp_dense(t), dense.stp_dense(t), atol=1e-9)
+
+
+class TestCachingAndFallback:
+    def test_cache_returns_same_object(self, grid, walker):
+        stp = make_stp(walker, grid)
+        a = stp.stp(6.5)
+        b = stp.stp(6.5)
+        assert a[0] is b[0]
+
+    def test_clear_cache(self, grid, walker):
+        stp = make_stp(walker, grid)
+        stp.stp(6.5)
+        stp.clear_cache()
+        assert stp._cache == {}
+
+    def test_underflow_falls_back_to_linear_interpolation(self, grid):
+        # Consecutive points 30 m apart in 1 s but the speed model believes
+        # ~0.1 m/s: every transition weight underflows to 0.
+        traj = Trajectory.from_arrays([2.0, 32.0], [10.0, 10.0], [0.0, 1.0])
+        slow = SpeedTransitionModel(KDESpeedModel([0.1], bandwidth=0.001, approx=False))
+        stp = TrajectorySTP(traj, grid, GaussianNoiseModel(1.0), slow)
+        cells, probs = stp.stp(0.5)
+        assert len(cells) == 1
+        assert probs[0] == pytest.approx(1.0)
+        # Mass sits at the midpoint cell (17, 10).
+        assert cells[0] == grid.cell_of(17.0, 10.0)
+
+    def test_duplicate_timestamp_uses_first_observation(self, grid):
+        traj = Trajectory.from_arrays([2.0, 4.0, 6.0], [10.0, 10.0, 10.0], [0.0, 5.0, 5.0])
+        stp = make_stp(traj, grid)
+        cells, probs = stp.stp(5.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestCredibleCells:
+    def test_mass_covered(self, grid, walker):
+        stp = make_stp(walker, grid)
+        for t in (4.0, 6.5, 13.7):
+            for mass in (0.5, 0.9, 1.0):
+                region = stp.credible_cells(t, mass=mass)
+                cells, probs = stp.stp(t)
+                lookup = dict(zip(cells.tolist(), probs.tolist()))
+                covered = sum(lookup[c] for c in region.tolist())
+                assert covered >= mass - 1e-9
+
+    def test_minimal_region(self, grid, walker):
+        # dropping the least-probable member must fall below the mass
+        stp = make_stp(walker, grid)
+        region = stp.credible_cells(6.5, mass=0.9)
+        cells, probs = stp.stp(6.5)
+        lookup = dict(zip(cells.tolist(), probs.tolist()))
+        members = sorted(region.tolist(), key=lambda c: lookup[c])
+        without_smallest = sum(lookup[c] for c in members[1:])
+        assert without_smallest < 0.9
+
+    def test_tighter_mass_smaller_region(self, grid, walker):
+        stp = make_stp(walker, grid)
+        small = stp.credible_cells(6.5, mass=0.5)
+        big = stp.credible_cells(6.5, mass=0.99)
+        assert len(small) <= len(big)
+        assert set(small.tolist()) <= set(big.tolist())
+
+    def test_outside_span_empty(self, grid, walker):
+        stp = make_stp(walker, grid)
+        assert len(stp.credible_cells(-10.0)) == 0
+
+    def test_point_mass_single_cell(self, grid, walker):
+        stp = make_stp(walker, grid, noise=DeterministicNoiseModel())
+        region = stp.credible_cells(4.0, mass=1.0)
+        assert len(region) == 1
+
+    def test_invalid_mass(self, grid, walker):
+        stp = make_stp(walker, grid)
+        with pytest.raises(ValueError, match="mass"):
+            stp.credible_cells(4.0, mass=0.0)
+        with pytest.raises(ValueError, match="mass"):
+            stp.credible_cells(4.0, mass=1.5)
+
+
+class TestFrequencyBackend:
+    def test_frequency_transition_stp_normalizes(self, grid, walker):
+        freq = FrequencyTransitionModel(grid).fit([walker])
+        stp = make_stp(walker, grid, transition=freq)
+        _, probs = stp.stp(6.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_single_point_trajectory_stp(self, grid):
+        traj = Trajectory.from_arrays([10.0], [10.0], [5.0])
+        stp = make_stp(traj, grid)
+        cells, probs = stp.stp(5.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert len(stp.stp(4.0)[0]) == 0  # outside span

@@ -1,0 +1,116 @@
+"""Unit tests for the streaming co-location detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.streaming import PairScore, SightingEvent, StreamingColocationDetector
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 100, 40, cell_size=2.0)
+
+
+def feed_walk(detector, oid, x0, y, t0, n=8, dt=5.0, speed=1.0):
+    for k in range(n):
+        detector.ingest(SightingEvent(oid, x0 + speed * k * dt, y, t0 + k * dt))
+
+
+class TestIngestAndWindows:
+    def test_invalid_params(self, grid):
+        with pytest.raises(ValueError):
+            StreamingColocationDetector(grid, window=0.0)
+        with pytest.raises(ValueError):
+            StreamingColocationDetector(grid, min_points=0)
+
+    def test_stream_time_advances(self, grid):
+        detector = StreamingColocationDetector(grid)
+        assert detector.stream_time == float("-inf")
+        detector.ingest(SightingEvent("a", 1, 1, 100.0))
+        assert detector.stream_time == 100.0
+        detector.ingest(SightingEvent("a", 1, 1, 50.0))  # late event
+        assert detector.stream_time == 100.0
+
+    def test_window_eviction(self, grid):
+        detector = StreamingColocationDetector(grid, window=30.0)
+        feed_walk(detector, "a", 0, 10, t0=0.0, n=10, dt=10.0)  # spans 0..90
+        window = detector.window_of("a")
+        assert window.start_time >= detector.stream_time - 30.0
+
+    def test_too_late_events_dropped(self, grid):
+        detector = StreamingColocationDetector(grid, window=30.0)
+        detector.ingest(SightingEvent("a", 0, 0, 100.0))
+        detector.ingest(SightingEvent("a", 0, 0, 10.0))  # far before horizon
+        assert len(detector.window_of("a")) == 1
+
+    def test_out_of_order_events_sorted(self, grid):
+        detector = StreamingColocationDetector(grid, window=100.0)
+        detector.ingest(SightingEvent("a", 0, 0, 10.0))
+        detector.ingest(SightingEvent("a", 2, 0, 30.0))
+        detector.ingest(SightingEvent("a", 1, 0, 20.0))  # arrives late
+        window = detector.window_of("a")
+        assert list(window.timestamps) == [10.0, 20.0, 30.0]
+
+    def test_active_objects(self, grid):
+        detector = StreamingColocationDetector(grid, window=50.0)
+        detector.ingest(SightingEvent("b", 0, 0, 0.0))
+        detector.ingest(SightingEvent("a", 0, 0, 10.0))
+        assert detector.active_objects == ["a", "b"]
+        # advance time far enough to expire both
+        detector.ingest(SightingEvent("c", 0, 0, 1000.0))
+        assert detector.active_objects == ["c"]
+
+    def test_ingest_many(self, grid):
+        detector = StreamingColocationDetector(grid)
+        detector.ingest_many(SightingEvent("a", k, 0, float(k)) for k in range(5))
+        assert len(detector.window_of("a")) == 5
+
+
+class TestEvaluation:
+    def test_companions_score_highest(self, grid):
+        detector = StreamingColocationDetector(grid, window=300.0)
+        feed_walk(detector, "alice", x0=0, y=10, t0=0.0)
+        feed_walk(detector, "bob", x0=1, y=11, t0=2.0)  # walks with alice
+        feed_walk(detector, "carol", x0=0, y=35, t0=1.0)  # different corridor
+        scores = detector.evaluate()
+        assert scores[0].object_a == "alice" and scores[0].object_b == "bob"
+
+    def test_threshold_filters(self, grid):
+        detector = StreamingColocationDetector(grid, window=300.0)
+        feed_walk(detector, "alice", x0=0, y=10, t0=0.0)
+        feed_walk(detector, "carol", x0=0, y=35, t0=1.0)
+        assert detector.evaluate(threshold=0.5) == []
+
+    def test_min_points_guard(self, grid):
+        detector = StreamingColocationDetector(grid, window=300.0, min_points=5)
+        feed_walk(detector, "a", 0, 10, 0.0, n=3)
+        feed_walk(detector, "b", 0, 10, 0.0, n=8)
+        assert detector.evaluate() == []  # only one scorable object
+
+    def test_companions_of(self, grid):
+        detector = StreamingColocationDetector(grid, window=300.0)
+        feed_walk(detector, "alice", x0=0, y=10, t0=0.0)
+        feed_walk(detector, "bob", x0=1, y=10.5, t0=2.0)
+        feed_walk(detector, "carol", x0=0, y=35, t0=1.0)
+        companions = detector.companions_of("alice")
+        assert companions[0].object_b == "bob"
+        assert all(c.similarity <= companions[0].similarity for c in companions)
+
+    def test_companions_of_sparse_target(self, grid):
+        detector = StreamingColocationDetector(grid, min_points=5)
+        feed_walk(detector, "a", 0, 10, 0.0, n=2)
+        assert detector.companions_of("a") == []
+
+    def test_windowing_forgets_old_companionship(self, grid):
+        detector = StreamingColocationDetector(grid, window=60.0)
+        # together long ago
+        feed_walk(detector, "alice", x0=0, y=10, t0=0.0)
+        feed_walk(detector, "bob", x0=1, y=10.5, t0=1.0)
+        # alice continues alone much later; bob's window expires
+        feed_walk(detector, "alice", x0=50, y=10, t0=500.0)
+        scores = detector.evaluate()
+        assert all({s.object_a, s.object_b} != {"alice", "bob"} for s in scores)
+
+    def test_pair_score_str(self):
+        assert "a ~ b" in str(PairScore("a", "b", 0.25))

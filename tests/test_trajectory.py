@@ -1,0 +1,224 @@
+"""Unit tests for the trajectory data model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Path, Trajectory, TrajectoryPoint
+
+
+class TestTrajectoryPoint:
+    def test_location_property(self):
+        p = TrajectoryPoint(1.0, 2.0, 3.0)
+        assert p.location == (1.0, 2.0)
+
+    def test_distance_is_euclidean(self):
+        a = TrajectoryPoint(0.0, 0.0, 0.0)
+        b = TrajectoryPoint(3.0, 4.0, 1.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a = TrajectoryPoint(1.0, 1.0, 0.0)
+        b = TrajectoryPoint(-2.0, 5.0, 9.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_speed_to(self):
+        a = TrajectoryPoint(0.0, 0.0, 0.0)
+        b = TrajectoryPoint(6.0, 8.0, 5.0)
+        assert a.speed_to(b) == pytest.approx(2.0)
+
+    def test_speed_same_timestamp_raises(self):
+        a = TrajectoryPoint(0.0, 0.0, 7.0)
+        b = TrajectoryPoint(1.0, 0.0, 7.0)
+        with pytest.raises(ValueError):
+            a.speed_to(b)
+
+    def test_frozen(self):
+        p = TrajectoryPoint(0.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0  # type: ignore[misc]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            TrajectoryPoint(bad, 0.0, 0.0)
+        with pytest.raises(ValueError, match="finite"):
+            TrajectoryPoint(0.0, bad, 0.0)
+        with pytest.raises(ValueError, match="finite"):
+            TrajectoryPoint(0.0, 0.0, bad)
+
+    def test_non_finite_rejected_via_from_arrays(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trajectory.from_arrays([0.0, float("nan")], [0.0, 0.0], [0.0, 1.0])
+
+
+class TestTrajectoryConstruction:
+    def test_points_sorted_by_time(self):
+        pts = [TrajectoryPoint(2, 0, 2), TrajectoryPoint(0, 0, 0), TrajectoryPoint(1, 0, 1)]
+        traj = Trajectory(pts)
+        assert [p.t for p in traj] == [0, 1, 2]
+        assert [p.x for p in traj] == [0, 1, 2]
+
+    def test_from_arrays_roundtrip(self, straight_trajectory):
+        assert len(straight_trajectory) == 10
+        np.testing.assert_allclose(straight_trajectory.xy[:, 0], np.arange(10.0))
+        np.testing.assert_allclose(straight_trajectory.timestamps, np.arange(10.0))
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Trajectory.from_arrays([1, 2], [1], [1, 2])
+
+    def test_empty_allowed_but_guarded(self):
+        traj = Trajectory([])
+        assert len(traj) == 0
+        with pytest.raises(ValueError):
+            _ = traj.start_time
+
+    def test_equality_and_hash(self):
+        a = Trajectory.from_arrays([0, 1], [0, 0], [0, 1])
+        b = Trajectory.from_arrays([0, 1], [0, 0], [0, 1])
+        c = Trajectory.from_arrays([0, 2], [0, 0], [0, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_array_views_read_only(self, straight_trajectory):
+        with pytest.raises(ValueError):
+            straight_trajectory.xy[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            straight_trajectory.timestamps[0] = 99.0
+
+    def test_repr_mentions_id_and_span(self, straight_trajectory):
+        text = repr(straight_trajectory)
+        assert "straight" in text
+        assert "n=10" in text
+
+
+class TestTemporalQueries:
+    def test_span(self, straight_trajectory):
+        assert straight_trajectory.start_time == 0.0
+        assert straight_trajectory.end_time == 9.0
+        assert straight_trajectory.duration == 9.0
+
+    def test_covers_time(self, straight_trajectory):
+        assert straight_trajectory.covers_time(0.0)
+        assert straight_trajectory.covers_time(4.5)
+        assert straight_trajectory.covers_time(9.0)
+        assert not straight_trajectory.covers_time(-0.1)
+        assert not straight_trajectory.covers_time(9.1)
+
+    def test_index_of_time(self, straight_trajectory):
+        assert straight_trajectory.index_of_time(3.0) == 3
+        assert straight_trajectory.index_of_time(3.5) is None
+        assert straight_trajectory.index_of_time(100.0) is None
+
+    def test_bracketing_indices(self, straight_trajectory):
+        assert straight_trajectory.bracketing_indices(3.5) == (3, 4)
+        assert straight_trajectory.bracketing_indices(0.1) == (0, 1)
+
+    def test_bracketing_none_at_observation(self, straight_trajectory):
+        assert straight_trajectory.bracketing_indices(3.0) is None
+
+    def test_bracketing_none_outside(self, straight_trajectory):
+        assert straight_trajectory.bracketing_indices(-1.0) is None
+        assert straight_trajectory.bracketing_indices(10.0) is None
+
+
+class TestGeometry:
+    def test_length(self, l_shaped_trajectory):
+        assert l_shaped_trajectory.length() == pytest.approx(20.0)
+
+    def test_length_single_point(self, single_point_trajectory):
+        assert single_point_trajectory.length() == 0.0
+
+    def test_speeds_constant(self, straight_trajectory):
+        np.testing.assert_allclose(straight_trajectory.speeds(), np.ones(9))
+
+    def test_speeds_skip_zero_dt(self):
+        traj = Trajectory.from_arrays([0, 1, 1, 2], [0, 0, 0, 0], [0, 1, 1, 2])
+        speeds = traj.speeds()
+        assert len(speeds) == 2  # the duplicate timestamp pair is skipped
+        np.testing.assert_allclose(speeds, [1.0, 1.0])
+
+    def test_speeds_empty_for_short(self, single_point_trajectory):
+        assert len(single_point_trajectory.speeds()) == 0
+
+    def test_bounding_box(self, l_shaped_trajectory):
+        assert l_shaped_trajectory.bounding_box() == (0.0, 0.0, 10.0, 10.0)
+
+
+class TestTransformations:
+    def test_shifted(self, straight_trajectory):
+        moved = straight_trajectory.shifted(dx=1.0, dy=-2.0, dt=10.0)
+        assert moved[0].x == 1.0
+        assert moved[0].y == -2.0
+        assert moved[0].t == 10.0
+        assert len(moved) == len(straight_trajectory)
+        # original unchanged
+        assert straight_trajectory[0].x == 0.0
+
+    def test_subsample(self, straight_trajectory):
+        sub = straight_trajectory.subsample([0, 3, 7])
+        assert [p.x for p in sub] == [0.0, 3.0, 7.0]
+
+    def test_slice_returns_trajectory(self, straight_trajectory):
+        sub = straight_trajectory[2:5]
+        assert isinstance(sub, Trajectory)
+        assert len(sub) == 3
+        assert sub.object_id == "straight"
+
+    def test_with_object_id(self, straight_trajectory):
+        renamed = straight_trajectory.with_object_id("other")
+        assert renamed.object_id == "other"
+        assert renamed == straight_trajectory  # points unchanged
+
+    def test_interpolate_at_midpoint(self, straight_trajectory):
+        x, y = straight_trajectory.interpolate_at(4.5)
+        assert x == pytest.approx(4.5)
+        assert y == pytest.approx(0.0)
+
+    def test_interpolate_at_observation(self, straight_trajectory):
+        assert straight_trajectory.interpolate_at(3.0) == (3.0, 0.0)
+
+    def test_interpolate_outside_raises(self, straight_trajectory):
+        with pytest.raises(ValueError, match="outside"):
+            straight_trajectory.interpolate_at(99.0)
+
+
+class TestPath:
+    def test_locate_linear(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 0.0]]), np.array([0.0, 10.0]))
+        assert path.locate(5.0) == (5.0, 0.0)
+
+    def test_locate_outside_raises(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 0.0]]), np.array([0.0, 10.0]))
+        with pytest.raises(ValueError):
+            path.locate(11.0)
+
+    def test_sample_produces_trajectory(self):
+        path = Path(np.array([[0.0, 0.0], [10.0, 10.0]]), np.array([0.0, 10.0]), object_id="p")
+        traj = path.sample([0.0, 5.0, 10.0])
+        assert isinstance(traj, Trajectory)
+        assert traj.object_id == "p"
+        assert traj[1].x == pytest.approx(5.0)
+        assert traj[1].y == pytest.approx(5.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Path(np.zeros((3, 2)), np.zeros(2))
+
+    def test_decreasing_time_raises(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Path(np.zeros((2, 2)), np.array([1.0, 0.0]))
+
+    def test_span_properties(self):
+        path = Path(np.zeros((3, 2)), np.array([1.0, 2.0, 4.0]))
+        assert path.start_time == 1.0
+        assert path.end_time == 4.0
+        assert len(path) == 3
+
+    def test_locate_matches_hypotenuse(self):
+        path = Path(np.array([[0.0, 0.0], [3.0, 4.0]]), np.array([0.0, 1.0]))
+        x, y = path.locate(0.5)
+        assert math.hypot(x, y) == pytest.approx(2.5)

@@ -1,0 +1,149 @@
+"""Unit tests for transition probability estimators (Eq. 7 and STS-F)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.speed import GaussianSpeedModel, KDESpeedModel
+from repro.core.transition import FrequencyTransitionModel, SpeedTransitionModel
+from repro.core.trajectory import Trajectory
+
+
+class TestSpeedTransitionModel:
+    @pytest.fixture
+    def model(self):
+        return SpeedTransitionModel(KDESpeedModel([1.0, 1.2, 0.8], approx=False))
+
+    def test_isotropic_flag(self, model):
+        assert model.isotropic
+
+    def test_weight_matches_speed_density(self, model):
+        # moving 10 m in 10 s = 1 m/s, the mode of the sample speeds
+        w_likely = model.weights([[0.0, 0.0]], [[10.0, 0.0]], dt=10.0)
+        w_unlikely = model.weights([[0.0, 0.0]], [[100.0, 0.0]], dt=10.0)
+        assert w_likely[0, 0] > w_unlikely[0, 0]
+
+    def test_weight_shape(self, model):
+        w = model.weights(np.zeros((3, 2)), np.ones((5, 2)), dt=2.0)
+        assert w.shape == (3, 5)
+
+    def test_weights_match_eq7(self, model):
+        dist = 7.0
+        dt = 4.0
+        w = model.weights([[0.0, 0.0]], [[dist, 0.0]], dt=dt)
+        expected = model.speed_model.transition_weight(dist / dt)
+        assert w[0, 0] == pytest.approx(expected)
+
+    def test_distance_weights_match_weights(self, model):
+        dists = np.array([[0.0, 5.0], [10.0, 3.0]])
+        from_xy = [[0.0, 0.0]]
+        for d in dists.ravel():
+            w = model.weights(from_xy, [[d, 0.0]], dt=2.0)[0, 0]
+            dw = model.distance_weights(np.array([d]), dt=2.0)[0]
+            assert w == pytest.approx(dw)
+
+    def test_negative_dt_raises(self, model):
+        with pytest.raises(ValueError, match="non-negative"):
+            model.weights([[0, 0]], [[1, 1]], dt=-1.0)
+
+    def test_zero_dt_indicator(self, model):
+        w = model.weights([[0.0, 0.0]], [[0.0, 0.0], [5.0, 0.0]], dt=0.0)
+        assert w[0, 0] == 1.0
+        assert w[0, 1] == 0.0
+
+    def test_reachable_radius_grows_with_dt(self, model):
+        assert model.reachable_radius(10.0) > model.reachable_radius(1.0)
+        assert model.reachable_radius(0.0) == 0.0
+
+    def test_symmetry(self, model):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert model.weights(a, b, 2.0)[0, 0] == pytest.approx(model.weights(b, a, 2.0)[0, 0])
+
+    def test_brownian_special_case(self):
+        # Gaussian speed law: transition weight peaks at mean speed distance
+        model = SpeedTransitionModel(GaussianSpeedModel(mean=2.0, std=0.1))
+        near = model.weights([[0, 0]], [[20.0, 0.0]], dt=10.0)[0, 0]  # 2 m/s
+        far = model.weights([[0, 0]], [[40.0, 0.0]], dt=10.0)[0, 0]  # 4 m/s
+        assert near > far
+
+
+class TestFrequencyTransitionModel:
+    @pytest.fixture
+    def grid(self):
+        return Grid(0, 0, 10, 10, cell_size=1.0)
+
+    @pytest.fixture
+    def corpus(self):
+        # Everyone walks east along y=0.5, one cell per second.
+        return [
+            Trajectory.from_arrays(
+                np.arange(8) + 0.5, np.full(8, 0.5), np.arange(8.0)
+            )
+            for _ in range(5)
+        ]
+
+    def test_requires_fit(self, grid):
+        model = FrequencyTransitionModel(grid)
+        with pytest.raises(RuntimeError, match="fitted"):
+            model.weights([[0.5, 0.5]], [[1.5, 0.5]], dt=1.0)
+
+    def test_fit_empty_raises(self, grid):
+        with pytest.raises(ValueError, match="empty corpus"):
+            FrequencyTransitionModel(grid).fit([])
+
+    def test_invalid_max_steps(self, grid):
+        with pytest.raises(ValueError, match="max_steps"):
+            FrequencyTransitionModel(grid, max_steps=0)
+
+    def test_learns_eastward_bias(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        east = model.weights([[0.5, 0.5]], [[1.5, 0.5]], dt=1.0)[0, 0]
+        north = model.weights([[0.5, 0.5]], [[0.5, 1.5]], dt=1.0)[0, 0]
+        assert east > north
+
+    def test_rows_are_stochastic(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        row_sums = np.asarray(model._power(1).sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0)
+
+    def test_step_duration_defaults_to_median_gap(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        assert model.step_duration == pytest.approx(1.0)
+
+    def test_multi_step_spreads_mass(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        one = model.weights([[0.5, 0.5]], [[3.5, 0.5]], dt=1.0)[0, 0]
+        three = model.weights([[0.5, 0.5]], [[3.5, 0.5]], dt=3.0)[0, 0]
+        assert three > one  # 3 cells east takes ~3 steps
+
+    def test_max_steps_caps_power(self, grid, corpus):
+        model = FrequencyTransitionModel(grid, max_steps=2).fit(corpus)
+        w_big = model.weights([[0.5, 0.5]], [[2.5, 0.5]], dt=100.0)
+        w_cap = model.weights([[0.5, 0.5]], [[2.5, 0.5]], dt=2.0)
+        assert w_big[0, 0] == pytest.approx(w_cap[0, 0])
+
+    def test_unseen_cell_self_transitions(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        # cell at (9.5, 9.5) never appears in the corpus
+        w_self = model.weights([[9.5, 9.5]], [[9.5, 9.5]], dt=1.0)[0, 0]
+        w_move = model.weights([[9.5, 9.5]], [[8.5, 9.5]], dt=1.0)[0, 0]
+        assert w_self == pytest.approx(1.0)
+        assert w_move == pytest.approx(0.0)
+
+    def test_reachable_radius_finite_after_fit(self, grid, corpus):
+        model = FrequencyTransitionModel(grid)
+        assert np.isinf(model.reachable_radius(1.0))
+        model.fit(corpus)
+        assert np.isfinite(model.reachable_radius(1.0))
+
+    def test_not_isotropic(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        assert not model.isotropic
+        with pytest.raises(NotImplementedError):
+            model.distance_weights(np.array([1.0]), dt=1.0)
+
+    def test_negative_dt_raises(self, grid, corpus):
+        model = FrequencyTransitionModel(grid).fit(corpus)
+        with pytest.raises(ValueError, match="non-negative"):
+            model.weights([[0.5, 0.5]], [[1.5, 0.5]], dt=-1.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.speed import KDESpeedModel
+from repro.core.stprob import TrajectorySTP
+from repro.core.transition import SpeedTransitionModel
+from repro.core.trajectory import Trajectory
+from repro.viz import render_profile, render_stp, render_trajectories
+
+
+@pytest.fixture
+def grid():
+    return Grid(0, 0, 40, 20, cell_size=2.0)
+
+
+@pytest.fixture
+def traj():
+    return Trajectory.from_arrays(
+        [2, 10, 18, 26], [10, 10, 10, 10], [0, 8, 16, 24], "walker"
+    )
+
+
+class TestRenderTrajectories:
+    def test_contains_labels_and_legend(self, grid, traj):
+        other = traj.shifted(dy=6.0).with_object_id("other")
+        text = render_trajectories(grid, [traj, other])
+        assert "a" in text and "b" in text
+        assert "a=walker" in text and "b=other" in text
+
+    def test_overlap_marked(self, grid, traj):
+        text = render_trajectories(grid, [traj, traj.with_object_id("copy")])
+        assert "+" in text
+
+    def test_empty_raises(self, grid):
+        with pytest.raises(ValueError):
+            render_trajectories(grid, [])
+
+    def test_respects_max_cols(self, traj):
+        wide_grid = Grid(0, 0, 4000, 20, cell_size=2.0)
+        text = render_trajectories(wide_grid, [traj], max_cols=40)
+        body = text.splitlines()[0]
+        assert len(body) <= 41
+
+    def test_north_up(self, grid):
+        # a trajectory at high y should appear in the first rendered row
+        top = Trajectory.from_arrays([20.0], [19.0], [0.0], "top")
+        bottom = Trajectory.from_arrays([20.0], [1.0], [0.0], "bottom")
+        text = render_trajectories(grid, [top, bottom])
+        lines = text.splitlines()
+        assert "a" in lines[0]
+        assert "b" in lines[-2]  # last map row before the legend
+
+
+class TestRenderSTP:
+    def make_stp(self, grid, traj):
+        return TrajectorySTP(
+            traj,
+            grid,
+            GaussianNoiseModel(2.0),
+            SpeedTransitionModel(KDESpeedModel.from_trajectory(traj)),
+        )
+
+    def test_shows_peak_and_shading(self, grid, traj):
+        stp = self.make_stp(grid, traj)
+        text = render_stp(stp, 8.0)
+        assert "peak cell prob" in text
+        assert "@" in text  # the darkest shade marks the peak
+
+    def test_blank_outside_span(self, grid, traj):
+        stp = self.make_stp(grid, traj)
+        text = render_stp(stp, 1000.0)
+        body = text.splitlines()[1:]
+        assert all(set(line) <= {" "} for line in body)
+
+    def test_interpolated_time_renders(self, grid, traj):
+        stp = self.make_stp(grid, traj)
+        text = render_stp(stp, 12.0)
+        assert any(ch in text for ch in "#%@")
+
+
+class TestRenderProfile:
+    def test_bars_scale_with_values(self):
+        text = render_profile(np.array([0.0, 1.0]), np.array([0.5, 1.0]), width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert "empty" in render_profile(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_profile(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_all_zero_values(self):
+        text = render_profile(np.array([0.0, 1.0]), np.zeros(2))
+        assert "#" not in text
