@@ -4,15 +4,27 @@ The paper derives ``O(|Tra|·|Tra'|·|R|²)`` for the literal (dense)
 evaluation.  These benchmarks measure how one STS similarity call scales
 with the grid resolution and with trajectory length in dense mode, and
 how much of that the default FFT mode removes.
+
+Run directly (``python benchmarks/bench_complexity.py [--quick]``) the
+same sweep is timed with a plain wall-clock harness and written as
+mean/p50/p95 per configuration to ``BENCH_complexity.json`` at the
+repository root.
 """
+
+import argparse
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core.grid import Grid
-from repro.core.noise import GaussianNoiseModel
-from repro.core.sts import STS
-from repro.core.trajectory import Trajectory
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.grid import Grid  # noqa: E402
+from repro.core.noise import GaussianNoiseModel  # noqa: E402
+from repro.core.sts import STS  # noqa: E402
+from repro.core.trajectory import Trajectory  # noqa: E402
 
 
 def make_pair(n_points: int, seed: int = 0):
@@ -51,3 +63,63 @@ def test_scaling_with_trajectory_length(benchmark, n_points):
     """Cost grows with |Tra| + |Tra'| timestamps to evaluate."""
     value = benchmark.pedantic(sts_call, args=("fft", 4.0, n_points), rounds=2, iterations=1)
     assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Script mode: the same sweep -> BENCH_complexity.json
+# ----------------------------------------------------------------------
+def run_complexity_benchmark(repeats: int, quick: bool) -> dict:
+    """Time the grid-resolution and trajectory-length sweeps per mode."""
+    from jsonbench import time_config
+
+    cells = [16.0, 8.0] if quick else [16.0, 8.0, 4.0]
+    lengths = [8, 16] if quick else [8, 16, 32]
+    configs: dict[str, dict] = {}
+    for mode in ("dense", "fft"):
+        for cell in cells:
+            label = f"grid_sweep/{mode}/cell_{cell:g}m"
+            configs[label] = time_config(
+                lambda m=mode, c=cell: sts_call(m, c, 12), repeats=repeats, warmup=1
+            )
+    for n_points in lengths:
+        label = f"length_sweep/fft/n_{n_points}"
+        configs[label] = time_config(
+            lambda n=n_points: sts_call("fft", 4.0, n), repeats=repeats, warmup=1
+        )
+    return {
+        "benchmark": "complexity",
+        "configs": configs,
+        "quick": quick,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweep, single repeat (CI smoke run)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output", default="BENCH_complexity.json",
+        help="output filename (written at the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    from jsonbench import write_report
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    report = run_complexity_benchmark(repeats, args.quick)
+    path = write_report(args.output, report)
+
+    print(f"wrote {path}")
+    for label, stats in report["configs"].items():
+        print(
+            f"  {label:>28}: mean {stats['mean_s']:.4f}s  "
+            f"p50 {stats['p50_s']:.4f}s  p95 {stats['p95_s']:.4f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,25 @@
 Not a paper figure — an operational reference: what one similarity call
 costs per method, which is what sizes a deployment (the matching task is
 ``O(n²)`` calls).  Complements Fig. 12's grid-size/running-time sweep.
+
+Run directly (``python benchmarks/bench_throughput.py [--quick]``) this
+module benchmarks the full-gallery STS pairwise matrix instead: the
+per-timestamp baseline path against the batched serial path and the
+parallel path at several worker counts, writing mean/p50/p95 wall-clock
+per configuration — and the resulting speedups — to
+``BENCH_throughput.json`` at the repository root.
 """
+
+import argparse
+import sys
+from pathlib import Path
 
 import pytest
 
-from repro.eval import default_measures, grid_covering
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.eval import default_measures, grid_covering  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -41,3 +55,136 @@ def test_similarity_call(benchmark, pair_setups, dataset_name, method):
 
     value = benchmark.pedantic(cold_call, rounds=3, iterations=1)
     assert value == value  # finite, not NaN
+
+
+# ----------------------------------------------------------------------
+# Script mode: gallery-scale pairwise throughput -> BENCH_throughput.json
+# ----------------------------------------------------------------------
+def _per_t_pairwise(measure, gallery):
+    """The seed evaluation path: one ``stp(t)`` call per timestamp.
+
+    This reproduces what the repository did before the batched engine:
+    every query time resolved individually, every co-location taken with
+    a scalar sparse inner product, and the only memoization a per-time
+    result dict (the seed's ``TrajectorySTP._cache``) — hand-rolled here
+    because the measure it is given has the estimator-level caches
+    disabled (the seed had no kernel / plane-FFT / segment caches to
+    disable).
+    """
+    import numpy as np
+
+    from repro.core.colocation import sparse_inner
+
+    n = len(gallery)
+    out = np.zeros((n, n))
+    memo: dict[int, dict[float, object]] = {}
+
+    def query(stp, t):
+        per_stp = memo.setdefault(id(stp), {})
+        hit = per_stp.get(t)
+        if hit is None:
+            hit = per_stp[t] = stp.stp(t)
+        return hit
+
+    for i in range(n):
+        for j in range(i, n):
+            a, b = gallery[i], gallery[j]
+            stp1, stp2 = measure.stp_for(a), measure.stp_for(b)
+            times = np.concatenate([a.timestamps, b.timestamps])
+            total = 0.0
+            for t in times:
+                total += sparse_inner(query(stp1, float(t)), query(stp2, float(t)))
+            out[i, j] = out[j, i] = total / (len(a) + len(b))
+    return out
+
+
+def run_gallery_benchmark(gallery_size: int, repeats: int, n_jobs_list: list[int]) -> dict:
+    """Benchmark the pairwise STS matrix on a taxi gallery of given size."""
+    import numpy as np
+
+    from jsonbench import time_config
+    from repro.core import STS
+    from repro.datasets import taxi_dataset
+
+    ds = taxi_dataset(n_trajectories=gallery_size, seed=101, time_window=600.0)
+    grid = ds.make_grid()
+    gallery = ds.trajectories
+
+    configs: dict[str, dict] = {}
+    matrices: dict[str, np.ndarray] = {}
+
+    def run(label, fn, **measure_kwargs):
+        holder = {}
+
+        def call():
+            # A fresh measure per round: every round pays the full
+            # estimator build + scoring cost, like a fresh service would.
+            measure = STS(grid, cache_size=None, **measure_kwargs)
+            holder["matrix"] = fn(measure)
+
+        configs[label] = time_config(call, repeats=repeats, warmup=1)
+        matrices[label] = holder["matrix"]
+
+    # The baseline disables the estimator-level caches this PR introduced
+    # (stp_cache_size=0); _per_t_pairwise re-adds the one memo the seed
+    # actually had.  The batched/parallel configs run with defaults.
+    run("per_t_serial", lambda m: _per_t_pairwise(m, gallery), stp_cache_size=0)
+    run("batched_serial", lambda m: m.pairwise(gallery))
+    for n_jobs in n_jobs_list:
+        run(f"parallel_n{n_jobs}", lambda m, n=n_jobs: m.pairwise(gallery, n_jobs=n))
+
+    reference = matrices["batched_serial"]
+    for label, matrix in matrices.items():
+        configs[label]["max_abs_diff_vs_batched"] = float(
+            abs(matrix - reference).max()
+        )
+
+    base = configs["per_t_serial"]["mean_s"]
+    speedups = {
+        label: base / stats["mean_s"] for label, stats in configs.items()
+    }
+    return {
+        "benchmark": "throughput",
+        "dataset": "taxi",
+        "gallery_size": gallery_size,
+        "n_pairs": gallery_size * (gallery_size + 1) // 2,
+        "configs": configs,
+        "speedup_vs_per_t": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small gallery, single repeat (CI smoke run)",
+    )
+    parser.add_argument("--gallery-size", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output", default="BENCH_throughput.json",
+        help="output filename (written at the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    from jsonbench import write_report
+
+    gallery_size = args.gallery_size or (12 if args.quick else 50)
+    repeats = args.repeats or (1 if args.quick else 3)
+    n_jobs_list = [2] if args.quick else [2, 4]
+
+    report = run_gallery_benchmark(gallery_size, repeats, n_jobs_list)
+    report["quick"] = args.quick
+    path = write_report(args.output, report)
+
+    print(f"wrote {path}")
+    for label, stats in report["configs"].items():
+        print(
+            f"  {label:>16}: mean {stats['mean_s']:.3f}s  p50 {stats['p50_s']:.3f}s  "
+            f"p95 {stats['p95_s']:.3f}s  speedup x{report['speedup_vs_per_t'][label]:.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Plain-timer benchmark harness emitting machine-readable JSON.
+
+The pytest-benchmark suites in this directory are for interactive use;
+CI and the performance-tracking workflow instead run the bench modules as
+scripts (``python benchmarks/bench_throughput.py``), which time each
+configuration with :func:`time_config` and write a ``BENCH_*.json``
+summary (mean/p50/p95 per configuration) at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["REPO_ROOT", "time_config", "write_report"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> dict:
+    """Wall-clock stats of ``repeats`` runs of ``fn`` (seconds).
+
+    ``warmup`` extra runs are executed first and discarded — use 1 for
+    paths with one-time process-level setup (FFT plan caches, KDE lookup
+    tables) when steady-state cost is the quantity of interest.
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    ordered = sorted(times)
+
+    def percentile(q: float) -> float:
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (pos - lo) * (ordered[hi] - ordered[lo])
+
+    return {
+        "repeats": repeats,
+        "mean_s": sum(times) / len(times),
+        "p50_s": percentile(0.50),
+        "p95_s": percentile(0.95),
+        "min_s": ordered[0],
+        "max_s": ordered[-1],
+        "times_s": times,
+    }
+
+
+def write_report(filename: str, payload: dict) -> Path:
+    """Write ``payload`` (plus environment metadata) to the repo root."""
+    payload = dict(payload)
+    payload.setdefault(
+        "environment",
+        {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+    )
+    path = REPO_ROOT / filename
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,6 +1,7 @@
 """Core STS machinery: data model, grid, noise, speed, transitions, measure."""
 
-from .colocation import colocation_probability, colocation_series, sparse_inner
+from .cache import LRUCache
+from .colocation import colocation_batch, colocation_probability, colocation_series, sparse_inner
 from .events import ColocationEvent, colocation_timeline, detect_colocation_events
 from .grid import Grid
 from .noise import (
@@ -30,8 +31,10 @@ __all__ = [
     "FrequencyTransitionModel",
     "TrajectorySTP",
     "colocation_probability",
+    "colocation_batch",
     "colocation_series",
     "sparse_inner",
+    "LRUCache",
     "ColocationEvent",
     "colocation_timeline",
     "detect_colocation_events",

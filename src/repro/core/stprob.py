@@ -29,13 +29,34 @@ Four evaluation modes:
   else ``"pruned"``.
 
 The test suite verifies all modes agree to tight tolerance.
+
+Batched evaluation
+------------------
+:meth:`TrajectorySTP.stp_batch` evaluates many query times in one call.
+Queries are grouped by the pair of observations bracketing them, and each
+group is evaluated in a single vectorized pass:
+
+* FFT mode embeds every transition kernel onto one fixed per-estimator
+  canvas (sized for the trajectory's largest observation gap), so each
+  noise plane's forward FFT is computed once and reused by a *stack* of
+  kernel transforms (one batched ``rfft2``/``irfft2`` round-trip per
+  group);
+* pruned/dense mode builds the candidate set union and both distance
+  matrices once per segment and slices them per query.
+
+Both single-query paths delegate to the same batched cores, so ``stp(t)``
+and ``stp_batch([.., t, ..])`` return identical results.  Kernels, noise
+planes and their transforms are memoized in bounded LRU caches (see
+``cache_size``), so long-lived estimators serving many queries stay fast
+without growing memory unboundedly.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import signal
+from scipy import fft as _fft
 
+from .cache import LRUCache
 from .grid import Grid
 from .noise import NoiseModel
 from .transition import TransitionModel
@@ -52,6 +73,17 @@ _EMPTY: SparseDistribution = (np.empty(0, dtype=int), np.empty(0))
 
 #: Normalized probabilities below this are dropped from sparse results.
 _SPARSE_EPS = 1e-15
+
+
+def _dt_key(dt: float) -> float:
+    """Cache key for a time gap: quantized to kill float jitter.
+
+    1e-12 s is far below any meaningful timestamp resolution, so distinct
+    physical gaps never collide, while gaps that differ only by float
+    round-off (``t - t_lo`` computed along different code paths) share one
+    kernel.
+    """
+    return round(dt, 12)
 
 
 class TrajectorySTP:
@@ -72,6 +104,11 @@ class TrajectorySTP:
     mode:
         ``"auto"`` (default), ``"fft"``, ``"pruned"`` or ``"dense"`` — see
         the module docstring.
+    cache_size:
+        Capacity of the per-query result cache; the kernel, noise-plane and
+        FFT caches are sized proportionally.  ``None`` means unbounded,
+        ``0`` disables all memoization (every query recomputes from
+        scratch — useful for benchmarking the cold path).
     """
 
     _MODES = ("auto", "fft", "pruned", "dense")
@@ -83,6 +120,7 @@ class TrajectorySTP:
         noise_model: NoiseModel,
         transition_model: TransitionModel,
         mode: str = "auto",
+        cache_size: int | None = 4096,
     ):
         if len(trajectory) == 0:
             raise ValueError("cannot estimate S-T probability for an empty trajectory")
@@ -107,7 +145,15 @@ class TrajectorySTP:
         self._observed: list[SparseDistribution] = [
             noise_model.cell_distribution(grid, p.x, p.y) for p in trajectory
         ]
-        self._cache: dict[float, SparseDistribution] = {}
+        self.cache_size = cache_size
+        scaled = (lambda frac, floor: None) if cache_size is None else (
+            lambda frac, floor: 0 if cache_size == 0 else max(floor, cache_size // frac)
+        )
+        self._cache = LRUCache(cache_size)  # query time -> SparseDistribution
+        self._kernel_cache = LRUCache(scaled(8, 64))  # (dt, span) -> kernel
+        self._plane_cache = LRUCache(scaled(16, 16))  # obs index -> dense plane
+        self._plane_fft_cache = LRUCache(scaled(16, 16))  # (idx, shape) -> rfft2
+        self._segment_cache = LRUCache(scaled(16, 16))  # dense-mode geometry
 
     # ------------------------------------------------------------------
     def stp(self, t: float) -> SparseDistribution:
@@ -121,8 +167,46 @@ class TrajectorySTP:
         if cached is not None:
             return cached
         result = self._compute(t)
-        self._cache[t] = result
+        self._cache.put(t, result)
         return result
+
+    def stp_batch(self, times) -> list[SparseDistribution]:
+        """Eq. 5 at many query times in one vectorized pass.
+
+        ``times`` is any 1-D sequence of timestamps (duplicates allowed).
+        Returns one :data:`SparseDistribution` per input time, in input
+        order, identical to calling :meth:`stp` per time — but queries that
+        share a bracketing segment are evaluated together, reusing one
+        kernel canvas / candidate union per segment (see module docstring).
+        """
+        times_arr = np.asarray(times, dtype=float).ravel()
+        results: list[SparseDistribution | None] = [None] * len(times_arr)
+        by_segment: dict[int, list[int]] = {}
+        traj = self.trajectory
+        for i, raw in enumerate(times_arr):
+            t = float(raw)
+            cached = self._cache.get(t)
+            if cached is not None:
+                results[i] = cached
+                continue
+            if not traj.covers_time(t):
+                results[i] = _EMPTY
+                continue
+            idx = traj.index_of_time(t)
+            if idx is not None:
+                results[i] = self._observed[idx]
+                continue
+            lo, _hi = traj.bracketing_indices(t)  # type: ignore[misc]
+            by_segment.setdefault(lo, []).append(i)
+        for lo, positions in by_segment.items():
+            ts = times_arr[positions]
+            uniq, inverse = np.unique(ts, return_inverse=True)
+            computed = self._segment_batch(lo, lo + 1, uniq)
+            for j, pos in enumerate(positions):
+                result = computed[inverse[j]]
+                results[pos] = result
+                self._cache.put(float(ts[j]), result)
+        return results  # type: ignore[return-value]
 
     def stp_dense(self, t: float) -> np.ndarray:
         """Eq. 5 as a dense ``|R|``-vector (zeros outside the span)."""
@@ -154,6 +238,10 @@ class TrajectorySTP:
     def clear_cache(self) -> None:
         """Drop memoized query results (the noise distributions stay)."""
         self._cache.clear()
+        self._kernel_cache.clear()
+        self._plane_cache.clear()
+        self._plane_fft_cache.clear()
+        self._segment_cache.clear()
 
     # ------------------------------------------------------------------
     def _compute(self, t: float) -> SparseDistribution:
@@ -164,37 +252,97 @@ class TrajectorySTP:
         if idx is not None:
             return self._observed[idx]
         lo, hi = traj.bracketing_indices(t)  # type: ignore[misc]
+        return self._segment_batch(lo, hi, np.array([t]))[0]
+
+    def _segment_batch(self, lo: int, hi: int, ts: np.ndarray) -> list[SparseDistribution]:
+        """All interpolation queries of one segment, in one pass."""
         if self._resolved_mode == "fft":
-            return self._interpolate_fft(t, lo, hi)
-        return self._interpolate_pairwise(t, lo, hi)
+            return self._interpolate_fft_batch(lo, hi, ts)
+        return self._interpolate_pairwise_batch(lo, hi, ts)
 
     # ------------------------------------------------------------------
     # Pairwise evaluation (pruned / dense)
     # ------------------------------------------------------------------
-    def _interpolate_pairwise(self, t: float, lo: int, hi: int) -> SparseDistribution:
-        """Eq. 4 by explicit summation over candidate cells."""
+    def _interpolate_pairwise_batch(
+        self, lo: int, hi: int, ts: np.ndarray
+    ) -> list[SparseDistribution]:
+        """Eq. 4 by explicit summation over candidate cells.
+
+        The candidate union and (for isotropic models) both distance
+        matrices are built once for the whole segment; each query then only
+        evaluates the transition kernel on its slice.
+        """
         traj = self.trajectory
         p_lo, p_hi = traj[lo], traj[hi]
-        dt1 = t - p_lo.t
-        dt2 = p_hi.t - t
-        candidates = self._candidate_cells(p_lo, p_hi, dt1, dt2)
-        centers = self.grid.centers()[candidates]
-
+        dts1 = ts - p_lo.t
+        dts2 = p_hi.t - ts
+        candidate_sets = [
+            self._candidate_cells(p_lo, p_hi, float(d1), float(d2))
+            for d1, d2 in zip(dts1, dts2)
+        ]
+        if len(candidate_sets) == 1:
+            union = candidate_sets[0]
+        else:
+            union = np.unique(np.concatenate(candidate_sets))
+        centers = self.grid.centers()
+        centers_union = centers[union]
         cells_lo, probs_lo = self._observed[lo]
         cells_hi, probs_hi = self._observed[hi]
-        # forward(r)  = Σ_j f(r_j, ℓ_i)     · P(r, t | r_j, t_i)
-        # backward(r) = Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r, t)
-        forward = probs_lo @ self.transition_model.weights(
-            self.grid.centers()[cells_lo], centers, dt1
-        )
-        backward = self.transition_model.weights(
-            centers, self.grid.centers()[cells_hi], dt2
-        ) @ probs_hi
-        unnorm = forward * backward
-        total = float(unnorm.sum())
-        if total <= 0.0 or not np.isfinite(total):
-            return self._fallback(t, p_lo, p_hi)
-        return self._sparsify(candidates, unnorm / total)
+        src_lo = centers[cells_lo]
+        src_hi = centers[cells_hi]
+        model = self.transition_model
+        isotropic = model.isotropic
+        if isotropic:
+            dist_lo, dist_hi = self._segment_distances(
+                lo, src_lo, src_hi, union, centers_union
+            )
+        results: list[SparseDistribution] = []
+        for i, candidates in enumerate(candidate_sets):
+            dt1, dt2 = float(dts1[i]), float(dts2[i])
+            full = candidates.size == union.size
+            # forward(r)  = Σ_j f(r_j, ℓ_i)     · P(r, t | r_j, t_i)
+            # backward(r) = Σ_k f(r_k, ℓ_{i+1}) · P(r_k, t_{i+1} | r, t)
+            if isotropic:
+                sel = slice(None) if full else np.searchsorted(union, candidates)
+                forward = probs_lo @ model.distance_weights(dist_lo[:, sel], dt1)
+                backward = model.distance_weights(dist_hi[sel, :], dt2) @ probs_hi
+            else:
+                dst = centers_union if full else centers[candidates]
+                forward = probs_lo @ model.weights(src_lo, dst, dt1)
+                backward = model.weights(dst, src_hi, dt2) @ probs_hi
+            unnorm = forward * backward
+            total = float(unnorm.sum())
+            if total <= 0.0 or not np.isfinite(total):
+                results.append(self._fallback(float(ts[i]), p_lo, p_hi))
+            else:
+                results.append(self._sparsify(candidates, unnorm / total))
+        return results
+
+    def _segment_distances(
+        self,
+        lo: int,
+        src_lo: np.ndarray,
+        src_hi: np.ndarray,
+        union: np.ndarray,
+        centers_union: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distance matrices from both noise supports to the candidate union.
+
+        In dense mode the union is always the full grid, so the matrices
+        are memoized per segment; pruned unions vary per batch and are
+        rebuilt (still once per segment *per call*, not per query).
+        """
+
+        def build() -> tuple[np.ndarray, np.ndarray]:
+            diff_lo = src_lo[:, None, :] - centers_union[None, :, :]
+            dist_lo = np.hypot(diff_lo[..., 0], diff_lo[..., 1])
+            diff_hi = centers_union[:, None, :] - src_hi[None, :, :]
+            dist_hi = np.hypot(diff_hi[..., 0], diff_hi[..., 1])
+            return dist_lo, dist_hi
+
+        if self._resolved_mode == "dense":
+            return self._segment_cache.get_or_compute(("dense-dist", lo), build)
+        return build()
 
     def _candidate_cells(self, p_lo, p_hi, dt1: float, dt2: float) -> np.ndarray:
         """Cells where Eq. 4 can be non-negligible (pruned mode).
@@ -225,54 +373,208 @@ class TrajectorySTP:
     # ------------------------------------------------------------------
     # FFT-convolution evaluation (isotropic transition models)
     # ------------------------------------------------------------------
-    def _interpolate_fft(self, t: float, lo: int, hi: int) -> SparseDistribution:
+    def _interpolate_fft_batch(
+        self, lo: int, hi: int, ts: np.ndarray
+    ) -> list[SparseDistribution]:
         """Eq. 4 via 2-D convolution over the grid lattice.
 
         With an isotropic transition model, ``forward = f_lo ⊛ K_{dt1}``
         and ``backward = f_hi ⊛ K_{dt2}`` where ``K_dt`` is the radial
         kernel of transition weights between cell offsets.  Equivalent to
         the dense mode up to FFT round-off.
+
+        Kernel canvases are *bucketed*: each query's kernel is drawn on the
+        smallest canvas from a geometric size series covering its own
+        transition radius, so kernels are cheap to build and cacheable,
+        while each query's canvas depends only on its own ``dt`` — which
+        keeps single-query and batched evaluation bitwise identical.  All
+        kernels of a batch are then embedded on the estimator's fixed
+        convolution canvas and transformed as one stack (see
+        :meth:`_convolved_planes`).
         """
         traj = self.trajectory
         p_lo, p_hi = traj[lo], traj[hi]
-        dt1 = t - p_lo.t
-        dt2 = p_hi.t - t
-        forward = signal.convolve(
-            self._dense_plane(lo), self._radial_kernel(dt1), mode="same", method="auto"
-        )
-        backward = signal.convolve(
-            self._dense_plane(hi), self._radial_kernel(dt2), mode="same", method="auto"
-        )
-        unnorm = (forward * backward).ravel()
-        np.clip(unnorm, 0.0, None, out=unnorm)
-        total = float(unnorm.sum())
-        if total <= 0.0 or not np.isfinite(total):
-            return self._fallback(t, p_lo, p_hi)
-        probs = unnorm / total
-        cells = np.nonzero(probs > _SPARSE_EPS)[0]
-        if cells.size == 0:
-            return self._fallback(t, p_lo, p_hi)
-        kept = probs[cells]
-        return cells, kept / kept.sum()
+        dts1 = ts - p_lo.t
+        dts2 = p_hi.t - ts
+        forward = self._convolved_planes(lo, dts1)
+        backward = self._convolved_planes(hi, dts2)
+        results: list[SparseDistribution] = []
+        for i in range(len(ts)):
+            unnorm = (forward[i] * backward[i]).ravel()
+            np.clip(unnorm, 0.0, None, out=unnorm)
+            total = float(unnorm.sum())
+            if total <= 0.0 or not np.isfinite(total):
+                results.append(self._fallback(float(ts[i]), p_lo, p_hi))
+                continue
+            probs = unnorm / total
+            cells = np.nonzero(probs > _SPARSE_EPS)[0]
+            if cells.size == 0:
+                results.append(self._fallback(float(ts[i]), p_lo, p_hi))
+                continue
+            kept = probs[cells]
+            results.append((cells, kept / kept.sum()))
+        return results
+
+    def _convolved_planes(self, index: int, dts: np.ndarray) -> np.ndarray:
+        """Noise plane ``index`` convolved with the kernel of each ``dt``.
+
+        Returns a ``(len(dts), n_rows, n_cols)`` stack (the "same"-mode
+        convolution window).  Queries are grouped by kernel-canvas bucket;
+        each group multiplies the cached plane FFT by one stacked kernel
+        transform.
+
+        Every kernel is embedded (centered) on one fixed per-estimator
+        canvas sized for the trajectory's *largest* inter-observation gap —
+        the largest ``dt`` any in-segment query can present — so a *single*
+        circular transform shape serves every query: each noise plane's
+        forward FFT is computed exactly once per estimator, and a whole
+        batch becomes one stacked ``rfft2``/``irfft2`` round-trip.
+
+        The circular transforms are sized ``n + half`` per axis, not the
+        full linear-convolution length ``n + 2·half``: the full convolution
+        of an ``n``-point plane with a ``2·half + 1`` kernel has support
+        ``[0, n + 2·half)``, and the "same" window we keep is
+        ``[half, half + n)``.  With circular size ``M ≥ n + half``, the
+        aliases of any kept index ``k`` land at ``k ± M`` — below 0 or at
+        least ``n + 2·half`` — i.e. outside the support, so the window is
+        alias-free while the transforms stay at ~``2n`` instead of ~``3n``
+        per axis.
+        """
+        grid = self.grid
+        n_rows, n_cols = grid.n_rows, grid.n_cols
+        model = self.transition_model
+        cell = grid.cell_size
+        radii = np.array([model.reachable_radius(float(d)) for d in dts])
+        spans = np.ceil(radii / cell).astype(np.int64) + 1
+        series = self._span_buckets()
+        buckets = series[np.minimum(np.searchsorted(series, spans), series.size - 1)]
+        rows_halves = np.minimum(n_rows - 1, buckets)
+        cols_halves = np.minimum(n_cols - 1, buckets)
+        half_r, half_c, fft_shape = self._fft_geometry()
+        plane_fft = self._plane_fft(index, fft_shape)
+        stack = np.zeros((len(dts), 2 * half_r + 1, 2 * half_c + 1))
+        for i in range(len(dts)):
+            h_r, h_c = int(rows_halves[i]), int(cols_halves[i])
+            kernel = self._radial_kernel(float(dts[i]), h_r, h_c)
+            stack[i, half_r - h_r : half_r + h_r + 1, half_c - h_c : half_c + h_c + 1] = kernel
+        conv = _fft.irfft2(_fft.rfft2(stack, s=fft_shape) * plane_fft, s=fft_shape)
+        return conv[:, half_r : half_r + n_rows, half_c : half_c + n_cols]
+
+    def _fft_geometry(self) -> tuple[int, int, tuple[int, int]]:
+        """Fixed canvas half-extents and circular-transform shape.
+
+        The canvas is sized for the transition radius of the trajectory's
+        largest gap between consecutive observations — no in-segment query
+        can have a larger ``dt``, so every kernel fits (clipped to the grid,
+        like everything else, at worst).
+        """
+        geom = getattr(self, "_fft_geometry_cached", None)
+        if geom is None:
+            grid = self.grid
+            gaps = np.diff(self.trajectory.timestamps)
+            max_gap = float(gaps.max()) if gaps.size else 0.0
+            radius = self.transition_model.reachable_radius(max_gap)
+            span = int(np.ceil(radius / grid.cell_size)) + 1
+            series = self._span_buckets()
+            bucket = int(series[min(int(np.searchsorted(series, span)), series.size - 1)])
+            half_r = min(grid.n_rows - 1, bucket)
+            half_c = min(grid.n_cols - 1, bucket)
+            geom = self._fft_geometry_cached = (
+                half_r,
+                half_c,
+                (
+                    _fft.next_fast_len(grid.n_rows + half_r, True),
+                    _fft.next_fast_len(grid.n_cols + half_c, True),
+                ),
+            )
+        return geom
+
+    def _span_buckets(self) -> np.ndarray:
+        """Ascending canvas-size bucket series covering the grid."""
+        series = getattr(self, "_span_bucket_series", None)
+        if series is None:
+            top = max(self.grid.n_rows, self.grid.n_cols)
+            vals = [1]
+            while vals[-1] < top:
+                vals.append(max(vals[-1] + 1, (vals[-1] * 3 + 1) // 2))
+            series = self._span_bucket_series = np.array(vals, dtype=np.int64)
+        return series
+
+    def _kernel_span(self, radius: float) -> tuple[int, int]:
+        """Half-extent (rows, cols) of the kernel canvas covering ``radius``.
+
+        The natural half-extent is rounded up to a geometric bucket series
+        (1, 2, 3, 5, 8, 12, ...) so that only a handful of distinct canvas
+        shapes — and therefore cached plane FFTs — exist per grid.
+        """
+        grid = self.grid
+        span = int(np.ceil(radius / grid.cell_size)) + 1
+        series = self._span_buckets()
+        bucket = int(series[min(int(np.searchsorted(series, span)), series.size - 1)])
+        return min(grid.n_rows - 1, bucket), min(grid.n_cols - 1, bucket)
 
     def _dense_plane(self, index: int) -> np.ndarray:
         """Observation ``index``'s noise distribution as a 2-D grid plane."""
-        cells, probs = self._observed[index]
-        plane = np.zeros((self.grid.n_rows, self.grid.n_cols))
-        plane[cells // self.grid.n_cols, cells % self.grid.n_cols] = probs
-        return plane
 
-    def _radial_kernel(self, dt: float) -> np.ndarray:
-        """Transition weights between cell offsets, as an odd-sized kernel."""
-        grid = self.grid
-        radius = self.transition_model.reachable_radius(dt)
-        span = int(np.ceil(radius / grid.cell_size)) + 1
-        rc = min(grid.n_cols - 1, span)
-        rr = min(grid.n_rows - 1, span)
-        dx = np.arange(-rc, rc + 1)
-        dy = np.arange(-rr, rr + 1)
-        dist = np.hypot(dx[None, :], dy[:, None]) * grid.cell_size
-        return self.transition_model.distance_weights(dist, dt)
+        def build() -> np.ndarray:
+            cells, probs = self._observed[index]
+            plane = np.zeros((self.grid.n_rows, self.grid.n_cols))
+            plane[cells // self.grid.n_cols, cells % self.grid.n_cols] = probs
+            return plane
+
+        return self._plane_cache.get_or_compute(index, build)
+
+    def _plane_fft(self, index: int, fft_shape: tuple[int, int]) -> np.ndarray:
+        """Forward real FFT of observation ``index``'s noise plane."""
+        return self._plane_fft_cache.get_or_compute(
+            (index, fft_shape),
+            lambda: _fft.rfft2(self._dense_plane(index), s=fft_shape),
+        )
+
+    def _canvas_lattice(
+        self, rows_half: int, cols_half: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Offset-distance lattice of a kernel canvas, with its unique values.
+
+        Returns ``(dist, unique, inverse)``: the dense distance canvas, its
+        sorted unique distances and the inverse mapping (``unique[inverse]``
+        rebuilds ``dist.ravel()``).  The lattice depends only on the canvas
+        shape, so it is cached across every ``dt`` sharing a bucket.
+        """
+
+        def build() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            dx = np.arange(-cols_half, cols_half + 1)
+            dy = np.arange(-rows_half, rows_half + 1)
+            dist = np.hypot(dx[None, :], dy[:, None]) * self.grid.cell_size
+            unique, inverse = np.unique(dist.ravel(), return_inverse=True)
+            return dist, unique, inverse
+
+        return self._kernel_cache.get_or_compute(("lattice", rows_half, cols_half), build)
+
+    def _radial_kernel(self, dt: float, rows_half: int, cols_half: int) -> np.ndarray:
+        """Transition weights between cell offsets, as an odd-sized kernel.
+
+        ``rows_half``/``cols_half`` fix the canvas (the segment-level
+        full-gap extent), so kernels for every ``dt`` within a segment
+        share one shape.  Memoized by quantized ``(dt, canvas)``.
+
+        The canvas holds far fewer *distinct* distances than points (the
+        lattice is 8-fold symmetric), so the transition model is evaluated
+        on the unique distances and scattered back — but only when the
+        unique set is large enough (> 64) to take the same vectorized path
+        a full-canvas evaluation would, keeping results bitwise identical.
+        """
+
+        def build() -> np.ndarray:
+            dist, unique, inverse = self._canvas_lattice(rows_half, cols_half)
+            if unique.size > 64:
+                weights = self.transition_model.distance_weights(unique, dt)
+                return weights[inverse].reshape(dist.shape)
+            return self.transition_model.distance_weights(dist, dt)
+
+        return self._kernel_cache.get_or_compute(
+            (_dt_key(dt), rows_half, cols_half), build
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -24,7 +24,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from .colocation import colocation_probability
+from .cache import LRUCache
+from .colocation import colocation_batch
 from .grid import Grid
 from .noise import DeterministicNoiseModel, GaussianNoiseModel, NoiseModel
 from .speed import GaussianSpeedModel, KDESpeedModel
@@ -40,6 +41,34 @@ TransitionFactory = Callable[[Trajectory], TransitionModel]
 def _personalized_transition(trajectory: Trajectory) -> TransitionModel:
     """Default policy: Eq. 6–7, a KDE speed model from the trajectory itself."""
     return SpeedTransitionModel(KDESpeedModel.from_trajectory(trajectory))
+
+
+class _SharedTransition:
+    """Factory returning one shared model for every trajectory.
+
+    A named class rather than a lambda so that measures configured with a
+    shared transition model (STS-G, STS-F) stay picklable — the process
+    backend of :mod:`repro.parallel` ships the measure to each worker.
+    """
+
+    def __init__(self, model: TransitionModel):
+        self.model = model
+
+    def __call__(self, _trajectory: Trajectory) -> TransitionModel:
+        return self.model
+
+    def __repr__(self) -> str:
+        return f"_SharedTransition({self.model!r})"
+
+
+def _brownian_transition(trajectory: Trajectory) -> TransitionModel:
+    """Per-trajectory Gaussian speed law (the STS-B ablation policy)."""
+    speeds = trajectory.speeds()
+    if speeds.size == 0:
+        return SpeedTransitionModel(GaussianSpeedModel(mean=0.0, std=1e-3))
+    mean = float(speeds.mean())
+    std = max(float(speeds.std()), 0.05 * max(mean, 1e-3), 1e-3)
+    return SpeedTransitionModel(GaussianSpeedModel(mean=mean, std=std))
 
 
 class STS:
@@ -62,6 +91,16 @@ class STS:
     mode:
         ``"auto"`` (default), ``"fft"``, ``"pruned"`` or ``"dense"`` —
         passed to :class:`TrajectorySTP`; see :mod:`repro.core.stprob`.
+    cache_size:
+        Maximum number of trajectories whose estimator state is kept alive
+        at once (LRU eviction beyond that).  ``None`` means unbounded — the
+        pre-bounded historical behaviour.  Size it to the working set: a
+        pairwise matrix over a gallery wants ``cache_size >= len(gallery)``
+        to avoid rebuilding estimators, while a streaming service matching
+        one query at a time is happy with a small cache.
+    stp_cache_size:
+        Per-trajectory query/kernel cache capacity, forwarded to
+        :class:`TrajectorySTP` (``0`` disables memoization entirely).
 
     Notes
     -----
@@ -83,13 +122,15 @@ class STS:
         noise_model: NoiseModel | None = None,
         transition: TransitionModel | TransitionFactory | None = None,
         mode: str = "auto",
+        cache_size: int | None = 512,
+        stp_cache_size: int | None = 4096,
     ):
         self.grid = grid
         self.noise_model = noise_model if noise_model is not None else GaussianNoiseModel(grid.cell_size)
         if transition is None:
             self._transition_factory: TransitionFactory = _personalized_transition
         elif isinstance(transition, TransitionModel):
-            self._transition_factory = lambda _traj: transition
+            self._transition_factory = _SharedTransition(transition)
         elif callable(transition):
             self._transition_factory = transition
         else:
@@ -98,7 +139,8 @@ class STS:
                 f"Trajectory -> TransitionModel; got {type(transition).__name__}"
             )
         self.mode = mode
-        self._stp_cache: dict[int, tuple[Trajectory, TrajectorySTP]] = {}
+        self.stp_cache_size = stp_cache_size
+        self._stp_cache = LRUCache(cache_size)  # id -> (Trajectory, TrajectorySTP)
 
     # ------------------------------------------------------------------
     def stp_for(self, trajectory: Trajectory) -> TrajectorySTP:
@@ -113,8 +155,9 @@ class STS:
             self.noise_model,
             self._transition_factory(trajectory),
             mode=self.mode,
+            cache_size=self.stp_cache_size,
         )
-        self._stp_cache[key] = (trajectory, stp)
+        self._stp_cache.put(key, (trajectory, stp))
         return stp
 
     def clear_cache(self) -> None:
@@ -133,12 +176,9 @@ class STS:
             raise ValueError("STS is undefined for empty trajectories")
         stp1 = self.stp_for(tra1)
         stp2 = self.stp_for(tra2)
-        total = 0.0
-        for t in tra1.timestamps:
-            total += colocation_probability(stp1, stp2, float(t))
-        for t in tra2.timestamps:
-            total += colocation_probability(stp1, stp2, float(t))
-        return total / (len(tra1) + len(tra2))
+        times = np.concatenate([tra1.timestamps, tra2.timestamps])
+        cps = colocation_batch(stp1, stp2, times)
+        return float(cps.sum()) / (len(tra1) + len(tra2))
 
     def __call__(self, tra1: Trajectory, tra2: Trajectory) -> float:
         return self.similarity(tra1, tra2)
@@ -151,26 +191,51 @@ class STS:
         """Per-timestamp co-location probabilities (for inspection/plots).
 
         Returns the sorted union of both timestamp sets and the co-location
-        probability at each — the terms whose average is Eq. 10 (up to the
-        union dropping duplicate timestamps shared by both trajectories).
+        probability at each — the terms whose average is Eq. 10.
+
+        .. warning::
+           The union **deduplicates** timestamps shared by both
+           trajectories, so ``cps.mean()`` is *not* Eq. 10 when the two
+           timestamp sets overlap: :meth:`similarity` follows the paper and
+           counts a shared timestamp once per trajectory (i.e. twice — once
+           in ``Σ_i CP(t_i)`` and once in ``Σ_j CP(t'_j)``, with the
+           denominator ``|Tra| + |Tra'|``), while the profile lists it
+           once.  The profile is an inspection view of *where in time* the
+           co-location mass lives, not a term-for-term expansion of the
+           measure.  ``tests/test_sts.py`` pins both behaviours.
         """
         stp1 = self.stp_for(tra1)
         stp2 = self.stp_for(tra2)
         times = np.union1d(tra1.timestamps, tra2.timestamps)
-        cps = np.array([colocation_probability(stp1, stp2, float(t)) for t in times])
+        cps = colocation_batch(stp1, stp2, times)
         return times, cps
 
     def pairwise(
         self,
         gallery: Sequence[Trajectory],
         queries: Sequence[Trajectory] | None = None,
+        n_jobs: int | None = None,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Similarity matrix between two trajectory collections.
 
         Returns ``S[i, j] = STS(queries[i], gallery[j])``.  With
         ``queries=None`` the matrix is ``gallery`` against itself, computed
         symmetrically (each unordered pair once).
+
+        ``n_jobs`` > 1 shards the pair list across worker processes (or
+        threads — see :class:`repro.parallel.ParallelSTS` and ``backend``);
+        ``-1`` uses every available core.  The parallel matrix matches the
+        serial one to float round-off regardless of worker count.
         """
+        if n_jobs is not None and n_jobs != 1:
+            from ..parallel import ParallelSTS
+
+            return ParallelSTS(self, n_jobs=n_jobs, backend=backend).pairwise(
+                gallery, queries
+            )
+        everything = list(gallery) if queries is None else list(gallery) + list(queries)
+        self._prewarm(everything)
         if queries is None:
             n = len(gallery)
             out = np.zeros((n, n))
@@ -183,6 +248,30 @@ class STS:
             for j, g in enumerate(gallery):
                 out[i, j] = self.similarity(q, g)
         return out
+
+    def _prewarm(self, trajectories: Sequence[Trajectory]) -> None:
+        """Resolve every STP query the pairwise loop will make, batched.
+
+        Per-pair evaluation presents each estimator with the partner's
+        timestamps a handful at a time — too few per bracketing segment to
+        amortize the vectorized segment pass.  One ``stp_batch`` per
+        trajectory over the *union* of all timestamps in play turns that
+        into one pass with every query of the whole matrix, and the pair
+        loop then runs entirely off the per-query cache.  With caches
+        disabled (or too small to hold the working set) this is skipped /
+        degrades to the plain per-pair path — results are identical either
+        way, because ``stp_batch`` and ``stp`` share one evaluation core.
+        """
+        if not trajectories or self.stp_cache_size == 0:
+            return
+        all_times = np.unique(np.concatenate([t.timestamps for t in trajectories]))
+        for trajectory in trajectories:
+            stp = self.stp_for(trajectory)
+            inside = all_times[
+                (all_times >= trajectory.start_time) & (all_times <= trajectory.end_time)
+            ]
+            if inside.size:
+                stp.stp_batch(inside)
 
     def __repr__(self) -> str:
         return f"<{self.name} grid={self.grid!r} noise={self.noise_model!r} mode={self.mode!r}>"
@@ -240,15 +329,6 @@ def sts_b(grid: Grid, noise_model: NoiseModel | None = None, mode: str = "auto")
     arbitrary-distribution property of Eq. 6 buys (e.g. under the bimodal
     walk/dwell speeds of mall visitors).
     """
-
-    def gaussian_transition(trajectory: Trajectory) -> TransitionModel:
-        speeds = trajectory.speeds()
-        if speeds.size == 0:
-            return SpeedTransitionModel(GaussianSpeedModel(mean=0.0, std=1e-3))
-        mean = float(speeds.mean())
-        std = max(float(speeds.std()), 0.05 * max(mean, 1e-3), 1e-3)
-        return SpeedTransitionModel(GaussianSpeedModel(mean=mean, std=std))
-
-    measure = STS(grid, noise_model=noise_model, transition=gaussian_transition, mode=mode)
+    measure = STS(grid, noise_model=noise_model, transition=_brownian_transition, mode=mode)
     measure.name = "STS-B"
     return measure

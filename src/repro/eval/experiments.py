@@ -203,6 +203,7 @@ def sampling_rate_experiment(
     rates: list[float] | None = None,
     seed: int = 0,
     methods: list[str] | None = None,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """Both sub-trajectory sets downsampled at the same rate ρ (Figs. 4–5)."""
     rates = rates if rates is not None else [0.1, 0.3, 0.5, 0.7, 0.9]
@@ -222,7 +223,7 @@ def sampling_rate_experiment(
         for name, measure in default_measures(
             grid, corpus, dataset.location_error, include=methods
         ).items():
-            outcome = evaluate_matching(measure, d1, d2)
+            outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
             result.record("precision", name, outcome.precision)
             result.record("mean_rank", name, outcome.mean_rank)
     return result
@@ -236,6 +237,7 @@ def heterogeneous_rate_experiment(
     alphas: list[float] | None = None,
     seed: int = 0,
     methods: list[str] | None = None,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """Only D² downsampled at α, making the two systems' rates differ
     (Figs. 6–7); smaller α = more heterogeneous."""
@@ -255,7 +257,7 @@ def heterogeneous_rate_experiment(
         for name, measure in default_measures(
             grid, corpus, dataset.location_error, include=methods
         ).items():
-            outcome = evaluate_matching(measure, d1, d2)
+            outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
             result.record("precision", name, outcome.precision)
             result.record("mean_rank", name, outcome.mean_rank)
     return result
@@ -269,6 +271,7 @@ def noise_experiment(
     betas: list[float] | None = None,
     seed: int = 0,
     methods: list[str] | None = None,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """Eq. 14 Gaussian distortion of radius β applied to both sets
     (Figs. 8–9).  β=0 is included as the clean reference point."""
@@ -288,7 +291,7 @@ def noise_experiment(
         grid = grid_covering(corpus, dataset.cell_size, dataset.margin)
         sigma = _effective_sigma(dataset.location_error, beta)
         for name, measure in default_measures(grid, corpus, sigma, include=methods).items():
-            outcome = evaluate_matching(measure, d1, d2)
+            outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
             result.record("precision", name, outcome.precision)
             result.record("mean_rank", name, outcome.mean_rank)
     return result
@@ -302,6 +305,7 @@ def ablation_experiment(
     beta: float | None = None,
     rate: float | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """Component ablation under fixed distortion (Fig. 10; 6 m mall, 20 m
     taxi in the paper — the dataset's ``location_error``-scaled default).
@@ -338,7 +342,7 @@ def ablation_experiment(
         x_values=[beta],
     )
     for name, measure in variants.items():
-        outcome = evaluate_matching(measure, d1, d2)
+        outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
         result.record("precision", name, outcome.precision)
         result.record("mean_rank", name, outcome.mean_rank)
     return result
@@ -420,6 +424,7 @@ def parameter_sensitivity_experiment(
     multipliers: list[float] | None = None,
     rate: float = 0.5,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """How much each method's precision moves when its scale parameters do.
 
@@ -454,7 +459,7 @@ def parameter_sensitivity_experiment(
             "WGM": WGM(spatial_scale=2.0 * grid.cell_size * m, temporal_scale=2.0 * interval * m),
         }
         for name, measure in variants.items():
-            outcome = evaluate_matching(measure, d1, d2)
+            outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
             result.record("precision", name, outcome.precision)
             result.record("mean_rank", name, outcome.mean_rank)
     return result
@@ -468,6 +473,7 @@ def grid_size_experiment(
     grid_sizes: list[float] | None = None,
     rate: float | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """STS's effectiveness/efficiency trade-off across grid cell sizes
     (Figs. 12–14).  Running time covers the full matching computation.
@@ -494,7 +500,7 @@ def grid_size_experiment(
         grid = grid_covering(corpus, cell, dataset.margin)
         measure = STS(grid, noise_model=GaussianNoiseModel(dataset.location_error))
         start = time.perf_counter()
-        outcome = evaluate_matching(measure, d1, d2)
+        outcome = evaluate_matching(measure, d1, d2, n_jobs=n_jobs)
         elapsed = time.perf_counter() - start
         result.record("precision", "STS", outcome.precision)
         result.record("mean_rank", "STS", outcome.mean_rank)

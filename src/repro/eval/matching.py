@@ -9,6 +9,7 @@ counterpart ``Tra₂ᵢ ∈ D²`` among all of ``D²``.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +18,7 @@ from ..core.trajectory import Trajectory
 from ..simulation.sampling import alternate_split
 from .metrics import mean_rank, precision, ranks_from_scores
 
-__all__ = ["MatchingResult", "build_matching_pair", "evaluate_matching"]
+__all__ = ["MatchingResult", "build_matching_pair", "evaluate_matching", "score_matrix"]
 
 
 @dataclass(frozen=True)
@@ -54,23 +55,65 @@ def build_matching_pair(
     return d1, d2
 
 
-def evaluate_matching(measure, queries: list[Trajectory], gallery: list[Trajectory]) -> MatchingResult:
+def _supports_parallel_pairwise(measure) -> bool:
+    """Whether the measure exposes the STS-style batched/parallel matrix.
+
+    The STS signature is ``pairwise(gallery, queries=None, n_jobs=None)``
+    returning oriented scores; the generic
+    :meth:`~repro.similarity.base.Measure.pairwise` takes ``(queries,
+    gallery)`` and returns *raw* values, so the two are distinguished by
+    the ``n_jobs`` keyword rather than by name.
+    """
+    pairwise = getattr(measure, "pairwise", None)
+    if pairwise is None:
+        return False
+    try:
+        return "n_jobs" in inspect.signature(pairwise).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def score_matrix(
+    measure,
+    queries: list[Trajectory],
+    gallery: list[Trajectory],
+    n_jobs: int | None = None,
+) -> np.ndarray:
+    """``S[i, j] = measure.score(queries[i], gallery[j])`` for the task.
+
+    Measures exposing the STS-style ``pairwise(gallery, queries=...,
+    n_jobs=...)`` entry point go through it — one batched (optionally
+    multi-worker) pass instead of ``n²`` cold scoring calls.  Everything
+    else falls back to the generic ``score`` loop.
+    """
+    if _supports_parallel_pairwise(measure):
+        return np.asarray(measure.pairwise(gallery, queries=queries, n_jobs=n_jobs))
+    scores = np.zeros((len(queries), len(gallery)))
+    for i, q in enumerate(queries):
+        for j, g in enumerate(gallery):
+            scores[i, j] = measure.score(q, g)
+    return scores
+
+
+def evaluate_matching(
+    measure,
+    queries: list[Trajectory],
+    gallery: list[Trajectory],
+    n_jobs: int | None = None,
+) -> MatchingResult:
     """Run the matching task for one measure.
 
     ``measure`` is anything exposing the :class:`~repro.similarity.base.
     Measure` protocol (``score(a, b)`` oriented higher = more similar, and
     a ``name``); ``queries[i]`` and ``gallery[i]`` must belong to the same
-    object.
+    object.  ``n_jobs`` parallelizes the score matrix for measures that
+    support it (see :class:`repro.parallel.ParallelSTS`).
     """
     if len(queries) != len(gallery):
         raise ValueError(
             f"queries and gallery must pair up 1:1, got {len(queries)} vs {len(gallery)}"
         )
-    n = len(queries)
-    scores = np.zeros((n, n))
-    for i, q in enumerate(queries):
-        for j, g in enumerate(gallery):
-            scores[i, j] = measure.score(q, g)
+    scores = score_matrix(measure, queries, gallery, n_jobs=n_jobs)
     ranks = ranks_from_scores(scores)
     return MatchingResult(
         measure=getattr(measure, "name", type(measure).__name__),

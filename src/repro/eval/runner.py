@@ -8,6 +8,7 @@ repository's own EXPERIMENTS.md regeneration.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 
@@ -57,16 +58,22 @@ def run_all_experiments(
     dataset: TrajectoryDataset,
     seed: int = 0,
     only: list[str] | None = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Run every (or a subset of) figure experiment on ``dataset``.
 
     ``only`` takes experiment ids (``"fig04_05"``, ..., ``"fig12_14"``).
+    ``n_jobs`` parallelizes the score matrices of experiments that support
+    it (forwarded to :func:`~repro.eval.matching.evaluate_matching`).
     """
     selected = _EXPERIMENTS if only is None else {k: _EXPERIMENTS[k] for k in only}
     report = ExperimentReport(dataset=dataset.name)
     for exp_id, (runner, _label) in selected.items():
+        kwargs: dict = {"seed": seed}
+        if n_jobs is not None and "n_jobs" in inspect.signature(runner).parameters:
+            kwargs["n_jobs"] = n_jobs
         start = time.perf_counter()
-        report.results[exp_id] = runner(dataset, seed=seed)
+        report.results[exp_id] = runner(dataset, **kwargs)
         report.runtimes[exp_id] = time.perf_counter() - start
     return report
 

@@ -64,6 +64,11 @@ class FilteredMatcher:
     signature_dilation:
         Dilation (in cells) of the query signature for the cell filter;
         only used when ``grid`` is given.
+    n_jobs:
+        Worker count for scoring the surviving candidates, for measures
+        exposing the STS-style ``pairwise(..., n_jobs=...)`` entry point
+        (see :class:`repro.parallel.ParallelSTS`).  ``None``/``1`` scores
+        serially — still through the batched path when available.
     """
 
     def __init__(
@@ -73,12 +78,14 @@ class FilteredMatcher:
         spatial_slack: float | None = 0.0,
         min_time_overlap: float = 0.0,
         signature_dilation: int = 2,
+        n_jobs: int | None = None,
     ):
         self.measure = measure
         self.grid = grid
         self.spatial_slack = spatial_slack
         self.min_time_overlap = float(min_time_overlap)
         self.signature_dilation = int(signature_dilation)
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def candidates(self, query: Trajectory, gallery: list[Trajectory]) -> np.ndarray:
@@ -106,11 +113,11 @@ class FilteredMatcher:
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         surviving = self.candidates(query, gallery)
+        subset = [gallery[int(i)] for i in surviving]
+        scores = self._score_survivors(query, subset)
         matches = [
-            RankedMatch(index=int(i), trajectory=gallery[int(i)], score=float(
-                self.measure.score(query, gallery[int(i)])
-            ))
-            for i in surviving
+            RankedMatch(index=int(i), trajectory=traj, score=float(s))
+            for i, traj, s in zip(surviving, subset, scores)
         ]
         matches.sort(key=lambda m: -m.score)
         if k is not None:
@@ -120,3 +127,21 @@ class FilteredMatcher:
             gallery_size=len(gallery),
             candidates_scored=int(surviving.size),
         )
+
+    def _score_survivors(self, query: Trajectory, subset: list[Trajectory]) -> list[float]:
+        """Oriented scores of the query against each surviving candidate.
+
+        Routes through the measure's batched/parallel ``pairwise`` when it
+        offers the STS-style ``n_jobs`` entry point and parallel scoring
+        was requested; otherwise falls back to the ``score`` loop (which,
+        for STS, already uses the batched co-location path per pair).
+        """
+        if not subset:
+            return []
+        if self.n_jobs not in (None, 1):
+            from ..eval.matching import _supports_parallel_pairwise
+
+            if _supports_parallel_pairwise(self.measure):
+                row = self.measure.pairwise(subset, queries=[query], n_jobs=self.n_jobs)
+                return [float(s) for s in np.asarray(row)[0]]
+        return [float(self.measure.score(query, candidate)) for candidate in subset]

@@ -1,0 +1,12 @@
+"""Parallel execution of pairwise similarity computations.
+
+:class:`ParallelSTS` wraps a similarity measure and computes pairwise
+matrices with a process (or thread) pool — see :mod:`repro.parallel.sts`.
+The convenient entry point is ``STS.pairwise(..., n_jobs=...)``, which
+routes through this package automatically.
+"""
+
+from .pool import chunk_pairs, resolve_n_jobs
+from .sts import ParallelSTS
+
+__all__ = ["ParallelSTS", "chunk_pairs", "resolve_n_jobs"]

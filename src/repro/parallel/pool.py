@@ -1,0 +1,121 @@
+"""Worker-pool plumbing for parallel pairwise similarity.
+
+The process backend ships the measure and the trajectory collections to
+each worker **once**, through the pool initializer, instead of pickling
+them into every task.  Workers rebuild their own estimator caches (the
+measure's LRU caches deliberately pickle empty — see
+:class:`repro.core.cache.LRUCache`), so each worker owns a private,
+race-free working set.  Tasks are then just lists of ``(row, col)`` index
+pairs, and results come back as ``(row, col, score)`` triples — cheap to
+serialize and order-independent to assemble.
+
+The thread backend shares one measure instance across workers; the
+measure's caches are lock-protected, and the heavy kernels (pocketfft,
+BLAS) release the GIL, so threads help even for CPU-bound scoring when
+processes are unavailable (un-picklable custom models, restricted
+platforms).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+__all__ = [
+    "resolve_n_jobs",
+    "chunk_pairs",
+    "make_executor",
+]
+
+# Per-process worker state, populated by the pool initializer.  A module
+# global (not an instance attribute) because worker functions must be
+# importable top-level objects for pickling.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(measure, gallery, queries) -> None:
+    """Pool initializer: install this worker's private scoring state."""
+    _WORKER_STATE["measure"] = measure
+    _WORKER_STATE["gallery"] = gallery
+    _WORKER_STATE["queries"] = queries
+
+
+def _score_chunk(pairs: Sequence[tuple[int, int]]) -> list[tuple[int, int, float]]:
+    """Score one chunk of index pairs against the worker's state."""
+    measure = _WORKER_STATE["measure"]
+    gallery = _WORKER_STATE["gallery"]
+    queries = _WORKER_STATE["queries"]
+    rows = gallery if queries is None else queries
+    return [(i, j, measure.similarity(rows[i], gallery[j])) for i, j in pairs]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a positive worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per available
+    CPU; other negative values follow the scikit-learn convention
+    ``cpu_count() + 1 + n_jobs`` (floored at 1).
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be a positive count, -1, or None")
+    cpus = os.cpu_count() or 1
+    if n_jobs < 0:
+        return max(1, cpus + 1 + n_jobs)
+    return n_jobs
+
+
+def chunk_pairs(
+    pairs: Sequence[tuple[int, int]], n_workers: int, chunks_per_worker: int = 4
+) -> list[list[tuple[int, int]]]:
+    """Split the pair list into interleaved chunks for dispatch.
+
+    Chunks are taken round-robin (``pairs[k::n_chunks]``) rather than as
+    contiguous slices: pair costs correlate with trajectory length and
+    neighbouring pairs share a row, so contiguous slabs would concentrate
+    the expensive rows in a few unlucky workers.  Interleaving spreads
+    them evenly while remaining fully deterministic.
+    """
+    if not pairs:
+        return []
+    n_chunks = min(len(pairs), max(1, n_workers * chunks_per_worker))
+    return [list(pairs[k::n_chunks]) for k in range(n_chunks)]
+
+
+def make_executor(
+    backend: str, n_workers: int, measure, gallery, queries
+) -> tuple[Executor, str]:
+    """Build the executor for ``backend`` (``"process"``/``"thread"``/``"auto"``).
+
+    ``"auto"`` prefers processes (true parallelism for the CPU-bound
+    scoring loop) and falls back to threads when the measure cannot cross
+    a process boundary (e.g. a closure-based transition policy that does
+    not pickle).  Returns the executor and the backend actually chosen.
+    """
+    if backend not in ("auto", "process", "thread"):
+        raise ValueError(
+            f"backend must be 'auto', 'process' or 'thread', got {backend!r}"
+        )
+    if backend in ("auto", "process"):
+        try:
+            import pickle
+
+            pickle.dumps((measure, gallery, queries))
+        except Exception:
+            if backend == "process":
+                raise
+        else:
+            return (
+                ProcessPoolExecutor(
+                    max_workers=n_workers,
+                    initializer=_init_worker,
+                    initargs=(measure, gallery, queries),
+                ),
+                "process",
+            )
+    # Thread fallback: share the measure (its caches are lock-protected).
+    _init_worker(measure, gallery, queries)
+    return ThreadPoolExecutor(max_workers=n_workers), "thread"

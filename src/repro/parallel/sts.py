@@ -1,0 +1,118 @@
+"""Parallel pairwise similarity: shard the pair list across workers.
+
+A similarity matrix is embarrassingly parallel — every entry is an
+independent ``measure.similarity(a, b)`` — but a naive fan-out re-pickles
+the measure per pair and loses the symmetric structure.
+:class:`ParallelSTS` dispatches *chunks of index pairs* to a pool whose
+workers each hold one private copy of the measure (built once per worker
+by the pool initializer), then assembles the matrix deterministically
+from ``(row, col, score)`` triples.  Because every entry is produced by
+the exact same scoring code as the serial path, the parallel matrix
+matches ``STS.pairwise`` to the last bit regardless of worker count or
+chunk schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+from .pool import _score_chunk, chunk_pairs, make_executor, resolve_n_jobs
+
+__all__ = ["ParallelSTS"]
+
+
+class ParallelSTS:
+    """Parallel wrapper around any pairwise similarity measure.
+
+    Parameters
+    ----------
+    measure:
+        Any object with a ``similarity(tra1, tra2) -> float`` method
+        (typically :class:`repro.core.STS`).  For the process backend it
+        must be picklable; STS and its ablation variants are.
+    n_jobs:
+        Worker count; ``-1`` means one per available CPU (``None``/``1``
+        run serially in-process).
+    backend:
+        ``"process"`` (private measure copy per worker), ``"thread"``
+        (shared measure, lock-protected caches), or ``"auto"`` (processes
+        when the measure pickles, threads otherwise).
+    chunks_per_worker:
+        Dispatch granularity: the pair list is split into roughly
+        ``n_jobs * chunks_per_worker`` interleaved chunks, trading
+        scheduling slack against per-chunk overhead.
+    """
+
+    def __init__(
+        self,
+        measure,
+        n_jobs: int | None = -1,
+        backend: str = "auto",
+        chunks_per_worker: int = 4,
+    ):
+        self.measure = measure
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.backend = backend
+        self.chunks_per_worker = int(chunks_per_worker)
+
+    # ------------------------------------------------------------------
+    def similarity(self, tra1: Trajectory, tra2: Trajectory) -> float:
+        """Single-pair passthrough (no parallelism for one score)."""
+        return self.measure.similarity(tra1, tra2)
+
+    def pairwise(
+        self,
+        gallery: Sequence[Trajectory],
+        queries: Sequence[Trajectory] | None = None,
+    ) -> np.ndarray:
+        """Similarity matrix, sharded across the worker pool.
+
+        Mirrors :meth:`repro.core.STS.pairwise`: with ``queries=None`` the
+        result is the symmetric ``gallery × gallery`` matrix with each
+        unordered pair scored once; otherwise ``S[i, j] =
+        similarity(queries[i], gallery[j])``.
+        """
+        if queries is None:
+            n = len(gallery)
+            out = np.zeros((n, n))
+            pairs = [(i, j) for i in range(n) for j in range(i, n)]
+        else:
+            out = np.zeros((len(queries), len(gallery)))
+            pairs = [(i, j) for i in range(len(queries)) for j in range(len(gallery))]
+        if not pairs:
+            return out
+        if self.n_jobs == 1:
+            serial = self.measure.pairwise if hasattr(self.measure, "pairwise") else None
+            if serial is not None:
+                return serial(gallery, queries)
+            rows = gallery if queries is None else queries
+            for i, j in pairs:
+                out[i, j] = self.measure.similarity(rows[i], gallery[j])
+            if queries is None:
+                out = np.maximum(out, out.T)
+            return out
+
+        chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
+        executor, _backend = make_executor(
+            self.backend, self.n_jobs, self.measure, list(gallery),
+            list(queries) if queries is not None else None,
+        )
+        try:
+            for triples in executor.map(_score_chunk, chunks):
+                for i, j, score in triples:
+                    out[i, j] = score
+        finally:
+            executor.shutdown()
+        if queries is None:
+            upper = np.triu(out)
+            out = upper + np.triu(upper, 1).T
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSTS({self.measure!r}, n_jobs={self.n_jobs}, "
+            f"backend={self.backend!r})"
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the bounded LRU cache behind the evaluation hot paths."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_len_contains_iter(self):
+        cache = LRUCache(4)
+        for k in "abc":
+            cache.put(k, k.upper())
+        assert len(cache) == 3
+        assert "b" in cache
+        assert "z" not in cache
+        assert sorted(cache) == ["a", "b", "c"]
+
+    def test_eq_against_plain_dict(self):
+        cache = LRUCache(4)
+        cache.put("x", 1)
+        cache.put("y", 2)
+        assert cache == {"x": 1, "y": 2}
+        assert cache != {"x": 1}
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_oldest_entry_evicted_at_capacity(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache == {"b": 2, "c": 3}
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # now "b" is the least recently used
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_of_existing_key_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache == {"a": 10, "c": 3}
+
+    def test_maxsize_none_is_unbounded(self):
+        cache = LRUCache(None)
+        for i in range(10_000):
+            cache.put(i, i)
+        assert len(cache) == 10_000
+
+    def test_maxsize_zero_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        calls = []
+        assert cache.get_or_compute("a", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_compute("a", lambda: calls.append(1) or 7) == 7
+        assert len(calls) == 2  # recomputed every time, never stored
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_hits(self):
+        cache = LRUCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        assert cache.hits >= 2
+
+    def test_counters_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        assert cache.hits == 1 and cache.misses >= 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.maxsize == 4  # capacity survives a clear
+
+
+class TestConcurrencyAndPickling:
+    def test_thread_safety_under_contention(self):
+        cache = LRUCache(64)
+        errors = []
+
+        def worker(seed: int):
+            try:
+                for i in range(500):
+                    cache.put((seed, i % 80), i)
+                    cache.get((seed, (i * 7) % 80))
+                    cache.get_or_compute((seed, "x", i % 10), lambda: i)
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+
+    def test_pickles_empty_but_keeps_capacity(self):
+        cache = LRUCache(7)
+        cache.put("a", 1)
+        cache.get("a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 7
+        assert len(clone) == 0  # workers restart cold
+        assert clone.hits == 0 and clone.misses == 0
+        clone.put("b", 2)  # and the clone is fully functional
+        assert clone.get("b") == 2

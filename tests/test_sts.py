@@ -153,6 +153,81 @@ class TestPairwise:
         assert len(measure._stp_cache) == 0
 
 
+class TestCacheBounds:
+    def test_cache_size_bounds_estimator_cache(self, grid, walker, companion, stranger):
+        measure = STS(grid, cache_size=2)
+        for trajectory in (walker, companion, stranger):
+            measure.stp_for(trajectory)
+        assert len(measure._stp_cache) == 2  # LRU evicted the oldest
+
+    def test_cache_size_none_is_unbounded(self, grid, walker, companion, stranger):
+        measure = STS(grid, cache_size=None)
+        for trajectory in (walker, companion, stranger):
+            measure.stp_for(trajectory)
+        assert len(measure._stp_cache) == 3
+
+    def test_stp_cache_size_forwarded_to_estimators(self, grid, walker):
+        stp = STS(grid, stp_cache_size=16).stp_for(walker)
+        assert stp._cache.maxsize == 16
+        stp_off = STS(grid, stp_cache_size=0).stp_for(walker)
+        assert stp_off._cache.maxsize == 0
+        assert stp_off._kernel_cache.maxsize == 0
+
+    def test_query_results_memoized_within_capacity(self, grid, walker):
+        stp = STS(grid).stp_for(walker)
+        t = float(walker.timestamps[0]) + 1.3
+        first = stp.stp(t)
+        again = stp.stp(t)
+        assert first[0] is again[0] and first[1] is again[1]  # cache hit
+
+
+class TestProfileVsSimilarityAccounting:
+    """Regression pin: Eq. 10 vs :meth:`colocation_profile` on shared times.
+
+    ``similarity`` counts a timestamp present in *both* trajectories twice
+    (once per Σ in Eq. 10, denominator ``|Tra| + |Tra'|``); the profile is
+    a deduplicated union — an inspection view, not the measure's terms.
+    Both behaviours are documented in the ``colocation_profile`` docstring
+    and pinned here so neither silently drifts into the other.
+    """
+
+    @pytest.fixture
+    def twin(self, walker):
+        """Same timestamps as walker (full overlap), slightly offset path."""
+        return Trajectory.from_arrays(
+            walker.xy[:, 0] + 1.0, walker.xy[:, 1], walker.timestamps.copy()
+        )
+
+    def test_shared_timestamps_counted_twice_in_similarity(self, grid, walker, twin):
+        measure = STS(grid)
+        times, cps = measure.colocation_profile(walker, twin)
+        # Full timestamp overlap: union has |Tra| entries, not 2|Tra|.
+        assert len(times) == len(walker)
+        # Eq. 10 counts each shared time once per trajectory: the sum over
+        # the deduplicated profile appears twice in the numerator, and the
+        # denominator is |Tra| + |Tra'| — so the measure equals the plain
+        # profile mean here, but via 2·Σ/(2n), not Σ/n over 2n terms.
+        expected = 2.0 * float(cps.sum()) / (len(walker) + len(twin))
+        assert measure.similarity(walker, twin) == pytest.approx(expected, abs=1e-12)
+
+    def test_profile_mean_differs_under_partial_overlap(self, grid, walker):
+        # One shared timestamp: profile mean averages over |union| = 10
+        # terms, Eq. 10 over |Tra| + |Tra'| = 11 — they must not agree.
+        other = Trajectory.from_arrays(
+            walker.xy[:, 0] + 1.0, walker.xy[:, 1], walker.timestamps + 4.0
+        )
+        assert np.intersect1d(walker.timestamps, other.timestamps).size == 5
+        measure = STS(grid)
+        times, cps = measure.colocation_profile(walker, other)
+        assert len(times) == 7  # 6 + 6 timestamps, 5 shared
+        sim = measure.similarity(walker, other)
+        assert sim != pytest.approx(float(cps.mean()), abs=1e-15)
+        # And the exact relation between the two accountings holds:
+        shared_mask = np.isin(times, np.intersect1d(walker.timestamps, other.timestamps))
+        expected = (cps.sum() + cps[shared_mask].sum()) / (len(walker) + len(other))
+        assert sim == pytest.approx(expected, abs=1e-12)
+
+
 class TestVariants:
     def test_sts_n_ignores_noise(self, grid, walker):
         variant = sts_n(grid)
