@@ -12,9 +12,21 @@ Public API highlights:
 * :mod:`repro.datasets` — synthetic taxi/mall corpora and loaders for the
   real Porto CSV and mall-style sighting logs;
 * :mod:`repro.eval` — the matching task, metrics and per-figure
-  experiment runners of the paper's Section VI.
+  experiment runners of the paper's Section VI;
+* :mod:`repro.errors` — the structured error taxonomy
+  (:class:`repro.ReproError` and friends) and the ``on_error``
+  policy knob shared by the sanitization, loading and scoring layers.
 """
 
+from .errors import (
+    CheckpointError,
+    ChunkTimeoutError,
+    DegenerateTrajectoryError,
+    MalformedRecordError,
+    ReproError,
+    ScoreCorruptionError,
+    WorkerCrashError,
+)
 from .core import (
     STS,
     ColocationEvent,
@@ -68,4 +80,11 @@ __all__ = [
     "sts_g",
     "sts_f",
     "sts_b",
+    "ReproError",
+    "MalformedRecordError",
+    "DegenerateTrajectoryError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "ScoreCorruptionError",
+    "CheckpointError",
 ]

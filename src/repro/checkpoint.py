@@ -1,0 +1,189 @@
+"""Crash-safe journaling for long runs: atomic write-rename checkpoints.
+
+Two consumers:
+
+* :class:`PairwiseCheckpoint` — journals completed *chunks* of a
+  pairwise similarity matrix (:meth:`repro.core.STS.pairwise` /
+  :class:`repro.parallel.ParallelSTS`), so a run killed halfway resumes
+  from the last completed chunk instead of rescoring everything.
+* :class:`ExperimentCheckpoint` — journals completed *experiments* of
+  :func:`repro.eval.runner.run_all_experiments`, one file per
+  experiment id.
+
+Both write with the atomic write-rename idiom
+(:func:`write_json_atomic`): the payload is written to a sibling
+temporary file, fsynced, then ``os.replace``d over the target.  A
+``SIGKILL`` at any instant leaves either the previous complete
+checkpoint or the new complete checkpoint — never a torn file.
+
+Every checkpoint embeds a *fingerprint* of the run that produced it
+(dataset, seed, matrix shape, chunk plan, ...).  Resuming against a
+file whose fingerprint does not match raises
+:class:`~repro.errors.CheckpointError`: silently splicing results from
+a different run would be far worse than recomputing.
+
+Scores round-trip exactly: JSON serializes Python floats via
+``repr``, which is lossless for IEEE-754 doubles, so a resumed matrix
+is bitwise-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path as FilePath
+
+from .errors import CheckpointError
+
+__all__ = ["write_json_atomic", "PairwiseCheckpoint", "ExperimentCheckpoint"]
+
+
+def write_json_atomic(path: str | FilePath, payload: dict) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically (write-rename).
+
+    The temporary file lives in the same directory as the target so the
+    final ``os.replace`` stays within one filesystem (rename atomicity
+    holds only then).
+    """
+    path = FilePath(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path: FilePath, what: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable {what} checkpoint {path}: {exc}") from exc
+
+
+def _check_fingerprint(found: dict, expected: dict, path: FilePath, what: str) -> None:
+    if found != expected:
+        raise CheckpointError(
+            f"{what} checkpoint {path} belongs to a different run: "
+            f"found fingerprint {found!r}, expected {expected!r}"
+        )
+
+
+class PairwiseCheckpoint:
+    """Chunk journal for one pairwise matrix computation.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Created on the first completed chunk; an existing
+        file is loaded and validated against ``fingerprint``.
+    fingerprint:
+        JSON-serializable identity of the computation (shape, pair
+        count, chunk count, measure name).  The chunk plan must be
+        reproducible for resume to be meaningful, so the fingerprint
+        pins it.
+    flush_every:
+        Completed chunks per journal rewrite.  ``1`` (default) persists
+        after every chunk — maximum durability; raise it to trade
+        durability for fewer writes on fast chunks.
+    """
+
+    VERSION = 1
+
+    def __init__(
+        self, path: str | FilePath, fingerprint: dict, flush_every: int = 1
+    ):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = FilePath(path)
+        self.fingerprint = fingerprint
+        self.flush_every = int(flush_every)
+        self._chunks: dict[int, list[tuple[int, int, float]]] = {}
+        self._pending = 0
+        if self.path.exists():
+            data = _read_json(self.path, "pairwise")
+            _check_fingerprint(
+                data.get("fingerprint"), fingerprint, self.path, "pairwise"
+            )
+            self._chunks = {
+                int(k): [(int(i), int(j), float(s)) for i, j, s in triples]
+                for k, triples in data.get("chunks", {}).items()
+            }
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> dict[int, list[tuple[int, int, float]]]:
+        """Journaled chunks (``chunk index -> triples``), a copy."""
+        return {k: list(v) for k, v in self._chunks.items()}
+
+    def record(self, chunk_index: int, triples) -> None:
+        """Journal one completed chunk (flushes per ``flush_every``)."""
+        self._chunks[int(chunk_index)] = [
+            (int(i), int(j), float(s)) for i, j, s in triples
+        ]
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the journal atomically."""
+        write_json_atomic(
+            self.path,
+            {
+                "version": self.VERSION,
+                "fingerprint": self.fingerprint,
+                "chunks": {
+                    str(k): [[i, j, s] for i, j, s in triples]
+                    for k, triples in sorted(self._chunks.items())
+                },
+            },
+        )
+        self._pending = 0
+
+
+class ExperimentCheckpoint:
+    """Per-experiment journal for :func:`~repro.eval.runner.run_all_experiments`.
+
+    One ``<exp_id>.json`` file per completed experiment under
+    ``directory``, each carrying the run fingerprint (dataset name and
+    seed), the experiment's :meth:`~repro.eval.experiments.SweepResult.
+    to_dict` payload, and its wall-clock runtime.
+    """
+
+    VERSION = 1
+
+    def __init__(self, directory: str | FilePath, fingerprint: dict):
+        self.directory = FilePath(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def _path(self, exp_id: str) -> FilePath:
+        return self.directory / f"{exp_id}.json"
+
+    def load(self, exp_id: str) -> tuple[dict, float] | None:
+        """The stored ``(result_dict, runtime)`` for ``exp_id``, or ``None``.
+
+        Raises :class:`~repro.errors.CheckpointError` if a file exists
+        but is unreadable or fingerprinted for a different run.
+        """
+        path = self._path(exp_id)
+        if not path.exists():
+            return None
+        data = _read_json(path, "experiment")
+        _check_fingerprint(
+            data.get("fingerprint"), self.fingerprint, path, "experiment"
+        )
+        return data["result"], float(data["runtime"])
+
+    def store(self, exp_id: str, result_dict: dict, runtime: float) -> None:
+        """Journal one completed experiment atomically."""
+        write_json_atomic(
+            self._path(exp_id),
+            {
+                "version": self.VERSION,
+                "fingerprint": self.fingerprint,
+                "result": result_dict,
+                "runtime": float(runtime),
+            },
+        )

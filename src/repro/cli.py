@@ -28,7 +28,14 @@ import numpy as np
 from .core.grid import Grid
 from .core.noise import GaussianNoiseModel
 from .core.sts import STS
-from .datasets import load_trajectories_csv, mall_dataset, save_trajectories_csv, taxi_dataset
+from .datasets import (
+    load_trajectories_csv_report,
+    mall_dataset,
+    save_trajectories_csv,
+    taxi_dataset,
+)
+from .errors import ReproError
+from .preprocess import sanitize_trajectories
 from .eval import (
     ablation_experiment,
     build_matching_pair,
@@ -107,15 +114,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--only", nargs="*", default=None, help="experiment ids (e.g. fig10 fig11)"
     )
+    report.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal completed experiments here; an interrupted run "
+        "pointed at the same directory resumes from the last good state",
+    )
 
-    link = sub.add_parser("link", help="link query trajectories to a gallery (STS)")
+    on_error = argparse.ArgumentParser(add_help=False)
+    on_error.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "repair"],
+        default="raise",
+        help="malformed/degenerate input policy: raise (default), "
+        "skip bad records, or repair what is fixable",
+    )
+
+    link = sub.add_parser(
+        "link", parents=[on_error], help="link query trajectories to a gallery (STS)"
+    )
     link.add_argument("--queries", required=True, help="queries CSV (object_id,x,y,t)")
     link.add_argument("--gallery", required=True, help="gallery CSV (object_id,x,y,t)")
     link.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
     link.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
     link.add_argument("--top", type=int, default=3, help="candidates to print per query")
 
-    events = sub.add_parser("events", help="co-location events between two objects (STS)")
+    events = sub.add_parser(
+        "events",
+        parents=[on_error],
+        help="co-location events between two objects (STS)",
+    )
     events.add_argument("--corpus", required=True, help="trajectories CSV (object_id,x,y,t)")
     events.add_argument("--a", required=True, help="first object id")
     events.add_argument("--b", required=True, help="second object id")
@@ -128,7 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="co-location probability threshold (default: 10%% of self level)",
     )
 
-    groups = sub.add_parser("groups", help="detect co-moving groups in a corpus (STS)")
+    groups = sub.add_parser(
+        "groups", parents=[on_error], help="detect co-moving groups in a corpus (STS)"
+    )
     groups.add_argument("--corpus", required=True, help="trajectories CSV (object_id,x,y,t)")
     groups.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
     groups.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
@@ -142,6 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_corpus(path: str, on_error: str) -> list:
+    """Load a CSV corpus through the sanitization gate, reporting skips."""
+    trajectories, io_report = load_trajectories_csv_report(path, on_error=on_error)
+    trajectories, gate_report = sanitize_trajectories(trajectories, on_error=on_error)
+    skipped = io_report.skipped_records + io_report.skipped_trajectories
+    if skipped or not gate_report.clean:
+        print(
+            f"{path}: skipped {io_report.skipped_records} malformed record(s), "
+            f"{io_report.skipped_trajectories + gate_report.skipped_trajectories} "
+            f"unusable trajectory(ies), repaired {gate_report.repaired}",
+            file=sys.stderr,
+        )
+    return trajectories
+
+
 def _grid_and_measure(trajectories, cell: float, sigma: float) -> STS:
     points = np.vstack([t.xy for t in trajectories])
     grid = Grid.covering(points, cell, margin=4.0 * sigma)
@@ -151,8 +196,8 @@ def _grid_and_measure(trajectories, cell: float, sigma: float) -> STS:
 def _run_link(args) -> int:
     from .index import FilteredMatcher
 
-    queries = load_trajectories_csv(args.queries)
-    gallery = load_trajectories_csv(args.gallery)
+    queries = _load_corpus(args.queries, args.on_error)
+    gallery = _load_corpus(args.gallery, args.on_error)
     if not queries or not gallery:
         raise SystemExit("link: queries and gallery must both be non-empty")
     measure = _grid_and_measure(queries + gallery, args.cell, args.sigma)
@@ -167,7 +212,7 @@ def _run_link(args) -> int:
 def _run_events(args) -> int:
     from .core.events import detect_colocation_events
 
-    trajectories = {t.object_id: t for t in load_trajectories_csv(args.corpus)}
+    trajectories = {t.object_id: t for t in _load_corpus(args.corpus, args.on_error)}
     missing = [oid for oid in (args.a, args.b) if oid not in trajectories]
     if missing:
         raise SystemExit(f"events: object id(s) not in corpus: {missing}")
@@ -190,7 +235,7 @@ def _run_groups(args) -> int:
 
     from .groups import detect_groups
 
-    trajectories = load_trajectories_csv(args.corpus)
+    trajectories = _load_corpus(args.corpus, args.on_error)
     if len(trajectories) < 2:
         raise SystemExit("groups: need at least two trajectories")
     measure = _grid_and_measure(trajectories, args.cell, args.sigma)
@@ -212,8 +257,21 @@ def _run_groups(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """Entry point; returns the process exit code.
+
+    Structured input errors (:class:`~repro.errors.ReproError` — malformed
+    records, degenerate trajectories, checkpoint mismatches) exit with a
+    one-line message instead of a traceback; see ``--on-error`` for the
+    skip/repair policies.
+    """
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "list-measures":
         for name in available_measures():
@@ -256,7 +314,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
-        report = run_all_experiments(dataset, seed=args.seed, only=args.only)
+        report = run_all_experiments(
+            dataset, seed=args.seed, only=args.only, checkpoint_dir=args.checkpoint_dir
+        )
+        if report.resumed:
+            print(
+                f"resumed {len(report.resumed)} experiment(s) from checkpoint: "
+                f"{', '.join(report.resumed)}",
+                file=sys.stderr,
+            )
         text = render_markdown(report)
         if args.out:
             with open(args.out, "w", encoding="utf-8") as handle:

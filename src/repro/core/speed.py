@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..errors import MalformedRecordError
 from .trajectory import Trajectory
 
 __all__ = [
@@ -106,7 +107,7 @@ class KDESpeedModel(SpeedModel):
     ):
         arr = np.asarray(samples, dtype=float).ravel()
         if arr.size and (not np.isfinite(arr).all() or (arr < 0).any()):
-            raise ValueError("speed samples must be finite and non-negative")
+            raise MalformedRecordError("speed samples must be finite and non-negative")
         self.samples = arr
         self.bandwidth = float(bandwidth) if bandwidth is not None else silverman_bandwidth(arr)
         if self.bandwidth <= 0:

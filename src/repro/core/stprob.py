@@ -56,6 +56,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import fft as _fft
 
+from ..errors import DegenerateTrajectoryError
 from .cache import LRUCache
 from .grid import Grid
 from .noise import NoiseModel
@@ -123,7 +124,9 @@ class TrajectorySTP:
         cache_size: int | None = 4096,
     ):
         if len(trajectory) == 0:
-            raise ValueError("cannot estimate S-T probability for an empty trajectory")
+            raise DegenerateTrajectoryError(
+                "cannot estimate S-T probability for an empty trajectory"
+            )
         if mode not in self._MODES:
             raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
         if mode == "fft" and not transition_model.isotropic:

@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..errors import DegenerateTrajectoryError
 from .cache import LRUCache
 from .colocation import colocation_batch
 from .grid import Grid
@@ -173,7 +174,7 @@ class STS:
         exactly as the paper defines the average.
         """
         if len(tra1) == 0 or len(tra2) == 0:
-            raise ValueError("STS is undefined for empty trajectories")
+            raise DegenerateTrajectoryError("STS is undefined for empty trajectories")
         stp1 = self.stp_for(tra1)
         stp2 = self.stp_for(tra2)
         times = np.concatenate([tra1.timestamps, tra2.timestamps])
@@ -216,6 +217,7 @@ class STS:
         queries: Sequence[Trajectory] | None = None,
         n_jobs: int | None = None,
         backend: str = "auto",
+        checkpoint: str | None = None,
     ) -> np.ndarray:
         """Similarity matrix between two trajectory collections.
 
@@ -226,13 +228,19 @@ class STS:
         ``n_jobs`` > 1 shards the pair list across worker processes (or
         threads — see :class:`repro.parallel.ParallelSTS` and ``backend``);
         ``-1`` uses every available core.  The parallel matrix matches the
-        serial one to float round-off regardless of worker count.
+        serial one to float round-off regardless of worker count, and the
+        pool is supervised: dead/hung workers are retried and the backend
+        degrades rather than failing the run.
+
+        ``checkpoint`` names a chunk journal file (atomic write-rename);
+        an interrupted run pointed at the same file resumes from the last
+        completed chunk.  Resume requires the same ``n_jobs``.
         """
-        if n_jobs is not None and n_jobs != 1:
+        if (n_jobs is not None and n_jobs != 1) or checkpoint is not None:
             from ..parallel import ParallelSTS
 
             return ParallelSTS(self, n_jobs=n_jobs, backend=backend).pairwise(
-                gallery, queries
+                gallery, queries, checkpoint=checkpoint
             )
         everything = list(gallery) if queries is None else list(gallery) + list(queries)
         self._prewarm(everything)

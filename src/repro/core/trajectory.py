@@ -20,6 +20,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..errors import DegenerateTrajectoryError, MalformedRecordError
+
 __all__ = ["TrajectoryPoint", "Trajectory", "Path"]
 
 
@@ -38,7 +40,7 @@ class TrajectoryPoint:
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.x) and math.isfinite(self.y) and math.isfinite(self.t)):
-            raise ValueError(
+            raise MalformedRecordError(
                 f"observation must be finite, got ({self.x}, {self.y}, {self.t})"
             )
 
@@ -59,7 +61,9 @@ class TrajectoryPoint:
         """
         dt = abs(other.t - self.t)
         if dt == 0:
-            raise ValueError("speed between two observations at the same timestamp is undefined")
+            raise DegenerateTrajectoryError(
+                "speed between two observations at the same timestamp is undefined"
+            )
         return self.distance_to(other) / dt
 
 
@@ -270,7 +274,7 @@ class Trajectory:
     # ------------------------------------------------------------------
     def _require_nonempty(self) -> None:
         if not self._points:
-            raise ValueError("operation requires a non-empty trajectory")
+            raise DegenerateTrajectoryError("operation requires a non-empty trajectory")
 
 
 @dataclass(slots=True)

@@ -1,6 +1,10 @@
 """Dataset loaders and packaged synthetic corpora."""
 
-from .io import load_trajectories_csv, save_trajectories_csv
+from .io import (
+    load_trajectories_csv,
+    load_trajectories_csv_report,
+    save_trajectories_csv,
+)
 from .mall import load_mall_records
 from .porto import load_porto_csv, project_lonlat
 from .synthetic import MIN_TRAJECTORY_LENGTH, TrajectoryDataset, mall_dataset, taxi_dataset
@@ -15,4 +19,5 @@ __all__ = [
     "load_mall_records",
     "save_trajectories_csv",
     "load_trajectories_csv",
+    "load_trajectories_csv_report",
 ]

@@ -9,13 +9,20 @@ at construction) reconstructs the trajectories exactly.
 from __future__ import annotations
 
 import csv
+import math
 from collections import defaultdict
 from pathlib import Path as FilePath
 from typing import Iterable
 
 from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..errors import MalformedRecordError, validate_policy
+from ..preprocess import SanitizationIssue, SanitizationReport
 
-__all__ = ["save_trajectories_csv", "load_trajectories_csv"]
+__all__ = [
+    "save_trajectories_csv",
+    "load_trajectories_csv",
+    "load_trajectories_csv_report",
+]
 
 _COLUMNS = ("object_id", "x", "y", "t")
 
@@ -38,31 +45,83 @@ def save_trajectories_csv(trajectories: Iterable[Trajectory], path: str | FilePa
     return rows
 
 
-def load_trajectories_csv(path: str | FilePath, min_length: int = 1) -> list[Trajectory]:
+def load_trajectories_csv(
+    path: str | FilePath, min_length: int = 1, on_error: str = "raise"
+) -> list[Trajectory]:
     """Read trajectories written by :func:`save_trajectories_csv`.
 
     Groups are returned in order of each object's first appearance in the
-    file.  Raises :class:`ValueError` on a malformed header or row, since a
-    file this library wrote should never be malformed.
+    file.  ``on_error`` governs malformed and non-finite rows: ``"raise"``
+    (the default — a file this library wrote should never be malformed)
+    raises :class:`~repro.errors.MalformedRecordError`; ``"skip"`` and
+    ``"repair"`` drop the offending rows and keep loading.  Use
+    :func:`load_trajectories_csv_report` to also get the count of what
+    was dropped.
     """
+    trajectories, _report = load_trajectories_csv_report(
+        path, min_length=min_length, on_error=on_error
+    )
+    return trajectories
+
+
+def load_trajectories_csv_report(
+    path: str | FilePath, min_length: int = 1, on_error: str = "raise"
+) -> tuple[list[Trajectory], SanitizationReport]:
+    """Like :func:`load_trajectories_csv`, plus the sanitization account.
+
+    The report counts every data row seen (``n_seen``), rows dropped for
+    being unparseable or non-finite (``skipped_records``), and groups
+    dropped for falling below ``min_length`` (``skipped_trajectories``),
+    with one :class:`~repro.preprocess.SanitizationIssue` per incident
+    locating it as ``path:line``.
+
+    A missing or incomplete header always raises regardless of policy —
+    without the required columns no row can be interpreted at all.
+    """
+    validate_policy(on_error)
+    report = SanitizationReport(policy=on_error)
     groups: dict[str, list[TrajectoryPoint]] = defaultdict(list)
     order: list[str] = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         missing = [c for c in _COLUMNS if reader.fieldnames is None or c not in reader.fieldnames]
         if missing:
-            raise ValueError(f"{path}: missing required columns {missing}")
+            raise MalformedRecordError(f"{path}: missing required columns {missing}")
         for line_no, raw in enumerate(reader, start=2):
+            report.n_seen += 1
             try:
                 oid = raw["object_id"]
-                point = TrajectoryPoint(float(raw["x"]), float(raw["y"]), float(raw["t"]))
-            except (TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_no}: malformed row {raw!r}") from exc
+                x, y, t = float(raw["x"]), float(raw["y"]), float(raw["t"])
+                if oid is None or not all(map(math.isfinite, (x, y, t))):
+                    raise MalformedRecordError(f"non-finite or incomplete row {raw!r}")
+                point = TrajectoryPoint(x, y, t)
+            except (TypeError, ValueError) as exc:  # includes MalformedRecordError
+                if on_error == "raise":
+                    raise MalformedRecordError(
+                        f"{path}:{line_no}: malformed row {raw!r}"
+                    ) from exc
+                report.skipped_records += 1
+                report.record(
+                    SanitizationIssue(
+                        "malformed-record", f"{path}:{line_no}", "skipped", str(exc)
+                    )
+                )
+                continue
             if oid not in groups:
                 order.append(oid)
             groups[oid].append(point)
-    return [
-        Trajectory(groups[oid], object_id=oid)
-        for oid in order
-        if len(groups[oid]) >= min_length
-    ]
+    kept = []
+    for oid in order:
+        if len(groups[oid]) >= min_length:
+            kept.append(Trajectory(groups[oid], object_id=oid))
+        else:
+            report.skipped_trajectories += 1
+            report.record(
+                SanitizationIssue(
+                    "too-short",
+                    oid,
+                    "skipped",
+                    f"{len(groups[oid])} row(s), {min_length} required",
+                )
+            )
+    return kept, report

@@ -1,0 +1,100 @@
+"""Structured error taxonomy for the whole library.
+
+Production runs die for three distinct reasons, and callers need to tell
+them apart to react correctly:
+
+* **bad input** — a malformed CSV row, a NaN coordinate, a single-point
+  trajectory where two are required.  Recoverable by skipping or
+  repairing the offending record (see :mod:`repro.preprocess` and the
+  ``on_error`` policy knob).
+* **infrastructure failure** — a worker process killed by the OOM
+  killer, a hung chunk, a broken pool.  Recoverable by retrying or
+  degrading to a more conservative backend (see
+  :mod:`repro.parallel.supervisor`).
+* **operator error** — resuming from a checkpoint that belongs to a
+  different run.  Not recoverable; fail loudly.
+
+Every exception this library raises deliberately derives from
+:class:`ReproError`, so ``except ReproError`` catches exactly the
+library's own failures and nothing else.  Input errors additionally
+derive from :class:`ValueError` (and infrastructure errors from
+:class:`RuntimeError` / :class:`TimeoutError`), so existing callers that
+catch the builtin types keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MalformedRecordError",
+    "DegenerateTrajectoryError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "ScoreCorruptionError",
+    "CheckpointError",
+    "ERROR_POLICIES",
+    "validate_policy",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the library raises on purpose."""
+
+
+class MalformedRecordError(ReproError, ValueError):
+    """An input record is unusable: non-finite coordinates, a row that
+    does not parse, a missing column.  The record carries no usable
+    information and can only be dropped (``on_error="skip"``/``"repair"``)
+    or rejected (``on_error="raise"``)."""
+
+
+class DegenerateTrajectoryError(ReproError, ValueError):
+    """A trajectory is structurally valid but too degenerate for the
+    requested operation: empty, shorter than a required minimum, or all
+    observations at one timestamp where a time span is needed.  Some
+    degeneracies are repairable (duplicate timestamps collapse to their
+    centroid); others are not (an empty trajectory)."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A pool worker died (segfault, OOM kill, ``os._exit``) while
+    scoring a chunk.  Raised only after the supervisor exhausted its
+    retry/degradation ladder; the :class:`~repro.parallel.supervisor.
+    RunHealth` attached to the run records every intermediate crash."""
+
+
+class ChunkTimeoutError(ReproError, TimeoutError):
+    """No chunk made progress within the configured timeout — a worker
+    is hung (deadlock, runaway input).  Like :class:`WorkerCrashError`,
+    surfaced only once recovery options are exhausted."""
+
+
+class ScoreCorruptionError(ReproError, RuntimeError):
+    """A worker returned a non-finite similarity score.  STS scores are
+    probabilities in ``[0, 1]``; NaN/inf coming back from a chunk means
+    the worker's state is corrupt and the chunk must be re-scored."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is unreadable or belongs to a different run
+    (fingerprint mismatch).  Never silently ignored: resuming the wrong
+    checkpoint would splice two unrelated result sets together."""
+
+
+#: The valid ``on_error`` policies, in increasing order of leniency.
+ERROR_POLICIES = ("raise", "skip", "repair")
+
+
+def validate_policy(on_error: str) -> str:
+    """Check an ``on_error`` knob and return it.
+
+    * ``"raise"`` — propagate the structured error (default everywhere);
+    * ``"skip"`` — drop the offending record/trajectory/pair and count it;
+    * ``"repair"`` — fix what is fixable (e.g. collapse duplicate
+      timestamps), skip what is not.
+    """
+    if on_error not in ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}"
+        )
+    return on_error

@@ -12,6 +12,7 @@ import inspect
 import time
 from dataclasses import dataclass, field
 
+from ..checkpoint import ExperimentCheckpoint
 from ..datasets.synthetic import TrajectoryDataset
 from .experiments import (
     SweepResult,
@@ -43,11 +44,18 @@ _EXPERIMENTS = {
 
 @dataclass
 class ExperimentReport:
-    """All sweep results for one corpus, plus wall-clock accounting."""
+    """All sweep results for one corpus, plus wall-clock accounting.
+
+    ``resumed`` lists the experiment ids that were loaded from a
+    checkpoint instead of recomputed (empty for a clean run — and for a
+    resumed run the loaded results are identical to what recomputation
+    would produce, so the report content does not depend on it).
+    """
 
     dataset: str
     results: dict[str, SweepResult] = field(default_factory=dict)
     runtimes: dict[str, float] = field(default_factory=dict)
+    resumed: list[str] = field(default_factory=list)
 
     @property
     def total_runtime(self) -> float:
@@ -59,22 +67,57 @@ def run_all_experiments(
     seed: int = 0,
     only: list[str] | None = None,
     n_jobs: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> ExperimentReport:
     """Run every (or a subset of) figure experiment on ``dataset``.
 
-    ``only`` takes experiment ids (``"fig04_05"``, ..., ``"fig12_14"``).
+    ``only`` takes experiment ids (``"fig04_05"``, ..., ``"fig12_14"``);
+    an unknown id raises :class:`ValueError` listing the valid ones.
     ``n_jobs`` parallelizes the score matrices of experiments that support
     it (forwarded to :func:`~repro.eval.matching.evaluate_matching`).
+
+    ``checkpoint_dir`` journals every completed experiment to disk
+    (atomic write-rename, one file per experiment, fingerprinted with
+    the dataset name and seed).  A rerun pointed at the same directory
+    skips the experiments already journaled — so a run killed halfway
+    (even with ``SIGKILL``) resumes from the last completed experiment
+    and produces an identical report.
     """
+    if only is not None:
+        unknown = [k for k in only if k not in _EXPERIMENTS]
+        if unknown:
+            raise ValueError(
+                f"unknown experiment id(s) {unknown}; "
+                f"valid ids: {sorted(_EXPERIMENTS)}"
+            )
     selected = _EXPERIMENTS if only is None else {k: _EXPERIMENTS[k] for k in only}
+    checkpoint = (
+        ExperimentCheckpoint(
+            checkpoint_dir, {"dataset": dataset.name, "seed": seed}
+        )
+        if checkpoint_dir is not None
+        else None
+    )
     report = ExperimentReport(dataset=dataset.name)
     for exp_id, (runner, _label) in selected.items():
+        if checkpoint is not None:
+            stored = checkpoint.load(exp_id)
+            if stored is not None:
+                result_dict, runtime = stored
+                report.results[exp_id] = SweepResult.from_dict(result_dict)
+                report.runtimes[exp_id] = runtime
+                report.resumed.append(exp_id)
+                continue
         kwargs: dict = {"seed": seed}
         if n_jobs is not None and "n_jobs" in inspect.signature(runner).parameters:
             kwargs["n_jobs"] = n_jobs
         start = time.perf_counter()
         report.results[exp_id] = runner(dataset, **kwargs)
         report.runtimes[exp_id] = time.perf_counter() - start
+        if checkpoint is not None:
+            checkpoint.store(
+                exp_id, report.results[exp_id].to_dict(), report.runtimes[exp_id]
+            )
     return report
 
 

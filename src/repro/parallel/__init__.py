@@ -4,9 +4,22 @@
 matrices with a process (or thread) pool — see :mod:`repro.parallel.sts`.
 The convenient entry point is ``STS.pairwise(..., n_jobs=...)``, which
 routes through this package automatically.
+
+Execution is supervised by default: worker crashes, hangs and corrupt
+scores are retried with backoff and the backend degrades
+``process → thread → serial`` instead of failing the run — see
+:mod:`repro.parallel.supervisor` and the :class:`RunHealth` report.
 """
 
 from .pool import chunk_pairs, resolve_n_jobs
 from .sts import ParallelSTS
+from .supervisor import ChunkEvent, RunHealth, SupervisedExecutor
 
-__all__ = ["ParallelSTS", "chunk_pairs", "resolve_n_jobs"]
+__all__ = [
+    "ParallelSTS",
+    "chunk_pairs",
+    "resolve_n_jobs",
+    "SupervisedExecutor",
+    "RunHealth",
+    "ChunkEvent",
+]

@@ -10,6 +10,16 @@ from ``(row, col, score)`` triples.  Because every entry is produced by
 the exact same scoring code as the serial path, the parallel matrix
 matches ``STS.pairwise`` to the last bit regardless of worker count or
 chunk schedule.
+
+Execution is *supervised* by default (see
+:mod:`repro.parallel.supervisor`): dead workers are detected and their
+chunks retried with capped exponential backoff, hung chunks are timed
+out, and the backend degrades ``process → thread → serial`` rather than
+failing the run.  What happened is recorded in the
+:class:`~repro.parallel.supervisor.RunHealth` exposed as
+:attr:`ParallelSTS.last_health`.  Passing ``checkpoint=`` journals
+completed chunks to disk (atomic write-rename) so an interrupted run
+resumes from the last good state — see :mod:`repro.checkpoint`.
 """
 
 from __future__ import annotations
@@ -18,14 +28,16 @@ from typing import Sequence
 
 import numpy as np
 
+from ..checkpoint import PairwiseCheckpoint
 from ..core.trajectory import Trajectory
-from .pool import _score_chunk, chunk_pairs, make_executor, resolve_n_jobs
+from .pool import chunk_pairs, resolve_n_jobs
+from .supervisor import RunHealth, SupervisedExecutor
 
 __all__ = ["ParallelSTS"]
 
 
 class ParallelSTS:
-    """Parallel wrapper around any pairwise similarity measure.
+    """Parallel, fault-tolerant wrapper around any similarity measure.
 
     Parameters
     ----------
@@ -44,6 +56,21 @@ class ParallelSTS:
         Dispatch granularity: the pair list is split into roughly
         ``n_jobs * chunks_per_worker`` interleaved chunks, trading
         scheduling slack against per-chunk overhead.
+    supervised:
+        Run chunks through the :class:`~repro.parallel.supervisor.
+        SupervisedExecutor` (default).  ``False`` restores the bare
+        fail-fast pool of the original implementation.
+    chunk_timeout, max_retries, backoff_base, backoff_max, on_error,
+    validate_scores:
+        Supervision knobs, forwarded to the supervisor — see
+        :class:`~repro.parallel.supervisor.SupervisedExecutor`.
+
+    Attributes
+    ----------
+    last_health:
+        The :class:`~repro.parallel.supervisor.RunHealth` of the most
+        recent :meth:`pairwise` call (``None`` before the first call, or
+        when the unsupervised serial fast path ran).
     """
 
     def __init__(
@@ -52,21 +79,50 @@ class ParallelSTS:
         n_jobs: int | None = -1,
         backend: str = "auto",
         chunks_per_worker: int = 4,
+        supervised: bool = True,
+        chunk_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        on_error: str = "raise",
+        validate_scores: bool = True,
     ):
         self.measure = measure
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = backend
         self.chunks_per_worker = int(chunks_per_worker)
+        self.supervised = bool(supervised)
+        self.chunk_timeout = chunk_timeout
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.on_error = on_error
+        self.validate_scores = bool(validate_scores)
+        self.last_health: RunHealth | None = None
 
     # ------------------------------------------------------------------
     def similarity(self, tra1: Trajectory, tra2: Trajectory) -> float:
         """Single-pair passthrough (no parallelism for one score)."""
         return self.measure.similarity(tra1, tra2)
 
+    def _fingerprint(
+        self, n_rows: int, n_cols: int, n_pairs: int, n_chunks: int, symmetric: bool
+    ) -> dict:
+        return {
+            "kind": "pairwise",
+            "measure": getattr(self.measure, "name", type(self.measure).__name__),
+            "n_rows": n_rows,
+            "n_cols": n_cols,
+            "n_pairs": n_pairs,
+            "n_chunks": n_chunks,
+            "symmetric": symmetric,
+        }
+
     def pairwise(
         self,
         gallery: Sequence[Trajectory],
         queries: Sequence[Trajectory] | None = None,
+        checkpoint: str | None = None,
     ) -> np.ndarray:
         """Similarity matrix, sharded across the worker pool.
 
@@ -74,6 +130,12 @@ class ParallelSTS:
         result is the symmetric ``gallery × gallery`` matrix with each
         unordered pair scored once; otherwise ``S[i, j] =
         similarity(queries[i], gallery[j])``.
+
+        ``checkpoint`` names a journal file: completed chunks are
+        persisted there (atomic write-rename) and a rerun pointing at the
+        same file skips them.  Resume requires the same chunk plan — same
+        collections, ``n_jobs`` and ``chunks_per_worker`` — which the
+        journal's fingerprint enforces.
         """
         if queries is None:
             n = len(gallery)
@@ -84,18 +146,60 @@ class ParallelSTS:
             pairs = [(i, j) for i in range(len(queries)) for j in range(len(gallery))]
         if not pairs:
             return out
-        if self.n_jobs == 1:
-            serial = self.measure.pairwise if hasattr(self.measure, "pairwise") else None
-            if serial is not None:
-                return serial(gallery, queries)
-            rows = gallery if queries is None else queries
-            for i, j in pairs:
-                out[i, j] = self.measure.similarity(rows[i], gallery[j])
-            if queries is None:
-                out = np.maximum(out, out.T)
-            return out
+        if self.n_jobs == 1 and checkpoint is None:
+            # Serial and unjournaled (supervised or not): the measure's
+            # own batched pairwise (prewarmed) is both faster and
+            # identical, and there is nothing to supervise in-process.
+            self.last_health = None
+            return self._serial_fast_path(out, pairs, gallery, queries)
 
         chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
+        if not self.supervised and checkpoint is None:
+            return self._unsupervised(out, chunks, gallery, queries)
+        ckpt = None
+        done = None
+        if checkpoint is not None:
+            ckpt = PairwiseCheckpoint(
+                checkpoint,
+                self._fingerprint(
+                    out.shape[0], out.shape[1], len(pairs), len(chunks), queries is None
+                ),
+            )
+            done = ckpt.completed
+
+        backend = self.backend if self.n_jobs > 1 else "serial"
+        supervisor = SupervisedExecutor(
+            self.measure,
+            list(gallery),
+            list(queries) if queries is not None else None,
+            self.n_jobs,
+            backend=backend,
+            chunk_timeout=self.chunk_timeout,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            backoff_max=self.backoff_max,
+            on_error=self.on_error,
+            validate_scores=self.validate_scores,
+        )
+        self.last_health = supervisor.health
+        results = supervisor.run(
+            chunks, done=done, on_chunk_done=ckpt.record if ckpt is not None else None
+        )
+        if ckpt is not None:
+            ckpt.flush()
+        for k in range(len(chunks)):
+            for i, j, score in results[k]:
+                out[i, j] = score
+        if queries is None:
+            upper = np.triu(out)
+            out = upper + np.triu(upper, 1).T
+        return out
+
+    def _unsupervised(self, out, chunks, gallery, queries) -> np.ndarray:
+        """The original fail-fast pool: any worker fault kills the run."""
+        from .pool import _score_chunk, make_executor
+
+        self.last_health = None
         executor, _backend = make_executor(
             self.backend, self.n_jobs, self.measure, list(gallery),
             list(queries) if queries is not None else None,
@@ -111,8 +215,19 @@ class ParallelSTS:
             out = upper + np.triu(upper, 1).T
         return out
 
+    def _serial_fast_path(self, out, pairs, gallery, queries) -> np.ndarray:
+        serial = self.measure.pairwise if hasattr(self.measure, "pairwise") else None
+        if serial is not None:
+            return serial(gallery, queries)
+        rows = gallery if queries is None else queries
+        for i, j in pairs:
+            out[i, j] = self.measure.similarity(rows[i], gallery[j])
+        if queries is None:
+            out = np.maximum(out, out.T)
+        return out
+
     def __repr__(self) -> str:
         return (
             f"ParallelSTS({self.measure!r}, n_jobs={self.n_jobs}, "
-            f"backend={self.backend!r})"
+            f"backend={self.backend!r}, supervised={self.supervised})"
         )

@@ -12,15 +12,27 @@ logs are not.  This module provides the standard cleaning pipeline:
 * :func:`smooth` — moving-average positional smoothing;
 * :func:`clean` — the composed pipeline with sensible defaults.
 
+On top of the cleaning pipeline sits the *sanitization* pass
+(:func:`sanitize_trajectory` / :func:`sanitize_trajectories`): a
+policy-driven gate that classifies degenerate inputs through the
+structured error taxonomy of :mod:`repro.errors` and either raises,
+skips, or repairs them, always accounting for what it did in a
+:class:`SanitizationReport`.  The CSV loader
+(:func:`repro.datasets.io.load_trajectories_csv`) and the CLI route raw
+data through this gate.
+
 All functions are pure: they return new trajectories (or lists of them)
 and never mutate their input.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from .core.trajectory import Trajectory, TrajectoryPoint
+from .errors import DegenerateTrajectoryError, validate_policy
 
 __all__ = [
     "deduplicate_timestamps",
@@ -28,7 +40,183 @@ __all__ = [
     "remove_speed_outliers",
     "smooth",
     "clean",
+    "SanitizationIssue",
+    "SanitizationReport",
+    "sanitize_trajectory",
+    "sanitize_trajectories",
 ]
+
+
+@dataclass(frozen=True)
+class SanitizationIssue:
+    """One problem found (and possibly fixed) during sanitization."""
+
+    kind: str  # "malformed-record" | "empty" | "too-short" | "duplicate-timestamps"
+    subject: str  # object id, or "path:line" for record-level issues
+    action: str  # "raised" | "skipped" | "repaired"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        note = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} on {self.subject}: {self.action}{note}"
+
+
+@dataclass
+class SanitizationReport:
+    """Account of everything a sanitization pass touched.
+
+    ``n_seen`` counts trajectories (or raw records, for the CSV loader)
+    presented to the gate; the ``skipped_*``/``repaired`` counters say
+    what happened to the problematic ones, and ``issues`` carries the
+    per-item detail.  A report with ``clean`` true means the input
+    passed untouched.
+    """
+
+    policy: str = "raise"
+    n_seen: int = 0
+    skipped_records: int = 0
+    skipped_trajectories: int = 0
+    repaired: int = 0
+    issues: list[SanitizationIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def record(self, issue: SanitizationIssue) -> None:
+        """Append one issue, bumping the repair counter when applicable."""
+        self.issues.append(issue)
+        if issue.action == "repaired":
+            self.repaired += 1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the report."""
+        return {
+            "policy": self.policy,
+            "n_seen": self.n_seen,
+            "skipped_records": self.skipped_records,
+            "skipped_trajectories": self.skipped_trajectories,
+            "repaired": self.repaired,
+            "issues": [
+                {
+                    "kind": i.kind,
+                    "subject": i.subject,
+                    "action": i.action,
+                    "detail": i.detail,
+                }
+                for i in self.issues
+            ],
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"SanitizationReport(policy={self.policy!r}, seen={self.n_seen}, "
+            f"skipped_records={self.skipped_records}, "
+            f"skipped_trajectories={self.skipped_trajectories}, "
+            f"repaired={self.repaired})"
+        )
+
+
+def _subject(trajectory: Trajectory, index: int) -> str:
+    return trajectory.object_id if trajectory.object_id is not None else f"#{index}"
+
+
+def sanitize_trajectory(
+    trajectory: Trajectory,
+    on_error: str = "raise",
+    min_points: int = 1,
+    report: SanitizationReport | None = None,
+    _index: int = 0,
+) -> Trajectory | None:
+    """Gate one trajectory through the degenerate-input policy.
+
+    Checks, in order: emptiness, minimum length, duplicate timestamps.
+    Under ``on_error="raise"`` the first problem raises a
+    :class:`~repro.errors.DegenerateTrajectoryError`; under ``"skip"``
+    the trajectory is dropped (``None`` returned); under ``"repair"``
+    duplicate timestamps are collapsed to their centroid
+    (:func:`deduplicate_timestamps`) and only unrepairable problems
+    (empty / too short after repair) drop the trajectory.
+
+    Single-point trajectories and zero-variance speeds are *not* errors:
+    per Eq. 5 the STP at the lone observation is just the noise
+    distribution, and the KDE bandwidth floor keeps a zero-variance
+    speed model well-defined — the core computes defined scores for
+    both.  They only fail the gate if ``min_points`` says so.
+    """
+    validate_policy(on_error)
+    if report is not None:
+        report.n_seen += 1
+    subject = _subject(trajectory, _index)
+
+    def reject(kind: str, detail: str) -> None:
+        if on_error == "raise":
+            if report is not None:
+                report.record(SanitizationIssue(kind, subject, "raised", detail))
+            raise DegenerateTrajectoryError(f"{subject}: {detail}")
+        if report is not None:
+            report.skipped_trajectories += 1
+            report.record(SanitizationIssue(kind, subject, "skipped", detail))
+
+    if len(trajectory) == 0:
+        reject("empty", "trajectory has no observations")
+        return None
+    if len(trajectory) < min_points:
+        reject(
+            "too-short",
+            f"{len(trajectory)} observation(s), {min_points} required",
+        )
+        return None
+    ts = trajectory.timestamps
+    if len(ts) > 1 and bool(np.any(np.diff(ts) == 0)):
+        if on_error == "repair":
+            repaired = deduplicate_timestamps(trajectory)
+            if report is not None:
+                report.record(
+                    SanitizationIssue(
+                        "duplicate-timestamps",
+                        subject,
+                        "repaired",
+                        f"{len(trajectory)} -> {len(repaired)} observations",
+                    )
+                )
+            if len(repaired) < min_points:
+                reject(
+                    "too-short",
+                    f"{len(repaired)} observation(s) after repair, {min_points} required",
+                )
+                return None
+            return repaired
+        reject("duplicate-timestamps", "observations share a timestamp")
+        return None
+    return trajectory
+
+
+def sanitize_trajectories(
+    trajectories,
+    on_error: str = "raise",
+    min_points: int = 1,
+) -> tuple[list[Trajectory], SanitizationReport]:
+    """Gate a whole corpus; returns the survivors and the account.
+
+    The survivors keep their input order.  With ``on_error="raise"``
+    this either returns every trajectory untouched or raises on the
+    first degenerate one.
+    """
+    validate_policy(on_error)
+    report = SanitizationReport(policy=on_error)
+    kept = []
+    for index, trajectory in enumerate(trajectories):
+        result = sanitize_trajectory(
+            trajectory,
+            on_error=on_error,
+            min_points=min_points,
+            report=report,
+            _index=index,
+        )
+        if result is not None:
+            kept.append(result)
+    return kept, report
 
 
 def deduplicate_timestamps(trajectory: Trajectory) -> Trajectory:

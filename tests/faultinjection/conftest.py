@@ -1,0 +1,44 @@
+"""Shared fixtures: a small gallery, its STS measure, and the clean matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(0, 0, 40, 20, cell_size=2.0)
+
+
+@pytest.fixture(scope="module")
+def gallery():
+    """Five short overlapping trajectories with stable object ids."""
+    specs = [
+        ("a", [2.0, 8.0, 14.0, 20.0], 10.0, 0.0),
+        ("b", [4.0, 10.0, 16.0, 22.0], 10.0, 2.0),
+        ("c", [2.0, 8.0, 14.0, 20.0], 4.0, 0.0),
+        ("d", [20.0, 14.0, 8.0, 2.0], 6.0, 1.0),
+        ("e", [6.0, 12.0, 18.0, 24.0], 8.0, 3.0),
+    ]
+    return [
+        Trajectory.from_arrays(
+            xs, [y] * len(xs), np.array([0.0, 5.0, 10.0, 15.0]) + t0, object_id=oid
+        )
+        for oid, xs, y, t0 in specs
+    ]
+
+
+@pytest.fixture(scope="module")
+def measure(grid):
+    return STS(grid)
+
+
+@pytest.fixture(scope="module")
+def clean_serial(measure, gallery):
+    """The reference matrix from an uninterrupted serial run."""
+    return STS(measure.grid).pairwise(gallery)

@@ -1,0 +1,85 @@
+"""Deterministic fault injectors for the supervision/recovery tests.
+
+:class:`FaultyMeasure` wraps a real similarity measure and injects one
+fault — ``"raise"``, ``"crash"`` (kills the worker process), ``"hang"``
+or ``"corrupt"`` (returns NaN) — the *first* time a chosen trajectory
+pair is scored, then behaves normally forever after.  "First time" is
+enforced across process boundaries with an ``O_CREAT | O_EXCL`` token
+file: whichever worker (or retry attempt) gets there first atomically
+claims the token and fires the fault; every later attempt sees the
+token and scores cleanly.  That makes each test's fault schedule fully
+deterministic regardless of pool size or chunk order.
+
+The wrapper is picklable (it carries only the base measure, plain
+strings and numbers), so it travels to process-pool workers the same
+way a real measure does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class OneShotToken:
+    """Cross-process "exactly once" latch backed by an exclusive file."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    def fire(self) -> bool:
+        """Atomically claim the token; True only for the first caller."""
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    @property
+    def fired(self) -> bool:
+        return os.path.exists(self.path)
+
+
+class FaultyMeasure:
+    """Similarity measure that injects one fault on a chosen pair.
+
+    Parameters
+    ----------
+    base:
+        The real measure to wrap (scores delegate to it).
+    kind:
+        ``"raise"`` — raise ``RuntimeError``;
+        ``"crash"`` — ``os._exit(1)`` the scoring process (worker death);
+        ``"hang"`` — sleep ``hang_seconds`` (simulated wedge);
+        ``"corrupt"`` — return NaN instead of the true score.
+    target:
+        Unordered pair of ``object_id`` values that triggers the fault.
+    token_path:
+        File path for the exactly-once latch (use a tmp path per test).
+    """
+
+    def __init__(self, base, kind: str, target, token_path, hang_seconds: float = 30.0):
+        if kind not in ("raise", "crash", "hang", "corrupt"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.base = base
+        self.kind = kind
+        self.target = frozenset(target)
+        self.token = OneShotToken(token_path)
+        self.hang_seconds = float(hang_seconds)
+
+    @property
+    def name(self) -> str:
+        return f"faulty-{self.kind}({getattr(self.base, 'name', 'measure')})"
+
+    def similarity(self, tra1, tra2) -> float:
+        if {tra1.object_id, tra2.object_id} == self.target and self.token.fire():
+            if self.kind == "raise":
+                raise RuntimeError("injected fault: scoring failure")
+            if self.kind == "crash":
+                os._exit(1)
+            if self.kind == "hang":
+                time.sleep(self.hang_seconds)
+            elif self.kind == "corrupt":
+                return float("nan")
+        return self.base.similarity(tra1, tra2)

@@ -1,0 +1,110 @@
+"""A corpus with injected degenerate records survives ``on_error="skip"``.
+
+Builds a clean CSV from the shared gallery, injects a known set of
+degenerate records — unparseable rows, non-finite coordinates, a
+truncated row, a too-short group, a duplicate-timestamp trajectory —
+and proves the skip policy completes while reporting **exactly** the
+injected records, and that the survivors still score a fully finite
+pairwise matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sts import STS
+from repro.datasets.io import (
+    load_trajectories_csv,
+    load_trajectories_csv_report,
+    save_trajectories_csv,
+)
+from repro.errors import MalformedRecordError
+from repro.preprocess import sanitize_trajectories
+
+#: Injected record-level faults: rows the CSV loader must drop (and count).
+_BAD_ROWS = [
+    "bad1,not-a-number,3.0,1.0",  # unparseable coordinate
+    "bad2,1.0,nan,2.0",  # non-finite coordinate
+    "bad3,1.0",  # truncated row (missing y and t)
+]
+#: A group with a single valid row — dropped by ``min_length=2``.
+_SHORT_ROWS = ["short,5.0,5.0,0.0"]
+#: A loadable group whose observations share a timestamp — caught by the
+#: sanitization gate, not the loader.
+_DUP_ROWS = ["dup,6.0,6.0,0.0", "dup,7.0,6.0,5.0", "dup,8.0,6.0,5.0"]
+
+
+@pytest.fixture()
+def corpus_csv(gallery, tmp_path):
+    path = tmp_path / "corpus.csv"
+    n_clean = save_trajectories_csv(gallery, path)
+    with open(path, "a", encoding="utf-8") as handle:
+        for row in _BAD_ROWS + _SHORT_ROWS + _DUP_ROWS:
+            handle.write(row + "\n")
+    return path, n_clean
+
+
+class TestLoaderPolicies:
+    def test_raise_policy_names_file_and_line(self, corpus_csv):
+        path, n_clean = corpus_csv
+        first_bad_line = 2 + n_clean  # header is line 1, data starts at 2
+        with pytest.raises(MalformedRecordError, match=f"{first_bad_line}"):
+            load_trajectories_csv(path, min_length=2, on_error="raise")
+
+    def test_skip_policy_reports_exactly_the_injected_records(
+        self, corpus_csv, gallery
+    ):
+        path, n_clean = corpus_csv
+        kept, report = load_trajectories_csv_report(
+            path, min_length=2, on_error="skip"
+        )
+        assert report.n_seen == n_clean + len(_BAD_ROWS) + len(_SHORT_ROWS) + len(
+            _DUP_ROWS
+        )
+        assert report.skipped_records == len(_BAD_ROWS)
+        assert report.skipped_trajectories == 1  # the "short" group
+        record_issues = [i for i in report.issues if i.kind == "malformed-record"]
+        assert len(record_issues) == len(_BAD_ROWS)
+        assert all(str(path) in i.subject for i in record_issues)
+        assert [t.object_id for t in kept] == [
+            t.object_id for t in gallery
+        ] + ["dup"]
+
+
+class TestSanitizationGate:
+    def test_skip_drops_only_the_duplicate_timestamp_trajectory(
+        self, corpus_csv, gallery
+    ):
+        path, _ = corpus_csv
+        loaded = load_trajectories_csv(path, min_length=2, on_error="skip")
+        kept, report = sanitize_trajectories(loaded, on_error="skip", min_points=2)
+        assert [t.object_id for t in kept] == [t.object_id for t in gallery]
+        assert report.skipped_trajectories == 1
+        (issue,) = report.issues
+        assert issue.kind == "duplicate-timestamps"
+        assert issue.subject == "dup"
+
+    def test_repair_collapses_duplicates_and_keeps_everything(self, corpus_csv):
+        path, _ = corpus_csv
+        loaded = load_trajectories_csv(path, min_length=2, on_error="skip")
+        kept, report = sanitize_trajectories(loaded, on_error="repair", min_points=2)
+        assert len(kept) == len(loaded)
+        assert report.repaired == 1
+        repaired = next(t for t in kept if t.object_id == "dup")
+        assert len(repaired) == 2  # three rows, two distinct timestamps
+        assert np.all(np.diff(repaired.timestamps) > 0)
+
+
+class TestEndToEnd:
+    def test_survivors_score_a_finite_matrix(self, corpus_csv, grid, clean_serial):
+        path, _ = corpus_csv
+        loaded = load_trajectories_csv(path, min_length=2, on_error="skip")
+        kept, _ = sanitize_trajectories(loaded, on_error="repair", min_points=2)
+        out = STS(grid).pairwise(kept)
+        assert out.shape == (len(kept), len(kept))
+        assert np.isfinite(out).all()
+        assert np.array_equal(out, out.T)
+        # The clean gallery block is untouched by the injected garbage.
+        n = clean_serial.shape[0]
+        assert np.array_equal(out[:n, :n], clean_serial)

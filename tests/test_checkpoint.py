@@ -1,0 +1,131 @@
+"""Unit tests for the atomic checkpoint journals of :mod:`repro.checkpoint`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    ExperimentCheckpoint,
+    PairwiseCheckpoint,
+    write_json_atomic,
+)
+from repro.datasets.synthetic import taxi_dataset
+from repro.errors import CheckpointError, ReproError
+from repro.eval import runner as runner_mod
+from repro.eval.runner import run_all_experiments
+
+
+class TestWriteJsonAtomic:
+    def test_round_trips_and_leaves_no_temporary_file(self, tmp_path):
+        target = tmp_path / "state.json"
+        payload = {"a": 1, "scores": [0.1, 0.2]}
+        write_json_atomic(target, payload)
+        assert json.loads(target.read_text()) == payload
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "state.json"
+        write_json_atomic(target, {"gen": 1})
+        write_json_atomic(target, {"gen": 2})
+        assert json.loads(target.read_text()) == {"gen": 2}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_float_repr_round_trip_is_exact(self, tmp_path):
+        # The bitwise-identical-resume guarantee rests on this.
+        target = tmp_path / "floats.json"
+        values = [0.1, 1 / 3, 2**-52, 1e308, 0.30000000000000004]
+        write_json_atomic(target, {"v": values})
+        assert json.loads(target.read_text())["v"] == values
+
+
+class TestPairwiseCheckpoint:
+    FP = {"kind": "pairwise", "n_pairs": 3, "n_chunks": 2}
+
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "journal.json"
+        ckpt = PairwiseCheckpoint(path, self.FP)
+        ckpt.record(0, [(0, 0, 1.0), (0, 2, 0.25)])
+        ckpt.record(1, [(1, 1, 1.0)])
+        reloaded = PairwiseCheckpoint(path, self.FP)
+        assert reloaded.completed == {
+            0: [(0, 0, 1.0), (0, 2, 0.25)],
+            1: [(1, 1, 1.0)],
+        }
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "journal.json"
+        ckpt = PairwiseCheckpoint(path, self.FP, flush_every=2)
+        ckpt.record(0, [(0, 0, 1.0)])
+        assert not path.exists()  # first record only buffered
+        ckpt.record(1, [(1, 1, 1.0)])
+        assert path.exists()
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "journal.json"
+        PairwiseCheckpoint(path, self.FP).record(0, [(0, 0, 1.0)])
+        with pytest.raises(CheckpointError, match="different run"):
+            PairwiseCheckpoint(path, {**self.FP, "n_chunks": 99})
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            PairwiseCheckpoint(path, self.FP)
+
+    def test_checkpoint_error_is_a_repro_error(self):
+        assert issubclass(CheckpointError, ReproError)
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            PairwiseCheckpoint(tmp_path / "j.json", self.FP, flush_every=0)
+
+
+class TestExperimentCheckpoint:
+    FP = {"dataset": "taxi", "seed": 0}
+
+    def test_store_and_load(self, tmp_path):
+        ckpt = ExperimentCheckpoint(tmp_path, self.FP)
+        assert ckpt.load("fig10") is None
+        ckpt.store("fig10", {"metric": [1.0, 2.0]}, 3.5)
+        result, runtime = ckpt.load("fig10")
+        assert result == {"metric": [1.0, 2.0]}
+        assert runtime == 3.5
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        ExperimentCheckpoint(tmp_path, self.FP).store("fig10", {}, 0.0)
+        other = ExperimentCheckpoint(tmp_path, {"dataset": "taxi", "seed": 1})
+        with pytest.raises(CheckpointError, match="different run"):
+            other.load("fig10")
+
+
+class TestRunnerCheckpointing:
+    def test_checkpointed_rerun_skips_completed_experiments(
+        self, tmp_path, monkeypatch
+    ):
+        calls = {"n": 0}
+        real_runner, label = runner_mod._EXPERIMENTS["fig10"]
+
+        def counting_runner(dataset, seed=0):
+            calls["n"] += 1
+            return real_runner(dataset, seed=seed)
+
+        monkeypatch.setitem(
+            runner_mod._EXPERIMENTS, "fig10", (counting_runner, label)
+        )
+        dataset = taxi_dataset(n_trajectories=4, seed=4)
+        first = run_all_experiments(
+            dataset, only=["fig10"], checkpoint_dir=str(tmp_path)
+        )
+        assert calls["n"] == 1
+        assert first.resumed == []
+
+        second = run_all_experiments(
+            dataset, only=["fig10"], checkpoint_dir=str(tmp_path)
+        )
+        assert calls["n"] == 1  # not re-invoked
+        assert second.resumed == ["fig10"]
+        assert (
+            second.results["fig10"].to_dict() == first.results["fig10"].to_dict()
+        )

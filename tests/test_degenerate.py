@@ -1,0 +1,168 @@
+"""Degenerate trajectories end-to-end: defined where the math is, typed errors where it is not.
+
+The paper's machinery is defined for inputs that look pathological:
+
+* a **single-point** trajectory has no speed samples, so its speed model
+  degenerates to a near-stationary point mass and its STP at the lone
+  observation time is just the normalized noise distribution (Eq. 5);
+* **shared timestamps** carry no speed information and are simply
+  skipped by the sample extractor (Eq. 6's ``S``);
+* **zero-variance speeds** are kept well-defined by the KDE bandwidth
+  floor (Silverman's rule degenerates at zero spread).
+
+These tests pin that the whole stack — ``KDESpeedModel`` →
+``TrajectorySTP`` → ``STS.similarity`` — computes *defined, finite*
+scores for all three, and that the genuinely undefined cases raise the
+structured errors of :mod:`repro.errors` (which still subclass
+``ValueError`` for backward compatibility).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.core.speed import KDESpeedModel
+from repro.core.stprob import TrajectorySTP
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory, TrajectoryPoint
+from repro.core.transition import SpeedTransitionModel
+from repro.errors import (
+    DegenerateTrajectoryError,
+    MalformedRecordError,
+    ReproError,
+)
+from repro.preprocess import sanitize_trajectories
+
+
+@pytest.fixture()
+def grid():
+    return Grid(0, 0, 20, 20, cell_size=2.0)
+
+
+def _traj(coords, object_id="x"):
+    return Trajectory(
+        [TrajectoryPoint(x, y, t) for x, y, t in coords], object_id=object_id
+    )
+
+
+def _stp_for(trajectory, grid):
+    speed = KDESpeedModel.from_trajectory(trajectory)
+    return TrajectorySTP(
+        trajectory, grid, GaussianNoiseModel(grid.cell_size), SpeedTransitionModel(speed)
+    )
+
+
+class TestSinglePoint:
+    def test_stp_at_own_timestamp_is_the_normalized_noise_distribution(self, grid):
+        single = _traj([(10.0, 10.0, 5.0)])
+        stp = _stp_for(single, grid)
+        cells, probs = stp.stp(5.0)
+        assert cells.size > 0
+        assert probs.sum() == pytest.approx(1.0)
+        # Eq. 5 case 1: the mass is the noise model's cell distribution
+        # around the lone observation, renormalized over the grid.
+        noise = GaussianNoiseModel(grid.cell_size)
+        ref_cells, ref_probs = noise.cell_distribution(grid, 10.0, 10.0)
+        ref = dict(zip(ref_cells.tolist(), (ref_probs / ref_probs.sum()).tolist()))
+        got = dict(zip(cells.tolist(), probs.tolist()))
+        assert set(got) == set(ref)
+        for cell, p in got.items():
+            assert p == pytest.approx(ref[cell])
+
+    def test_sts_between_single_point_and_normal_trajectory_is_defined(self, grid):
+        single = _traj([(10.0, 10.0, 5.0)], object_id="single")
+        normal = _traj(
+            [(8.0, 10.0, 0.0), (10.0, 10.0, 5.0), (12.0, 10.0, 10.0)],
+            object_id="normal",
+        )
+        score = STS(grid).similarity(single, normal)
+        assert np.isfinite(score)
+        assert 0.0 <= score <= 1.0
+
+    def test_speed_model_degenerates_to_stationary_point_mass(self):
+        single = _traj([(10.0, 10.0, 5.0)])
+        model = KDESpeedModel.from_trajectory(single)
+        assert model.density(0.0) > model.density(5.0)
+
+
+class TestSharedTimestamps:
+    def test_speed_samples_skip_zero_dt_pairs(self):
+        dup = _traj([(2.0, 2.0, 0.0), (4.0, 2.0, 5.0), (5.0, 2.0, 5.0)])
+        speeds = dup.speeds()
+        assert speeds.shape == (1,)  # only the 0 -> 5 s segment counts
+        assert speeds[0] == pytest.approx(2.0 / 5.0)
+
+    def test_sts_with_duplicate_timestamps_is_defined(self, grid):
+        dup = _traj(
+            [(2.0, 2.0, 0.0), (4.0, 2.0, 5.0), (5.0, 2.0, 5.0)], object_id="dup"
+        )
+        other = _traj(
+            [(2.0, 4.0, 0.0), (4.0, 4.0, 5.0), (6.0, 4.0, 10.0)], object_id="other"
+        )
+        score = STS(grid).similarity(dup, other)
+        assert np.isfinite(score)
+        assert 0.0 <= score <= 1.0
+
+    def test_pairwise_speed_at_zero_dt_raises_typed_error(self):
+        a = TrajectoryPoint(0.0, 0.0, 3.0)
+        b = TrajectoryPoint(1.0, 0.0, 3.0)
+        with pytest.raises(DegenerateTrajectoryError):
+            a.speed_to(b)
+
+
+class TestZeroVarianceSpeeds:
+    def test_constant_speed_kde_is_well_defined(self):
+        # Equal spacing in time and space: every sample is exactly 1 m/s.
+        traj = _traj([(float(k), 2.0, float(k)) for k in range(5)])
+        speeds = traj.speeds()
+        assert np.allclose(speeds, 1.0)
+        model = KDESpeedModel.from_trajectory(traj)
+        assert np.isfinite(model.density(1.0))
+        assert model.density(1.0) > 0
+
+    def test_sts_between_constant_speed_trajectories_is_defined(self, grid):
+        a = _traj([(float(k), 2.0, float(k)) for k in range(5)], object_id="a")
+        b = _traj([(float(k), 4.0, float(k)) for k in range(5)], object_id="b")
+        score = STS(grid).similarity(a, b)
+        assert np.isfinite(score)
+        assert 0.0 <= score <= 1.0
+
+
+class TestUndefinedCases:
+    def test_empty_trajectory_raises_degenerate_error(self, grid):
+        empty = Trajectory([], object_id="empty")
+        ok = _traj([(2.0, 2.0, 0.0), (4.0, 2.0, 5.0)], object_id="ok")
+        with pytest.raises(DegenerateTrajectoryError):
+            STS(grid).similarity(empty, ok)
+        with pytest.raises(DegenerateTrajectoryError):
+            _stp_for(empty, grid)
+
+    def test_non_finite_observation_raises_malformed_error(self):
+        with pytest.raises(MalformedRecordError):
+            TrajectoryPoint(float("nan"), 0.0, 0.0)
+        with pytest.raises(MalformedRecordError):
+            TrajectoryPoint(0.0, float("inf"), 0.0)
+
+    def test_typed_errors_remain_valueerrors(self):
+        # Backward compatibility: callers catching ValueError keep working.
+        assert issubclass(DegenerateTrajectoryError, ValueError)
+        assert issubclass(MalformedRecordError, ValueError)
+        assert issubclass(DegenerateTrajectoryError, ReproError)
+        assert issubclass(MalformedRecordError, ReproError)
+
+
+class TestSanitizationEndToEnd:
+    def test_skip_policy_keeps_defined_inputs_and_drops_undefined_ones(self, grid):
+        corpus = [
+            _traj([(2.0, 2.0, 0.0), (4.0, 2.0, 5.0)], object_id="good"),
+            Trajectory([], object_id="empty"),
+            _traj([(10.0, 10.0, 5.0)], object_id="single"),
+        ]
+        kept, report = sanitize_trajectories(corpus, on_error="skip", min_points=1)
+        assert [t.object_id for t in kept] == ["good", "single"]
+        assert report.skipped_trajectories == 1
+        out = STS(grid).pairwise(kept)
+        assert np.isfinite(out).all()

@@ -133,10 +133,33 @@ class TestBackendSelection:
         parallel = ParallelSTS(measure, n_jobs=2, backend="auto").pairwise(gallery)
         assert abs(parallel - serial).max() <= 1e-12
 
-    def test_process_backend_raises_for_unpicklable_measure(self, grid, gallery):
+    def test_process_backend_raises_for_unpicklable_measure_unsupervised(
+        self, grid, gallery
+    ):
         from repro.core.speed import GaussianSpeedModel
         from repro.core.transition import SpeedTransitionModel
 
         measure = STS(grid, transition=lambda t: SpeedTransitionModel(GaussianSpeedModel(1.0, 0.3)))
         with pytest.raises(Exception):
-            ParallelSTS(measure, n_jobs=2, backend="process").pairwise(gallery)
+            ParallelSTS(
+                measure, n_jobs=2, backend="process", supervised=False
+            ).pairwise(gallery)
+
+    def test_process_backend_degrades_for_unpicklable_measure_supervised(
+        self, grid, gallery
+    ):
+        # The supervised executor steps down the process→thread→serial
+        # ladder instead of failing, and records the degradation.
+        from repro.core.speed import GaussianSpeedModel
+        from repro.core.transition import SpeedTransitionModel
+
+        measure = STS(grid, transition=lambda t: SpeedTransitionModel(GaussianSpeedModel(1.0, 0.3)))
+        serial = np.array(
+            [[measure.similarity(a, b) for b in gallery] for a in gallery]
+        )
+        wrapper = ParallelSTS(measure, n_jobs=2, backend="process")
+        parallel = wrapper.pairwise(gallery)
+        assert abs(parallel - serial).max() <= 1e-12
+        assert wrapper.last_health is not None
+        assert wrapper.last_health.degradations
+        assert "process" not in wrapper.last_health.backends_used

@@ -18,8 +18,8 @@ class TestRunAll:
         assert report.runtimes["fig10"] > 0
         assert report.total_runtime == report.runtimes["fig10"]
 
-    def test_unknown_id_raises(self, small_dataset):
-        with pytest.raises(KeyError):
+    def test_unknown_id_raises_naming_it_and_listing_valid_ids(self, small_dataset):
+        with pytest.raises(ValueError, match=r"fig99.*valid ids.*fig10"):
             run_all_experiments(small_dataset, only=["fig99"])
 
     def test_results_carry_dataset_name(self, small_dataset):
