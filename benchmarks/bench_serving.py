@@ -1,0 +1,256 @@
+"""Deadline-aware serving: latency distribution and overload soak.
+
+Operational reference for the online path added by the serving layer:
+
+* **Latency** — p50/p99 of one full evaluation tick over the streaming
+  random-walk traffic of ``bench_streaming.py``, with and without a
+  wall-clock deadline.  The deadline run shows what the degradation
+  ladder buys: a bounded tail instead of an unbounded one.
+* **Soak** — replay the traffic at 2× the *sustainable* rate (ticks
+  arrive twice as fast as an unbudgeted evaluation can finish) for a
+  configurable duration.  The run must absorb the overload through the
+  designed relief valves — shed pairs, degradation rungs, partial
+  scores, bounded-queue drops — with **zero unhandled exceptions**; any
+  exception fails the process.
+
+Run directly (``python benchmarks/bench_serving.py [--quick]``); results
+land in ``BENCH_serving.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from jsonbench import write_report  # noqa: E402
+from repro.core.grid import Grid  # noqa: E402
+from repro.streaming import SightingEvent, StreamingColocationDetector  # noqa: E402
+
+N_DEVICES = 8
+EVENTS_PER_DEVICE = 30
+AREA = (100.0, 60.0)  # mall-sized; positions bounce off the walls
+WINDOW_S = 600.0
+
+
+def make_events(seed: int = 5) -> list[SightingEvent]:
+    """The ``bench_streaming.py`` traffic: reflecting random walks."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for d in range(N_DEVICES):
+        x, y = rng.uniform(10, AREA[0] - 10), rng.uniform(10, AREA[1] - 10)
+        heading = rng.uniform(0, 2 * np.pi)
+        t = float(rng.uniform(0, 30))
+        for _ in range(EVENTS_PER_DEVICE):
+            dt = float(rng.exponential(10.0))
+            t += dt
+            x += 1.2 * np.cos(heading) * dt + rng.normal(0, 2)
+            y += 1.2 * np.sin(heading) * dt + rng.normal(0, 2)
+            if not (0 < x < AREA[0] and 0 < y < AREA[1]):
+                heading += np.pi / 2 + rng.uniform(0, np.pi / 2)
+                x = float(np.clip(x, 1, AREA[0] - 1))
+                y = float(np.clip(y, 1, AREA[1] - 1))
+            events.append(SightingEvent(f"dev-{d}", float(x), float(y), t))
+    events.sort(key=lambda e: e.t)
+    return events
+
+
+def make_grid() -> Grid:
+    return Grid(-10, -10, AREA[0] + 10, AREA[1] + 10, cell_size=3.0)
+
+
+def shifted(events: list[SightingEvent], offset: float) -> list[SightingEvent]:
+    return [SightingEvent(e.object_id, e.x, e.y, e.t + offset) for e in events]
+
+
+def percentile_ms(latencies_s: list[float], q: float) -> float:
+    if not latencies_s:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies_s), q) * 1000.0)
+
+
+# ----------------------------------------------------------------------
+def calibrate(events: list[SightingEvent], ticks: int) -> float:
+    """Median unbudgeted tick latency — the sustainable service time."""
+    detector = StreamingColocationDetector(make_grid(), window=WINDOW_S)
+    detector.ingest_many(events)
+    samples = []
+    for _ in range(ticks):
+        start = time.perf_counter()
+        detector.evaluate()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def latency_run(
+    events: list[SightingEvent], ticks: int, deadline_s: float | None
+) -> dict:
+    """p50/p99 tick latency, replaying one traffic epoch per tick."""
+    detector = StreamingColocationDetector(
+        make_grid(), window=WINDOW_S, on_error="skip", max_pending=4096
+    )
+    span = events[-1].t - events[0].t + 30.0
+    latencies: list[float] = []
+    partial = scored = 0
+    for tick in range(ticks):
+        for event in shifted(events, tick * span):
+            detector.offer(event)
+        start = time.perf_counter()
+        detector.evaluate(deadline=deadline_s)
+        latencies.append(time.perf_counter() - start)
+        health = detector.last_health
+        partial += health.pairs_partial
+        scored += health.pairs_scored
+    return {
+        "ticks": ticks,
+        "deadline_ms": None if deadline_s is None else deadline_s * 1000.0,
+        "p50_ms": percentile_ms(latencies, 50),
+        "p99_ms": percentile_ms(latencies, 99),
+        "max_ms": percentile_ms(latencies, 100),
+        "pairs_scored": scored,
+        "pairs_partial": partial,
+    }
+
+
+def soak_run(events: list[SightingEvent], duration_s: float, deadline_s: float) -> dict:
+    """Ticks arriving at 2× the sustainable rate for ``duration_s``.
+
+    Overload is induced structurally: each tick gets only half the time
+    an unbudgeted evaluation needs (``deadline_s`` is half the calibrated
+    service time) while a full traffic epoch lands in the (bounded)
+    admission queue.  Every relief valve is left enabled; an unhandled
+    exception anywhere in the serving loop fails the benchmark.
+    """
+    detector = StreamingColocationDetector(
+        make_grid(), window=WINDOW_S, on_error="skip", max_pending=128
+    )
+    span = events[-1].t - events[0].t + 30.0
+    totals = {
+        "ticks": 0,
+        "exceptions": 0,
+        "deadline_hits": 0,
+        "pairs_scored": 0,
+        "pairs_partial": 0,
+        "pairs_shed": 0,
+        "breaker_skips": 0,
+        "breaker_trips": 0,
+        "queue_shed": 0,
+        "degraded_rungs": 0,
+    }
+    latencies: list[float] = []
+    epoch = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < duration_s:
+        for event in shifted(events, epoch * span):
+            detector.offer(event)
+        epoch += 1
+        tick_start = time.perf_counter()
+        try:
+            detector.evaluate(deadline=deadline_s)
+        except Exception:  # the soak's whole point: this must not happen
+            totals["exceptions"] += 1
+            raise
+        latencies.append(time.perf_counter() - tick_start)
+        health = detector.last_health
+        totals["ticks"] += 1
+        totals["deadline_hits"] += int(health.deadline_hit)
+        totals["pairs_scored"] += health.pairs_scored
+        totals["pairs_partial"] += health.pairs_partial
+        totals["pairs_shed"] += health.pairs_shed
+        totals["breaker_skips"] += health.breaker_skips
+        totals["breaker_trips"] += health.breaker_trips
+        totals["degraded_rungs"] += sum(1 for r in health.rungs if r != "full")
+    totals["queue_shed"] = detector.shed_events
+    totals["duration_s"] = round(time.perf_counter() - start, 3)
+    totals["deadline_ms"] = deadline_s * 1000.0
+    totals["p50_ms"] = percentile_ms(latencies, 50)
+    totals["p99_ms"] = percentile_ms(latencies, 99)
+    return totals
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="short CI-sized run (a few seconds)"
+    )
+    parser.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=None,
+        help="soak duration (default: 60, or 5 with --quick)",
+    )
+    args = parser.parse_args()
+    soak_seconds = args.soak_seconds or (5.0 if args.quick else 60.0)
+    latency_ticks = 5 if args.quick else 20
+
+    events = make_events()
+    print(f"calibrating sustainable tick time over {len(events)} events ...")
+    service_time_s = calibrate(events, ticks=3 if args.quick else 5)
+    deadline_s = service_time_s / 2.0  # 2x arrival rate = half the time
+    print(
+        f"  unbudgeted tick: {service_time_s * 1000:.1f} ms "
+        f"-> soak deadline {deadline_s * 1000:.1f} ms"
+    )
+
+    print(f"latency: {latency_ticks} ticks without deadline ...")
+    no_deadline = latency_run(events, latency_ticks, None)
+    print(f"latency: {latency_ticks} ticks with deadline ...")
+    with_deadline = latency_run(events, latency_ticks, deadline_s)
+    print(f"soak: {soak_seconds:.0f} s at 2x sustainable rate ...")
+    soak = soak_run(events, soak_seconds, deadline_s)
+
+    absorbed = (
+        soak["pairs_shed"]
+        + soak["pairs_partial"]
+        + soak["degraded_rungs"]
+        + soak["breaker_skips"]
+        + soak["queue_shed"]
+    )
+    payload = {
+        "benchmark": "serving",
+        "n_devices": N_DEVICES,
+        "calibrated_tick_ms": service_time_s * 1000.0,
+        "no_deadline": no_deadline,
+        "with_deadline": with_deadline,
+        "soak": soak,
+        "overload_absorbed": absorbed,
+    }
+    path = write_report("BENCH_serving.json", payload)
+    print(f"wrote {path}")
+    print(
+        f"  p50/p99 no deadline:   {no_deadline['p50_ms']:.1f} / "
+        f"{no_deadline['p99_ms']:.1f} ms"
+    )
+    print(
+        f"  p50/p99 with deadline: {with_deadline['p50_ms']:.1f} / "
+        f"{with_deadline['p99_ms']:.1f} ms"
+    )
+    print(
+        f"  soak: {soak['ticks']} ticks, {soak['exceptions']} exceptions, "
+        f"{absorbed} overload events absorbed"
+    )
+
+    if soak["exceptions"]:
+        print("FAIL: unhandled exceptions during soak", file=sys.stderr)
+        return 1
+    if soak["ticks"] == 0:
+        print("FAIL: soak produced no ticks", file=sys.stderr)
+        return 1
+    if absorbed == 0:
+        print(
+            "FAIL: 2x overload produced no shedding/degradation — "
+            "the admission control never engaged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

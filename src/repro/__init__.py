@@ -15,7 +15,11 @@ Public API highlights:
   experiment runners of the paper's Section VI;
 * :mod:`repro.errors` — the structured error taxonomy
   (:class:`repro.ReproError` and friends) and the ``on_error``
-  policy knob shared by the sanitization, loading and scoring layers.
+  policy knob shared by the sanitization, loading and scoring layers;
+* :mod:`repro.serving` — the deadline-aware online path:
+  :class:`repro.Budget`, :class:`repro.AnytimeScore`,
+  :class:`repro.DeadlineScorer`, :class:`repro.CircuitBreaker` and the
+  :class:`repro.ServiceHealth` degradation report.
 """
 
 from .errors import (
@@ -52,6 +56,15 @@ from .core import (
     sts_g,
     sts_n,
 )
+from .serving import (
+    AnytimeScore,
+    Budget,
+    CircuitBreaker,
+    DeadlineScorer,
+    ServiceEvent,
+    ServiceHealth,
+    anytime_similarity,
+)
 
 __version__ = "1.0.0"
 
@@ -87,4 +100,11 @@ __all__ = [
     "ChunkTimeoutError",
     "ScoreCorruptionError",
     "CheckpointError",
+    "AnytimeScore",
+    "Budget",
+    "CircuitBreaker",
+    "DeadlineScorer",
+    "ServiceEvent",
+    "ServiceHealth",
+    "anytime_similarity",
 ]

@@ -29,6 +29,7 @@ is bitwise-identical to an uninterrupted one.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path as FilePath
@@ -145,10 +146,19 @@ class PairwiseCheckpoint:
 class ExperimentCheckpoint:
     """Per-experiment journal for :func:`~repro.eval.runner.run_all_experiments`.
 
-    One ``<exp_id>.json`` file per completed experiment under
-    ``directory``, each carrying the run fingerprint (dataset name and
-    seed), the experiment's :meth:`~repro.eval.experiments.SweepResult.
-    to_dict` payload, and its wall-clock runtime.
+    One ``<exp_id>-<fp>.json`` file per completed experiment under
+    ``directory``, where ``<fp>`` is a short hash of the run fingerprint
+    (dataset name and seed).  Hashing the fingerprint into the filename
+    lets runs with *different* configurations share one checkpoint
+    directory — each resumes its own journal — instead of colliding and
+    erroring only at resume time.  Each file carries the full
+    fingerprint (still validated on load, guarding against hash
+    collisions and hand-renamed files), the experiment's
+    :meth:`~repro.eval.experiments.SweepResult.to_dict` payload, and its
+    wall-clock runtime.
+
+    Journals written by earlier versions under the bare ``<exp_id>.json``
+    name are still picked up when they match the fingerprint.
     """
 
     VERSION = 1
@@ -157,8 +167,15 @@ class ExperimentCheckpoint:
         self.directory = FilePath(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
+        digest = hashlib.sha1(
+            json.dumps(fingerprint, sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()
+        self.fingerprint_hash = digest[:10]
 
     def _path(self, exp_id: str) -> FilePath:
+        return self.directory / f"{exp_id}-{self.fingerprint_hash}.json"
+
+    def _legacy_path(self, exp_id: str) -> FilePath:
         return self.directory / f"{exp_id}.json"
 
     def load(self, exp_id: str) -> tuple[dict, float] | None:
@@ -169,7 +186,16 @@ class ExperimentCheckpoint:
         """
         path = self._path(exp_id)
         if not path.exists():
-            return None
+            # Fall back to the pre-hash filename, but only when it really
+            # belongs to this run: a legacy journal from a different
+            # configuration is simply not ours, not an error.
+            legacy = self._legacy_path(exp_id)
+            if not legacy.exists():
+                return None
+            data = _read_json(legacy, "experiment")
+            if data.get("fingerprint") != self.fingerprint:
+                return None
+            return data["result"], float(data["runtime"])
         data = _read_json(path, "experiment")
         _check_fingerprint(
             data.get("fingerprint"), self.fingerprint, path, "experiment"

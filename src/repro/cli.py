@@ -138,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
     link.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
     link.add_argument("--top", type=int, default=3, help="candidates to print per query")
+    link.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="wall-clock budget per query (ms); degrades/sheds instead of overrunning",
+    )
+    link.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="resident-memory ceiling (MiB); scoring degrades instead of OOMing",
+    )
 
     events = sub.add_parser(
         "events",
@@ -202,10 +214,18 @@ def _run_link(args) -> int:
         raise SystemExit("link: queries and gallery must both be non-empty")
     measure = _grid_and_measure(queries + gallery, args.cell, args.sigma)
     matcher = FilteredMatcher(measure, grid=measure.grid, spatial_slack=8.0 * args.sigma)
+    bounded = args.deadline_ms is not None or args.max_rss_mb is not None
     for query in queries:
-        report = matcher.query(query, gallery, k=args.top)
+        budget = None
+        if bounded:
+            from .serving import Budget
+
+            budget = Budget(deadline_ms=args.deadline_ms, max_rss_mb=args.max_rss_mb)
+        report = matcher.query(query, gallery, k=args.top, budget=budget)
         best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
         print(f"{query.object_id}: {best}   [{report}]")
+        if report.health is not None and not report.health.ok:
+            print(f"  health: {report.health.summary()}", file=sys.stderr)
     return 0
 
 

@@ -79,6 +79,21 @@ class Grid:
     def max_y(self) -> float:
         return self.min_y + self.n_rows * self.cell_size
 
+    def coarsen(self, factor: int) -> "Grid":
+        """A grid over the same area with ``factor``× larger cells.
+
+        The origin is preserved, so every coarse cell is the union of (up
+        to) ``factor²`` fine cells and any point maps consistently between
+        the two resolutions.  Used by the serving degradation ladder:
+        quadratically fewer cells make STP evaluation quadratically
+        cheaper at the cost of spatial resolution.
+        """
+        if int(factor) != factor or factor < 1:
+            raise ValueError(f"coarsen factor must be an integer >= 1, got {factor}")
+        if factor == 1:
+            return self
+        return Grid(self.min_x, self.min_y, self.max_x, self.max_y, self.cell_size * factor)
+
     def __repr__(self) -> str:
         return (
             f"<Grid {self.n_cols}x{self.n_rows} cells of {self.cell_size}m "

@@ -238,6 +238,22 @@ class TrajectorySTP:
         needed = int(np.searchsorted(covered, mass - 1e-12)) + 1
         return np.sort(cells[order[:needed]])
 
+    def cache_stats(self) -> dict[str, int]:
+        """Entry counts of every memoization layer, keyed by cache name.
+
+        Observability hook for long-lived estimators on the serving path:
+        a memory-ceiling trip (``Budget.max_rss_mb``) says *that* the
+        process grew, these counters say *where*.  Pair with
+        :meth:`clear_cache` to release the memoized state.
+        """
+        return {
+            "results": len(self._cache),
+            "kernels": len(self._kernel_cache),
+            "planes": len(self._plane_cache),
+            "plane_ffts": len(self._plane_fft_cache),
+            "segments": len(self._segment_cache),
+        }
+
     def clear_cache(self) -> None:
         """Drop memoized query results (the noise distributions stay)."""
         self._cache.clear()

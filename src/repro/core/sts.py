@@ -166,13 +166,25 @@ class STS:
         self._stp_cache.clear()
 
     # ------------------------------------------------------------------
-    def similarity(self, tra1: Trajectory, tra2: Trajectory) -> float:
+    def similarity(self, tra1: Trajectory, tra2: Trajectory, budget=None) -> float:
         """Eq. 10: average co-location probability over both timestamp sets.
 
         Timestamps at which one trajectory is outside its observed span
         contribute 0 (Eq. 5 case 3) but still count in the denominator,
         exactly as the paper defines the average.
+
+        ``budget`` (a :class:`repro.serving.Budget`) routes the call
+        through the anytime evaluator: if the budget expires mid-pair the
+        returned float is the midpoint of a rigorous ``[lower, upper]``
+        interval around the exact score (use
+        :func:`repro.serving.anytime_similarity` directly to see the
+        bound).  An exhausted-free budget returns the exact score,
+        bitwise identical to the unbudgeted path.
         """
+        if budget is not None and budget.bounded:
+            from ..serving.anytime import anytime_similarity
+
+            return anytime_similarity(self, tra1, tra2, budget=budget).value
         if len(tra1) == 0 or len(tra2) == 0:
             raise DegenerateTrajectoryError("STS is undefined for empty trajectories")
         stp1 = self.stp_for(tra1)
@@ -218,6 +230,7 @@ class STS:
         n_jobs: int | None = None,
         backend: str = "auto",
         checkpoint: str | None = None,
+        deadline: float | None = None,
     ) -> np.ndarray:
         """Similarity matrix between two trajectory collections.
 
@@ -235,12 +248,17 @@ class STS:
         ``checkpoint`` names a chunk journal file (atomic write-rename);
         an interrupted run pointed at the same file resumes from the last
         completed chunk.  Resume requires the same ``n_jobs``.
+
+        ``deadline`` caps the whole call at that many wall-clock seconds;
+        pairs not scored in time come back NaN (see
+        :meth:`repro.parallel.ParallelSTS.pairwise`, which deadlined
+        calls always route through).
         """
-        if (n_jobs is not None and n_jobs != 1) or checkpoint is not None:
+        if (n_jobs is not None and n_jobs != 1) or checkpoint is not None or deadline is not None:
             from ..parallel import ParallelSTS
 
             return ParallelSTS(self, n_jobs=n_jobs, backend=backend).pairwise(
-                gallery, queries, checkpoint=checkpoint
+                gallery, queries, checkpoint=checkpoint, deadline=deadline
             )
         everything = list(gallery) if queries is None else list(gallery) + list(queries)
         self._prewarm(everything)

@@ -17,6 +17,8 @@ import numpy as np
 from ..core.grid import Grid
 from ..core.trajectory import Trajectory
 from ..eval.queries import RankedMatch
+from ..serving.budget import Budget
+from ..serving.health import ServiceEvent, ServiceHealth
 from .filters import bounding_box_filter, cell_signature_filter, time_overlap_filter
 
 __all__ = ["FilteredMatcher", "MatchReport"]
@@ -24,11 +26,18 @@ __all__ = ["FilteredMatcher", "MatchReport"]
 
 @dataclass(frozen=True)
 class MatchReport:
-    """Outcome of one filtered query: ranked survivors plus filter stats."""
+    """Outcome of one filtered query: ranked survivors plus filter stats.
+
+    ``health`` is populated only by deadline-bounded queries; it records
+    the degradation rungs taken per candidate and any candidates shed
+    when the deadline expired (shed candidates are absent from
+    ``matches`` and excluded from ``candidates_scored``).
+    """
 
     matches: list[RankedMatch]
     gallery_size: int
     candidates_scored: int
+    health: ServiceHealth | None = None
 
     @property
     def filter_rate(self) -> float:
@@ -103,18 +112,47 @@ class FilteredMatcher:
             surviving = surviving[sig_keep]
         return surviving
 
-    def query(self, query: Trajectory, gallery: list[Trajectory], k: int | None = None) -> MatchReport:
+    def query(
+        self,
+        query: Trajectory,
+        gallery: list[Trajectory],
+        k: int | None = None,
+        deadline: float | None = None,
+        budget: Budget | None = None,
+    ) -> MatchReport:
         """Rank the surviving candidates; optionally keep only the top ``k``.
 
         Filtered-out candidates are *omitted* from the result (their score
         is a guaranteed/near-guaranteed zero), so an empty ``matches`` list
         means "nothing in the gallery plausibly overlaps this query".
+
+        ``deadline`` (wall-clock seconds) or ``budget`` bounds the
+        refine stage: candidates are scored through the
+        :class:`~repro.serving.DeadlineScorer` degradation ladder in an
+        equal share of the remaining time each; candidates the deadline
+        cannot reach are shed (recorded in the report's ``health``, and
+        absent from ``matches``).  The filter stage always runs — it is
+        the cheap part and every later rung depends on it.
         """
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if deadline is not None and budget is not None:
+            raise ValueError("pass either deadline or budget, not both")
+        if deadline is not None:
+            if deadline < 0:
+                raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+            budget = Budget(deadline_ms=deadline * 1000.0)
         surviving = self.candidates(query, gallery)
         subset = [gallery[int(i)] for i in surviving]
-        scores = self._score_survivors(query, subset)
+        health: ServiceHealth | None = None
+        if budget is not None and budget.bounded:
+            budget.start()
+            health = ServiceHealth(deadline_ms=budget.deadline_ms)
+            keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
+            surviving = surviving[keep]
+            subset = [subset[i] for i in keep]
+        else:
+            scores = self._score_survivors(query, subset)
         matches = [
             RankedMatch(index=int(i), trajectory=traj, score=float(s))
             for i, traj, s in zip(surviving, subset, scores)
@@ -126,6 +164,7 @@ class FilteredMatcher:
             matches=matches,
             gallery_size=len(gallery),
             candidates_scored=int(surviving.size),
+            health=health,
         )
 
     def _score_survivors(self, query: Trajectory, subset: list[Trajectory]) -> list[float]:
@@ -145,3 +184,60 @@ class FilteredMatcher:
                 row = self.measure.pairwise(subset, queries=[query], n_jobs=self.n_jobs)
                 return [float(s) for s in np.asarray(row)[0]]
         return [float(self.measure.score(query, candidate)) for candidate in subset]
+
+    def _score_survivors_budgeted(
+        self,
+        query: Trajectory,
+        subset: list[Trajectory],
+        budget: Budget,
+        health: ServiceHealth,
+    ) -> tuple[list[int], list[float]]:
+        """Budgeted refine: positions kept (into ``subset``) and their scores.
+
+        STS-style measures (anything exposing ``stp_for`` and a grid) go
+        through the degradation ladder; other measures are scored
+        directly until the budget expires.  Either way, candidates left
+        when time runs out are shed and counted, never silently zeroed.
+        """
+        from ..serving.ladder import DeadlineScorer
+
+        scorer = (
+            DeadlineScorer(self.measure)
+            if hasattr(self.measure, "stp_for") and hasattr(self.measure, "grid")
+            else None
+        )
+        keep: list[int] = []
+        scores: list[float] = []
+        for idx, candidate in enumerate(subset):
+            if budget.expired():
+                shed = len(subset) - idx
+                health.pairs_shed += shed
+                health.deadline_hit = True
+                for pos in range(idx, len(subset)):
+                    subject = getattr(subset[pos], "object_id", None) or f"candidate-{pos}"
+                    health.record(
+                        ServiceEvent("shed-pair", str(subject), "deadline expired")
+                    )
+                break
+            subject = getattr(candidate, "object_id", None) or f"candidate-{idx}"
+            slice_budget = budget.sub_budget(
+                1.0 / (len(subset) - idx), max_terms=budget.max_terms
+            )
+            if scorer is not None:
+                result = scorer.score(
+                    query, candidate, budget=slice_budget,
+                    health=health, subject=str(subject),
+                )
+                if not result.completed:
+                    health.pairs_partial += 1
+                score = result.value
+            else:
+                score = float(self.measure.score(query, candidate))
+                health.take_rung("full", str(subject))
+            keep.append(idx)
+            scores.append(score)
+            health.pairs_scored += 1
+        health.elapsed_ms = budget.elapsed_ms()
+        if budget.deadline_ms is not None and health.elapsed_ms >= budget.deadline_ms:
+            health.deadline_hit = True
+        return keep, scores

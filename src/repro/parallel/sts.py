@@ -123,6 +123,7 @@ class ParallelSTS:
         gallery: Sequence[Trajectory],
         queries: Sequence[Trajectory] | None = None,
         checkpoint: str | None = None,
+        deadline: float | None = None,
     ) -> np.ndarray:
         """Similarity matrix, sharded across the worker pool.
 
@@ -136,6 +137,13 @@ class ParallelSTS:
         same file skips them.  Resume requires the same chunk plan — same
         collections, ``n_jobs`` and ``chunks_per_worker`` — which the
         journal's fingerprint enforces.
+
+        ``deadline`` caps the whole call at that many wall-clock seconds:
+        chunks not finished in time come back NaN-filled (recorded as
+        ``deadline-shed`` in :attr:`last_health`, whose
+        ``deadline_expired`` flag is set).  Shed chunks are never
+        journaled, so an unbounded rerun on the same checkpoint
+        recomputes exactly the missing entries.
         """
         if queries is None:
             n = len(gallery)
@@ -146,15 +154,15 @@ class ParallelSTS:
             pairs = [(i, j) for i in range(len(queries)) for j in range(len(gallery))]
         if not pairs:
             return out
-        if self.n_jobs == 1 and checkpoint is None:
-            # Serial and unjournaled (supervised or not): the measure's
-            # own batched pairwise (prewarmed) is both faster and
-            # identical, and there is nothing to supervise in-process.
+        if self.n_jobs == 1 and checkpoint is None and deadline is None:
+            # Serial, unjournaled and undeadlined (supervised or not): the
+            # measure's own batched pairwise (prewarmed) is both faster
+            # and identical, and there is nothing to supervise in-process.
             self.last_health = None
             return self._serial_fast_path(out, pairs, gallery, queries)
 
         chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
-        if not self.supervised and checkpoint is None:
+        if not self.supervised and checkpoint is None and deadline is None:
             return self._unsupervised(out, chunks, gallery, queries)
         ckpt = None
         done = None
@@ -180,6 +188,7 @@ class ParallelSTS:
             backoff_max=self.backoff_max,
             on_error=self.on_error,
             validate_scores=self.validate_scores,
+            deadline=deadline,
         )
         self.last_health = supervisor.health
         results = supervisor.run(

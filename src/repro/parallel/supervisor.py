@@ -63,7 +63,7 @@ class ChunkEvent:
     chunk: int
     attempt: int
     backend: str
-    kind: str  # "worker-crash" | "timeout" | "error" | "corrupt-score" | "backend-unavailable" | "skipped"
+    kind: str  # "worker-crash" | "timeout" | "error" | "corrupt-score" | "backend-unavailable" | "skipped" | "deadline-shed"
     detail: str = ""
 
     def __str__(self) -> str:
@@ -90,6 +90,7 @@ class RunHealth:
     corrupt_scores: int = 0
     errors: int = 0
     skipped_pairs: int = 0
+    deadline_expired: bool = False
     backends_used: list[str] = field(default_factory=list)
     degradations: list[str] = field(default_factory=list)
     events: list[ChunkEvent] = field(default_factory=list)
@@ -97,7 +98,7 @@ class RunHealth:
     @property
     def ok(self) -> bool:
         """True when the run needed no recovery at all."""
-        return not self.events and not self.degradations
+        return not self.events and not self.degradations and not self.deadline_expired
 
     @property
     def degraded(self) -> bool:
@@ -120,6 +121,7 @@ class RunHealth:
             "corrupt_scores": self.corrupt_scores,
             "errors": self.errors,
             "skipped_pairs": self.skipped_pairs,
+            "deadline_expired": self.deadline_expired,
             "backends_used": list(self.backends_used),
             "degradations": list(self.degradations),
             "events": [
@@ -144,6 +146,7 @@ class RunHealth:
             f"{self.corrupt_scores} corrupt score(s), {self.errors} error(s), "
             f"degradations {self.degradations or 'none'}, "
             f"{self.skipped_pairs} pair(s) skipped"
+            + (", deadline EXPIRED" if self.deadline_expired else "")
         )
 
 
@@ -192,8 +195,17 @@ class SupervisedExecutor:
         chunk's pairs with NaN and records them as skipped.
     validate_scores:
         Reject non-finite scores as chunk corruption (on by default).
+    deadline:
+        Wall-clock allowance for the whole run, in seconds (``None`` =
+        unbounded).  When it expires, chunks still outstanding are *shed*
+        — their pairs filled with NaN and recorded as ``deadline-shed``
+        events — so the run returns promptly with a partial-but-shaped
+        result instead of stalling.  Shed chunks are never journaled to
+        a checkpoint, so a later unbounded rerun recomputes them.
     sleep:
         Injection point for the backoff sleep (tests pass a no-op).
+    clock:
+        Monotonic time source for the deadline (injectable for tests).
     """
 
     _LADDERS = {
@@ -216,7 +228,9 @@ class SupervisedExecutor:
         backoff_max: float = 2.0,
         on_error: str = "raise",
         validate_scores: bool = True,
+        deadline: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if backend not in self._LADDERS:
             raise ValueError(
@@ -233,9 +247,54 @@ class SupervisedExecutor:
         self.backoff_max = float(backoff_max)
         self.on_error = validate_policy(on_error)
         self.validate_scores = bool(validate_scores)
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+        self.deadline = deadline
         self.sleep = sleep
+        self.clock = clock
         self.health = RunHealth(backend_requested=backend)
         self._attempts: dict[int, int] = defaultdict(int)
+        self._deadline_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def _remaining(self) -> float | None:
+        """Seconds left on the run deadline (``None`` when unbounded)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - self.clock()
+
+    def _deadline_expired(self) -> bool:
+        remaining = self._remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def _shed_remaining(
+        self,
+        chunks: Sequence[Chunk],
+        todo: Sequence[int],
+        results: dict[int, list[Triple]],
+    ) -> None:
+        """NaN-fill every chunk still outstanding at deadline expiry.
+
+        Shed chunks are deliberately *not* journaled through the
+        checkpoint hook: the NaNs are placeholders, and a resumed
+        unbounded run must recompute them.
+        """
+        health = self.health
+        health.deadline_expired = True
+        for k in todo:
+            if k in results:
+                continue
+            results[k] = [(i, j, float("nan")) for i, j in chunks[k]]
+            health.skipped_pairs += len(chunks[k])
+            health.record(
+                ChunkEvent(
+                    k,
+                    self._attempts[k] + 1,
+                    "deadline",
+                    "deadline-shed",
+                    f"run deadline of {self.deadline}s expired",
+                )
+            )
 
     # ------------------------------------------------------------------
     def run(
@@ -257,11 +316,17 @@ class SupervisedExecutor:
         health.n_chunks = len(chunks)
         health.resumed_chunks = len(results)
         todo = [k for k in range(len(chunks)) if k not in results]
+        if self.deadline is not None and self._deadline_at is None:
+            self._deadline_at = self.clock() + self.deadline
 
         ladder = self._LADDERS[self.backend]
         rung = 0
         rounds_on_rung = 0
         while todo:
+            if self._deadline_expired():
+                self._shed_remaining(chunks, todo, results)
+                todo = []
+                break
             backend = ladder[rung]
             if backend == "serial":
                 self._run_serial(chunks, todo, results, on_chunk_done)
@@ -273,6 +338,8 @@ class SupervisedExecutor:
             todo = [k for k in todo if k not in results]
             if not todo:
                 break
+            if self._deadline_expired():
+                continue  # shed at the top of the loop, no retry/backoff
             health.retries += 1
             for k, kind, detail in failed:
                 self._attempts[k] += 1
@@ -335,13 +402,26 @@ class SupervisedExecutor:
         remaining = set(futures)
         try:
             while remaining:
+                wait_timeout = self.chunk_timeout
+                deadline_left = self._remaining()
+                if deadline_left is not None:
+                    deadline_left = max(deadline_left, 1e-3)
+                    wait_timeout = (
+                        deadline_left
+                        if wait_timeout is None
+                        else min(wait_timeout, deadline_left)
+                    )
                 done_set, not_done = wait(
-                    remaining, timeout=self.chunk_timeout, return_when=FIRST_COMPLETED
+                    remaining, timeout=wait_timeout, return_when=FIRST_COMPLETED
                 )
                 if not done_set:
+                    hung = True
+                    if self._deadline_expired():
+                        # Run deadline, not a hang: abandon the round; the
+                        # supervision loop sheds whatever is left.
+                        break
                     # No progress for a whole timeout window: presume the
                     # outstanding workers hung.
-                    hung = True
                     health.timeouts += 1
                     for fut in not_done:
                         failed.append(
@@ -396,7 +476,10 @@ class SupervisedExecutor:
         if "serial" not in health.backends_used:
             health.backends_used.append("serial")
         _init_worker(self.measure, self.gallery, self.queries)
-        for k in todo:
+        for pos, k in enumerate(todo):
+            if self._deadline_expired():
+                self._shed_remaining(chunks, todo[pos:], results)
+                return
             attempt = self._attempts[k] + 1
             try:
                 triples = _score_chunk(chunks[k])

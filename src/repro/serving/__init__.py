@@ -1,0 +1,36 @@
+"""Deadline-aware serving layer for the online STS path.
+
+The batch pipeline (:mod:`repro.parallel`) answers "finish this matrix
+even if workers die"; this package answers "give me the best score you
+can *by this deadline*, and tell me what you traded for it":
+
+* :class:`Budget` — wall-clock deadline + memory ceiling (+ optional
+  deterministic term cap) governing one unit of serving work.
+* :func:`anytime_similarity` / :class:`AnytimeScore` — Eq. 10 evaluated
+  best-first, stoppable at any point, with a rigorous
+  ``[lower, upper]`` interval around the exact score.
+* :class:`DeadlineScorer` — the degradation ladder: full grid →
+  coarsened grid → filter-only bound.
+* :class:`CircuitBreaker` — per-pair trip/cooldown for repeatedly
+  timing-out work.
+* :class:`ServiceHealth` / :class:`ServiceEvent` — the structured
+  account of what a deadline-aware call shed, skipped, or degraded.
+"""
+
+from .anytime import AnytimeScore, anytime_similarity, filter_only_estimate
+from .breaker import CircuitBreaker
+from .budget import Budget, current_rss_mb
+from .health import ServiceEvent, ServiceHealth
+from .ladder import DeadlineScorer
+
+__all__ = [
+    "AnytimeScore",
+    "Budget",
+    "CircuitBreaker",
+    "DeadlineScorer",
+    "ServiceEvent",
+    "ServiceHealth",
+    "anytime_similarity",
+    "current_rss_mb",
+    "filter_only_estimate",
+]

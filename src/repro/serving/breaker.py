@@ -1,0 +1,106 @@
+"""Per-key circuit breakers for the streaming evaluation loop.
+
+A pair of objects whose windows are pathologically expensive (huge
+observation gaps → huge transition kernels) can eat an entire evaluation
+deadline every tick, starving every other pair.  The classic remedy is a
+circuit breaker: after ``threshold`` *consecutive* timeouts on one pair,
+stop attempting it for a cooldown period, and grow the cooldown with
+capped exponential backoff while the pair keeps failing.  One success
+resets the breaker.
+
+States per key (standard closed / open / half-open automaton):
+
+* **closed** — attempts allowed; consecutive timeouts are counted.
+* **open** — attempts rejected until the cooldown passes.
+* **half-open** — the cooldown passed; one probe attempt is allowed.  A
+  success closes the breaker, another timeout re-opens it with a longer
+  cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class _BreakerState:
+    consecutive_timeouts: int = 0
+    trips: int = 0
+    open_until: float = float("-inf")
+    half_open: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """Keyed circuit breaker with capped exponential cooldown.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive timeouts before a key's breaker trips open.
+    cooldown_base:
+        Cooldown after the first trip, in seconds.
+    cooldown_max:
+        Cooldown cap; trip ``k`` waits ``min(cooldown_max,
+        cooldown_base * 2**(k-1))`` seconds.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    threshold: int = 3
+    cooldown_base: float = 1.0
+    cooldown_max: float = 60.0
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    _states: dict[Hashable, _BreakerState] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.cooldown_base <= 0 or self.cooldown_max <= 0:
+            raise ValueError("cooldowns must be positive")
+
+    # ------------------------------------------------------------------
+    def allow(self, key: Hashable) -> bool:
+        """Whether an attempt on ``key`` is currently admitted."""
+        state = self._states.get(key)
+        if state is None or state.trips == 0 and state.open_until == float("-inf"):
+            return True
+        if self.clock() >= state.open_until:
+            # Cooldown over: admit one probe (half-open).
+            state.half_open = True
+            return True
+        return False
+
+    def record_timeout(self, key: Hashable) -> bool:
+        """Account one timeout on ``key``; returns True if this *trips* it."""
+        state = self._states.setdefault(key, _BreakerState())
+        state.consecutive_timeouts += 1
+        tripped = state.half_open or state.consecutive_timeouts >= self.threshold
+        if tripped:
+            state.trips += 1
+            cooldown = min(
+                self.cooldown_max, self.cooldown_base * (2 ** (state.trips - 1))
+            )
+            state.open_until = self.clock() + cooldown
+            state.consecutive_timeouts = 0
+            state.half_open = False
+        return tripped
+
+    def record_success(self, key: Hashable) -> None:
+        """A completed attempt closes the breaker and forgets its history."""
+        self._states.pop(key, None)
+
+    def is_open(self, key: Hashable) -> bool:
+        """Whether ``key`` is currently rejecting attempts."""
+        state = self._states.get(key)
+        return state is not None and self.clock() < state.open_until
+
+    @property
+    def open_keys(self) -> list[Hashable]:
+        """Keys currently in the open state."""
+        now = self.clock()
+        return [k for k, s in self._states.items() if now < s.open_until]

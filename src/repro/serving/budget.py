@@ -1,0 +1,176 @@
+"""Resource budgets for the online serving path.
+
+A :class:`Budget` bundles the two resources a latency-bound service must
+respect — a wall-clock deadline and a memory ceiling — plus an optional
+deterministic work cap (``max_terms``) used by tests and benchmarks to
+exercise partial evaluation without real clocks.
+
+The clock is injectable so tests can drive time deterministically; the
+default is :func:`time.monotonic`.  Budgets are *started* lazily: the
+first ``remaining``/``expired`` query (or an explicit :meth:`start`)
+anchors the deadline, so a budget can be constructed ahead of the work
+it governs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Budget", "current_rss_mb"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_mb() -> float:
+    """Resident set size of this process in MiB (best effort).
+
+    Prefers ``/proc/self/statm`` (instantaneous, can go back down after a
+    release); falls back to ``ru_maxrss`` (a high-water mark) where procfs
+    is unavailable.  Returns 0.0 when neither source works — a memory
+    ceiling then simply never trips rather than crashing the service.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * _PAGE_SIZE / (1024 * 1024)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return peak / 1024 if sys.platform != "darwin" else peak / (1024 * 1024)
+    except Exception:
+        return 0.0
+
+
+@dataclass
+class Budget:
+    """Wall-clock + memory budget governing one unit of serving work.
+
+    Parameters
+    ----------
+    deadline_ms:
+        Wall-clock allowance in milliseconds (``None`` = unbounded).
+    max_rss_mb:
+        Resident-memory ceiling in MiB (``None`` = unbounded).  Checked
+        opportunistically between batches of work; crossing it makes the
+        budget :meth:`expired` so consumers degrade instead of OOMing.
+    max_terms:
+        Deterministic cap on evaluated terms (Eq. 10 timestamps) —
+        mostly for tests/benchmarks that need reproducible partial
+        results independent of machine speed.  ``None`` = unbounded.
+    clock:
+        Monotonic time source in seconds (injectable for tests).
+
+    A budget with every limit ``None`` never expires; the anytime scorer
+    then runs to completion and returns the exact score.
+    """
+
+    deadline_ms: float | None = None
+    max_rss_mb: float | None = None
+    max_terms: int | None = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    _started_at: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0, got {self.deadline_ms}")
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError(f"max_rss_mb must be positive, got {self.max_rss_mb}")
+        if self.max_terms is not None and self.max_terms < 0:
+            raise ValueError(f"max_terms must be >= 0, got {self.max_terms}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unbounded(cls) -> "Budget":
+        """A budget that never expires (the exact-evaluation path)."""
+        return cls()
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any limit is set at all."""
+        return (
+            self.deadline_ms is not None
+            or self.max_rss_mb is not None
+            or self.max_terms is not None
+        )
+
+    def start(self) -> "Budget":
+        """Anchor the deadline at the current clock reading (idempotent)."""
+        if self._started_at is None:
+            self._started_at = self.clock()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started_at is not None
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since :meth:`start` (0 before starting)."""
+        if self._started_at is None:
+            return 0.0
+        return (self.clock() - self._started_at) * 1000.0
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left on the deadline (``inf`` when unbounded)."""
+        if self.deadline_ms is None:
+            return float("inf")
+        self.start()
+        return max(0.0, self.deadline_ms - self.elapsed_ms())
+
+    def over_memory(self) -> bool:
+        """Whether the process crossed the resident-memory ceiling."""
+        return self.max_rss_mb is not None and current_rss_mb() > self.max_rss_mb
+
+    def expired(self, terms_done: int = 0) -> bool:
+        """Whether any limit has been hit.
+
+        ``terms_done`` counts work units already spent against
+        ``max_terms`` (callers thread their own counter through).
+        """
+        if self.max_terms is not None and terms_done >= self.max_terms:
+            return True
+        if self.deadline_ms is not None and self.remaining_ms() <= 0.0:
+            return True
+        return self.over_memory()
+
+    def terms_allowance(self, terms_done: int) -> float:
+        """How many more terms ``max_terms`` permits (``inf`` if unset)."""
+        if self.max_terms is None:
+            return float("inf")
+        return max(0, self.max_terms - terms_done)
+
+    def sub_budget(self, fraction: float, max_terms: int | None = None) -> "Budget":
+        """A child budget over ``fraction`` of the *remaining* deadline.
+
+        Shares the clock and the memory ceiling (memory is a process-wide
+        resource, so a child cannot have more of it).  Used by the
+        degradation ladder to give each rung a bounded slice of the
+        remaining time.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        remaining = self.remaining_ms()
+        child = Budget(
+            deadline_ms=None if remaining == float("inf") else remaining * fraction,
+            max_rss_mb=self.max_rss_mb,
+            max_terms=max_terms,
+            clock=self.clock,
+        )
+        return child.start()
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.deadline_ms is not None:
+            parts.append(f"deadline_ms={self.deadline_ms:g}")
+        if self.max_rss_mb is not None:
+            parts.append(f"max_rss_mb={self.max_rss_mb:g}")
+        if self.max_terms is not None:
+            parts.append(f"max_terms={self.max_terms}")
+        return f"Budget({', '.join(parts) if parts else 'unbounded'})"

@@ -10,17 +10,44 @@ machinery over the windows of every concurrently-active pair.
 The detector is deliberately windowed: the personalized speed model
 (Eq. 6) is re-estimated from each window, so an object whose behaviour
 changes (walk → drive) is re-personalized as old samples age out.
+
+Serving hardening (admission control and graceful degradation):
+
+* **Sanitized ingest** — events with non-finite coordinates or
+  timestamps are rejected *before* they can touch stream time or a
+  window (``on_error="raise"`` raises :class:`MalformedRecordError`,
+  ``"skip"``/``"repair"`` drop and count them).
+* **Bounded ingest queue** — :meth:`offer` enqueues into a bounded
+  buffer instead of applying events inline; when the buffer is full the
+  stalest sighting is shed and counted, so a producer outrunning the
+  consumer degrades the data, never the memory.
+* **Deadline-aware evaluation** — :meth:`evaluate` takes a ``deadline``
+  (seconds) or a full :class:`~repro.serving.Budget` and scores pairs
+  freshest-first through the :class:`~repro.serving.DeadlineScorer`
+  degradation ladder; pairs that miss the cut are shed, and everything
+  that happened lands in the :class:`~repro.serving.ServiceHealth`
+  exposed as :attr:`last_health`.
+* **Per-pair circuit breaker** — a pair that repeatedly fails to finish
+  within its slice trips open and is skipped (with capped-backoff
+  cooldown) instead of starving every other pair each tick.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from math import isfinite
+from typing import Callable
 
 from .core.grid import Grid
 from .core.noise import GaussianNoiseModel, NoiseModel
 from .core.sts import STS
 from .core.trajectory import Trajectory, TrajectoryPoint
+from .errors import MalformedRecordError, ReproError, validate_policy
+from .serving.breaker import CircuitBreaker
+from .serving.budget import Budget
+from .serving.health import ServiceEvent, ServiceHealth
+from .serving.ladder import DeadlineScorer
 
 __all__ = ["SightingEvent", "PairScore", "StreamingColocationDetector"]
 
@@ -37,14 +64,26 @@ class SightingEvent:
 
 @dataclass(frozen=True)
 class PairScore:
-    """STS of two objects' current windows at evaluation time."""
+    """STS of two objects' current windows at evaluation time.
+
+    ``similarity`` is exact when ``completed`` is true; otherwise it is
+    the midpoint of the rigorous ``[lower, upper]`` interval produced by
+    whichever degradation ``rung`` answered before the deadline.
+    """
 
     object_a: str
     object_b: str
     similarity: float
+    lower: float | None = None
+    upper: float | None = None
+    rung: str = "full"
+    completed: bool = True
 
     def __str__(self) -> str:
-        return f"{self.object_a} ~ {self.object_b}: {self.similarity:.4f}"
+        base = f"{self.object_a} ~ {self.object_b}: {self.similarity:.4f}"
+        if not self.completed and self.lower is not None:
+            base += f" ∈ [{self.lower:.4f}, {self.upper:.4f}] ({self.rung})"
+        return base
 
 
 class StreamingColocationDetector:
@@ -62,6 +101,23 @@ class StreamingColocationDetector:
     min_points:
         Minimum observations a window needs before the object is scored
         (below this the speed model is too degenerate to be meaningful).
+    on_error:
+        What to do with a malformed sighting (non-finite coordinate or
+        timestamp): ``"raise"`` (default) raises
+        :class:`MalformedRecordError`; ``"skip"``/``"repair"`` drop it
+        and count it in :attr:`malformed_dropped`.
+    max_pending:
+        Capacity of the :meth:`offer` admission queue (``None`` =
+        unbounded).  When full, the stalest sighting is shed and counted
+        in :attr:`shed_events`.
+    breaker:
+        Per-pair :class:`~repro.serving.CircuitBreaker` for deadline
+        evaluation; defaults to a fresh one (3 consecutive misses trip,
+        capped exponential cooldown).
+    measure_factory:
+        Zero-argument callable building the per-evaluation measure;
+        defaults to ``STS(grid, noise_model=noise_model)``.  An
+        injection point for tests and for custom STS configurations.
 
     Events may arrive slightly out of order; each object's window is kept
     time-sorted.  Eviction happens on ingest and on evaluation, driven by
@@ -74,17 +130,34 @@ class StreamingColocationDetector:
         window: float = 600.0,
         noise_model: NoiseModel | None = None,
         min_points: int = 3,
+        on_error: str = "raise",
+        max_pending: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        measure_factory: Callable[[], STS] | None = None,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         if min_points < 1:
             raise ValueError(f"min_points must be >= 1, got {min_points}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.grid = grid
         self.window = float(window)
         self.noise_model = noise_model if noise_model is not None else GaussianNoiseModel(grid.cell_size)
         self.min_points = int(min_points)
+        self.on_error = validate_policy(on_error)
+        self.max_pending = max_pending
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._measure_factory = measure_factory
         self._windows: dict[str, deque[TrajectoryPoint]] = {}
+        self._pending: deque[SightingEvent] = deque()
         self._now = float("-inf")
+        #: Malformed sightings dropped at ingest (``on_error != "raise"``).
+        self.malformed_dropped = 0
+        #: Sightings shed by the bounded admission queue.
+        self.shed_events = 0
+        #: :class:`~repro.serving.ServiceHealth` of the last evaluation.
+        self.last_health: ServiceHealth | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -99,12 +172,65 @@ class StreamingColocationDetector:
             self._evict(oid)
         return sorted(oid for oid, win in self._windows.items() if win)
 
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Sightings accepted by :meth:`offer` but not yet applied."""
+        return len(self._pending)
+
+    def offer(self, event: SightingEvent) -> bool:
+        """Enqueue a sighting without applying it (bounded admission).
+
+        The producer-facing entry point: O(1), never scores anything,
+        and never grows past ``max_pending``.  When the queue is full
+        the *stalest* sighting — the older of the queue head and the
+        incoming event — is shed and counted in :attr:`shed_events`.
+        Returns ``True`` when ``event`` itself was admitted.
+
+        Queued events are applied by :meth:`drain` (called automatically
+        at the start of :meth:`evaluate`).
+        """
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self.shed_events += 1
+            if self._pending and self._pending[0].t <= event.t:
+                self._pending.popleft()
+            else:
+                return False  # the incoming event is the stalest: shed it
+        self._pending.append(event)
+        return True
+
+    def drain(self, limit: int | None = None) -> int:
+        """Apply up to ``limit`` queued sightings (all by default).
+
+        Returns the number applied.  Malformed queued events follow the
+        detector's ``on_error`` policy, exactly as direct :meth:`ingest`.
+        """
+        applied = 0
+        while self._pending and (limit is None or applied < limit):
+            self.ingest(self._pending.popleft())
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
     def ingest(self, event: SightingEvent) -> None:
         """Add one sighting; evicts expired observations as time advances.
 
-        Events older than the current window lower bound are dropped
-        outright (too late to matter).
+        Malformed events (non-finite ``x``/``y``/``t``) are rejected
+        *before* stream time advances — a single ``t=inf`` sighting must
+        not poison the window horizon forever.  Events older than the
+        current window lower bound are dropped outright (too late to
+        matter).
         """
+        if not (isfinite(event.x) and isfinite(event.y) and isfinite(event.t)):
+            if self.on_error == "raise":
+                raise MalformedRecordError(
+                    f"sighting of {event.object_id!r} has non-finite fields: "
+                    f"x={event.x}, y={event.y}, t={event.t}"
+                )
+            self.malformed_dropped += 1
+            return
         self._now = max(self._now, event.t)
         horizon = self._now - self.window
         if event.t < horizon:
@@ -136,43 +262,193 @@ class StreamingColocationDetector:
         self._evict(object_id)
         return Trajectory(list(self._windows[object_id]), object_id=object_id)
 
-    def evaluate(self, threshold: float = 0.0) -> list[PairScore]:
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _make_measure(self) -> STS:
+        if self._measure_factory is not None:
+            return self._measure_factory()
+        return STS(self.grid, noise_model=self.noise_model)
+
+    @staticmethod
+    def _resolve_budget(deadline: float | None, budget: Budget | None) -> Budget:
+        if deadline is not None and budget is not None:
+            raise ValueError("pass either deadline or budget, not both")
+        if deadline is not None:
+            if deadline < 0:
+                raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+            budget = Budget(deadline_ms=deadline * 1000.0)
+        elif budget is None:
+            budget = Budget.unbounded()
+        return budget.start()
+
+    def _collect_windows(self) -> dict[str, Trajectory]:
+        return {oid: self.window_of(oid) for oid in list(self._windows)}
+
+    def _new_health(self, budget: Budget, windows: dict[str, Trajectory]) -> ServiceHealth:
+        health = ServiceHealth(deadline_ms=budget.deadline_ms)
+        # Lifetime admission counters, snapshotted at evaluation time.
+        health.malformed_events = self.malformed_dropped
+        health.shed_events = self.shed_events
+        for oid, win in sorted(windows.items()):
+            if 0 < len(win) < self.min_points:
+                health.degenerate_objects += 1
+                health.record(
+                    ServiceEvent(
+                        "degenerate",
+                        oid,
+                        f"{len(win)} point(s) < min_points={self.min_points}",
+                    )
+                )
+        return health
+
+    def _score_pairs(
+        self,
+        pairs: list[tuple[str, str]],
+        windows: dict[str, Trajectory],
+        budget: Budget,
+        health: ServiceHealth,
+        threshold: float,
+    ) -> list[PairScore]:
+        """Score ``pairs`` in order under ``budget``; the shared engine of
+        :meth:`evaluate` and :meth:`companions_of`."""
+        measure = self._make_measure()
+        scorer = DeadlineScorer(measure) if budget.bounded else None
+        scores: list[PairScore] = []
+        for idx, (a, b) in enumerate(pairs):
+            if budget.bounded and budget.expired():
+                shed = len(pairs) - idx
+                health.pairs_shed += shed
+                health.deadline_hit = True
+                for sa, sb in pairs[idx:]:
+                    health.record(
+                        ServiceEvent("shed-pair", f"{sa}~{sb}", "deadline expired")
+                    )
+                break
+            key = (a, b)
+            if not self.breaker.allow(key):
+                health.breaker_skips += 1
+                health.record(ServiceEvent("breaker-open", f"{a}~{b}"))
+                continue
+            try:
+                if scorer is not None:
+                    # Equal share of what is left for every unscored pair.
+                    pair_budget = budget.sub_budget(
+                        1.0 / (len(pairs) - idx), max_terms=budget.max_terms
+                    )
+                    result = scorer.score(
+                        windows[a], windows[b],
+                        budget=pair_budget, health=health, subject=f"{a}~{b}",
+                    )
+                    if result.completed:
+                        self.breaker.record_success(key)
+                    else:
+                        health.pairs_partial += 1
+                        if self.breaker.record_timeout(key):
+                            health.breaker_trips += 1
+                            health.record(
+                                ServiceEvent(
+                                    "breaker-trip", f"{a}~{b}",
+                                    f"missed its slice on rung {result.rung}",
+                                )
+                            )
+                    pair_score = PairScore(
+                        a, b, result.value,
+                        lower=result.lower, upper=result.upper,
+                        rung=result.rung, completed=result.completed,
+                    )
+                else:
+                    value = measure.similarity(windows[a], windows[b])
+                    health.take_rung("full", f"{a}~{b}")
+                    self.breaker.record_success(key)
+                    pair_score = PairScore(a, b, value)
+            except ReproError as exc:
+                # A window eviction reduced below what STS can score —
+                # skip and count, never crash the serving loop.
+                health.degenerate_pairs += 1
+                health.record(
+                    ServiceEvent(
+                        "degenerate", f"{a}~{b}", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                continue
+            health.pairs_scored += 1
+            if pair_score.similarity > threshold:
+                scores.append(pair_score)
+        health.elapsed_ms = budget.elapsed_ms()
+        if budget.deadline_ms is not None and health.elapsed_ms >= budget.deadline_ms:
+            health.deadline_hit = True
+        scores.sort(key=lambda s: -s.similarity)
+        return scores
+
+    def _freshest_first(
+        self, pairs: list[tuple[str, str]], windows: dict[str, Trajectory]
+    ) -> list[tuple[str, str]]:
+        """Order pairs so the stalest are scored last (and shed first)."""
+        return sorted(
+            pairs,
+            key=lambda ab: (
+                -min(windows[ab[0]].end_time, windows[ab[1]].end_time),
+                ab,
+            ),
+        )
+
+    def evaluate(
+        self,
+        threshold: float = 0.0,
+        deadline: float | None = None,
+        budget: Budget | None = None,
+    ) -> list[PairScore]:
         """STS over every scorable pair of active objects, best first.
 
         A fresh :class:`STS` instance is built per evaluation so windows
         are re-personalized; only pairs scoring above ``threshold`` are
         returned.
+
+        ``deadline`` (seconds) or ``budget`` bounds the call: pairs are
+        scored freshest-first through the degradation ladder, each in an
+        equal share of the remaining time; pairs the deadline cannot
+        reach are shed (stalest first).  The full account — rungs taken,
+        partial bounds, shed pairs, breaker activity — is in
+        :attr:`last_health` after the call.
         """
-        measure = STS(self.grid, noise_model=self.noise_model)
-        windows = {
-            oid: self.window_of(oid)
-            for oid in list(self._windows)
-        }
+        self.drain()
+        budget = self._resolve_budget(deadline, budget)
+        windows = self._collect_windows()
+        health = self._new_health(budget, windows)
         scorable = sorted(oid for oid, w in windows.items() if len(w) >= self.min_points)
-        scores: list[PairScore] = []
-        for i, a in enumerate(scorable):
-            for b in scorable[i + 1 :]:
-                value = measure.similarity(windows[a], windows[b])
-                if value > threshold:
-                    scores.append(PairScore(a, b, value))
-        scores.sort(key=lambda s: -s.similarity)
+        pairs = [(a, b) for i, a in enumerate(scorable) for b in scorable[i + 1 :]]
+        pairs = self._freshest_first(pairs, windows)
+        scores = self._score_pairs(pairs, windows, budget, health, threshold)
+        self.last_health = health
         return scores
 
-    def companions_of(self, object_id: str, threshold: float = 0.0) -> list[PairScore]:
-        """Pairs involving ``object_id`` above ``threshold``, best first."""
-        target = self.window_of(object_id)
-        if len(target) < self.min_points:
+    def companions_of(
+        self,
+        object_id: str,
+        threshold: float = 0.0,
+        deadline: float | None = None,
+        budget: Budget | None = None,
+    ) -> list[PairScore]:
+        """Pairs involving ``object_id`` above ``threshold``, best first.
+
+        Accepts the same ``deadline``/``budget`` bounds as
+        :meth:`evaluate`.
+        """
+        self.drain()
+        budget = self._resolve_budget(deadline, budget)
+        windows = self._collect_windows()
+        health = self._new_health(budget, windows)
+        target = windows.get(object_id)
+        if target is None or len(target) < self.min_points:
+            self.last_health = health
             return []
-        measure = STS(self.grid, noise_model=self.noise_model)
-        scores = []
-        for oid in self.active_objects:
-            if oid == object_id:
-                continue
-            other = self.window_of(oid)
-            if len(other) < self.min_points:
-                continue
-            value = measure.similarity(target, other)
-            if value > threshold:
-                scores.append(PairScore(object_id, oid, value))
-        scores.sort(key=lambda s: -s.similarity)
+        pairs = [
+            (object_id, oid)
+            for oid in sorted(windows)
+            if oid != object_id and len(windows[oid]) >= self.min_points
+        ]
+        pairs = self._freshest_first(pairs, windows)
+        scores = self._score_pairs(pairs, windows, budget, health, threshold)
+        self.last_health = health
         return scores

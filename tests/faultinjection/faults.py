@@ -83,3 +83,65 @@ class FaultyMeasure:
             elif self.kind == "corrupt":
                 return float("nan")
         return self.base.similarity(tra1, tra2)
+
+
+class _SlowSTP:
+    """STP proxy that sleeps before every (batched) evaluation."""
+
+    def __init__(self, base, delay: float, sleep=time.sleep):
+        self._base = base
+        self._delay = delay
+        self._sleep = sleep
+
+    def stp(self, t):
+        self._sleep(self._delay)
+        return self._base.stp(t)
+
+    def stp_batch(self, times):
+        self._sleep(self._delay)
+        return self._base.stp_batch(times)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class SlowMeasure:
+    """STS wrapper injecting wall-clock latency into every STP evaluation.
+
+    The anytime scorer never calls ``similarity`` — it drives
+    ``stp_for(...)`` + the batched co-location path directly — so
+    overload has to be injected at the STP layer: every ``stp``/
+    ``stp_batch`` call on a trajectory's estimator sleeps ``delay``
+    seconds first.  Scores are untouched, so deadline tests can compare
+    against the wrapped measure's exact results.
+
+    Note the degradation ladder builds its *coarse* measures fresh from
+    ``grid.coarsen(...)`` — those are real, fast STS instances, so a
+    ladder over a SlowMeasure exercises exactly the intended scenario:
+    the full-fidelity rung is overloaded, the degraded rungs are not.
+    """
+
+    def __init__(self, base, delay: float, sleep=time.sleep):
+        self.base = base
+        self.delay = float(delay)
+        self._sleep = sleep
+
+    @property
+    def name(self) -> str:
+        return f"slow({getattr(self.base, 'name', 'measure')})"
+
+    def stp_for(self, trajectory):
+        return _SlowSTP(self.base.stp_for(trajectory), self.delay, self._sleep)
+
+    def similarity(self, tra1, tra2, budget=None) -> float:
+        self._sleep(self.delay)
+        if budget is not None:
+            return self.base.similarity(tra1, tra2, budget=budget)
+        return self.base.similarity(tra1, tra2)
+
+    def score(self, tra1, tra2) -> float:
+        return self.similarity(tra1, tra2)
+
+    def __getattr__(self, name):
+        # grid, noise_model, mode, _transition_factory, stp_cache_size, ...
+        return getattr(self.base, name)

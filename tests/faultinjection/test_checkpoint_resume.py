@@ -65,8 +65,9 @@ class TestExperimentSigkillResume:
             timeout=120,
         )
         assert proc.returncode == -signal.SIGKILL, proc.stderr
-        assert (Path(ckpt_dir) / "fig10.json").exists()
-        assert not (Path(ckpt_dir) / "ext_sensitivity.json").exists()
+        # Journal filenames carry the run's fingerprint hash.
+        assert list(Path(ckpt_dir).glob("fig10-*.json"))
+        assert not list(Path(ckpt_dir).glob("ext_sensitivity*.json"))
 
         dataset = taxi_dataset(n_trajectories=4, seed=4)
         resumed = run_all_experiments(
@@ -82,14 +83,24 @@ class TestExperimentSigkillResume:
                 resumed.results[exp_id].to_dict() == clean.results[exp_id].to_dict()
             ), f"resumed {exp_id} differs from clean run"
 
-    def test_resume_rejects_checkpoint_from_different_run(self, tmp_path):
+    def test_different_seed_gets_its_own_journal_in_shared_dir(self, tmp_path):
+        # Fingerprint-hashed filenames: a different configuration sharing
+        # the directory computes into its own journal instead of erroring.
         ckpt_dir = str(tmp_path / "ckpt")
         dataset = taxi_dataset(n_trajectories=4, seed=4)
-        run_all_experiments(dataset, only=["fig10"], checkpoint_dir=ckpt_dir)
-        with pytest.raises(CheckpointError, match="different run"):
-            run_all_experiments(
-                dataset, seed=1, only=["fig10"], checkpoint_dir=ckpt_dir
-            )
+        first = run_all_experiments(dataset, only=["fig10"], checkpoint_dir=ckpt_dir)
+        assert first.resumed == []
+        other = run_all_experiments(
+            dataset, seed=1, only=["fig10"], checkpoint_dir=ckpt_dir
+        )
+        assert other.resumed == []  # computed fresh, not spliced from seed 0
+        assert len(list(Path(ckpt_dir).glob("fig10-*.json"))) == 2
+        # And each run resumes from its own journal on rerun.
+        again = run_all_experiments(
+            dataset, seed=1, only=["fig10"], checkpoint_dir=ckpt_dir
+        )
+        assert again.resumed == ["fig10"]
+        assert again.results["fig10"].to_dict() == other.results["fig10"].to_dict()
 
 
 class TestPairwiseJournalResume:

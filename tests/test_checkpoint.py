@@ -93,11 +93,44 @@ class TestExperimentCheckpoint:
         assert result == {"metric": [1.0, 2.0]}
         assert runtime == 3.5
 
-    def test_fingerprint_mismatch_raises(self, tmp_path):
-        ExperimentCheckpoint(tmp_path, self.FP).store("fig10", {}, 0.0)
+    def test_different_configs_coexist_in_one_directory(self, tmp_path):
+        # The fingerprint hash in the filename keeps runs with different
+        # configurations from colliding: each sees only its own journal.
+        ckpt_a = ExperimentCheckpoint(tmp_path, self.FP)
+        ckpt_b = ExperimentCheckpoint(tmp_path, {"dataset": "taxi", "seed": 1})
+        ckpt_a.store("fig10", {"metric": [1.0]}, 1.0)
+        ckpt_b.store("fig10", {"metric": [2.0]}, 2.0)
+        assert ckpt_a.load("fig10")[0] == {"metric": [1.0]}
+        assert ckpt_b.load("fig10")[0] == {"metric": [2.0]}
+        assert len(list(tmp_path.glob("fig10-*.json"))) == 2
+
+    def test_filename_includes_fingerprint_hash(self, tmp_path):
+        ckpt = ExperimentCheckpoint(tmp_path, self.FP)
+        ckpt.store("fig10", {}, 0.0)
+        (only,) = tmp_path.iterdir()
+        assert only.name == f"fig10-{ckpt.fingerprint_hash}.json"
+        assert ckpt.fingerprint_hash in only.name
+
+    def test_legacy_unhashed_journal_is_resumed_when_matching(self, tmp_path):
+        # Journals written before filenames carried the hash are still
+        # honoured — but only when the embedded fingerprint matches.
+        write_json_atomic(
+            tmp_path / "fig10.json",
+            {"version": 1, "fingerprint": self.FP, "result": {"m": [9.0]}, "runtime": 4.0},
+        )
+        assert ExperimentCheckpoint(tmp_path, self.FP).load("fig10") == ({"m": [9.0]}, 4.0)
         other = ExperimentCheckpoint(tmp_path, {"dataset": "taxi", "seed": 1})
+        assert other.load("fig10") is None  # not ours; recompute, don't error
+
+    def test_tampered_hashed_journal_still_raises(self, tmp_path):
+        # The load-time fingerprint check stays: a hand-renamed file from
+        # another run must not be spliced in silently.
+        ckpt = ExperimentCheckpoint(tmp_path, self.FP)
+        other = ExperimentCheckpoint(tmp_path, {"dataset": "taxi", "seed": 1})
+        other.store("fig10", {}, 0.0)
+        (other._path("fig10")).rename(ckpt._path("fig10"))
         with pytest.raises(CheckpointError, match="different run"):
-            other.load("fig10")
+            ckpt.load("fig10")
 
 
 class TestRunnerCheckpointing:

@@ -139,3 +139,34 @@ class TestRangeQueries:
         d = small_grid.distances_from(1.0, 1.0, cells=[0, 1])
         assert d.shape == (2,)
         assert d[1] == pytest.approx(2.0)
+
+
+class TestCoarsen:
+    def test_factor_one_is_identity(self, small_grid):
+        assert small_grid.coarsen(1) is small_grid
+
+    def test_factor_two_merges_cells(self, small_grid):
+        coarse = small_grid.coarsen(2)
+        assert coarse.cell_size == 4.0
+        assert coarse.n_cols == 5 and coarse.n_rows == 5
+        assert (coarse.min_x, coarse.min_y) == (small_grid.min_x, small_grid.min_y)
+
+    def test_coarse_grid_covers_original_extent(self):
+        grid = Grid(1.0, 2.0, 11.5, 8.1, cell_size=2.0)
+        for factor in (2, 3, 4):
+            coarse = grid.coarsen(factor)
+            assert coarse.min_x == grid.min_x and coarse.min_y == grid.min_y
+            assert coarse.max_x >= grid.max_x and coarse.max_y >= grid.max_y
+            assert coarse.cell_size == grid.cell_size * factor
+
+    def test_every_point_keeps_a_cell(self, small_grid, rng):
+        coarse = small_grid.coarsen(4)
+        pts = rng.uniform(0, 20, size=(50, 2))
+        for x, y in pts:
+            assert 0 <= coarse.cell_of(x, y) < coarse.n_cells
+
+    def test_invalid_factor(self, small_grid):
+        with pytest.raises(ValueError, match="factor"):
+            small_grid.coarsen(0)
+        with pytest.raises(ValueError, match="factor"):
+            small_grid.coarsen(1.5)

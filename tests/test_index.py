@@ -166,3 +166,108 @@ class TestFilteredMatcher:
         filtered = matcher.query(query, gallery).matches
         full = rank_gallery(measure, query, gallery)
         assert [m.index for m in filtered] == [m.index for m in full]
+
+
+class TestFilteredMatcherEdgeCases:
+    """query() must return a well-formed MatchReport, never raise."""
+
+    @pytest.fixture
+    def measure(self):
+        return SST(spatial_scale=2.0, temporal_scale=5.0)
+
+    def test_empty_gallery(self, measure):
+        report = FilteredMatcher(measure).query(walker(), [])
+        assert report.matches == []
+        assert report.gallery_size == 0
+        assert report.candidates_scored == 0
+        assert report.filter_rate == 0.0
+        assert "0/0" in str(report)
+
+    def test_empty_gallery_with_k(self, measure):
+        report = FilteredMatcher(measure).query(walker(), [], k=5)
+        assert report.matches == []
+
+    def test_k_larger_than_gallery(self, measure):
+        gallery = [walker(y=0.0), walker(y=1.0)]
+        matcher = FilteredMatcher(measure, spatial_slack=50.0)
+        report = matcher.query(walker(y=0.5), gallery, k=10)
+        assert len(report.matches) == 2  # everything, no padding, no raise
+
+    def test_k_larger_than_survivors(self, measure):
+        gallery = [walker(y=0.0), walker(t0=1e6)]  # second is filtered out
+        matcher = FilteredMatcher(measure, spatial_slack=50.0)
+        report = matcher.query(walker(y=0.5), gallery, k=10)
+        assert len(report.matches) == 1
+        assert report.candidates_scored == 1
+
+    def test_empty_gallery_with_deadline(self, measure):
+        report = FilteredMatcher(measure).query(walker(), [], deadline=0.5)
+        assert report.matches == []
+        assert report.health is not None
+        assert report.health.pairs_scored == 0
+
+
+class TestDeadlineQueries:
+    @pytest.fixture
+    def sts(self):
+        from repro.core.sts import STS
+
+        return STS(Grid(-5, -5, 30, 30, 2.0))
+
+    def galleried(self, n=4):
+        return [walker(y=float(dy), oid=f"g{dy}") for dy in range(n)]
+
+    def test_unbudgeted_query_has_no_health(self, sts):
+        report = FilteredMatcher(sts, spatial_slack=50.0).query(
+            walker(y=0.5), self.galleried()
+        )
+        assert report.health is None
+
+    def test_expired_budget_sheds_all_candidates(self, sts):
+        from repro.serving import Budget
+
+        matcher = FilteredMatcher(sts, spatial_slack=50.0)
+        report = matcher.query(walker(y=0.5), self.galleried(), deadline=0.0)
+        assert report.matches == []
+        assert report.candidates_scored == 0
+        assert report.health.deadline_hit
+        assert report.health.pairs_shed == 4
+        # Shed candidates are named in the health events.
+        assert {e.subject for e in report.health.events if e.kind == "shed-pair"} == {
+            "g0", "g1", "g2", "g3"
+        }
+
+    def test_term_budget_degrades_every_candidate(self, sts):
+        from repro.serving import Budget
+
+        matcher = FilteredMatcher(sts, spatial_slack=50.0)
+        report = matcher.query(
+            walker(y=0.5), self.galleried(), budget=Budget(max_terms=4)
+        )
+        assert report.candidates_scored == 4
+        assert report.health.degraded
+        assert report.health.pairs_partial == 4
+        assert len(report.health.rungs) == 4
+        scores = [m.score for m in report.matches]
+        assert scores == sorted(scores, reverse=True)  # still ranked
+
+    def test_non_sts_measure_scores_directly_under_budget(self):
+        from repro.serving import Budget
+
+        measure = SST(spatial_scale=2.0, temporal_scale=5.0)
+        matcher = FilteredMatcher(measure, spatial_slack=50.0)
+        report = matcher.query(
+            walker(y=0.5), self.galleried(), budget=Budget(deadline_ms=5000.0)
+        )
+        assert report.candidates_scored == 4
+        assert report.health.rungs == ["full"] * 4
+
+    def test_deadline_and_budget_are_exclusive(self, sts):
+        from repro.serving import Budget
+
+        with pytest.raises(ValueError, match="not both"):
+            FilteredMatcher(sts).query(
+                walker(), [walker()], deadline=1.0, budget=Budget(deadline_ms=5.0)
+            )
+        with pytest.raises(ValueError, match="deadline"):
+            FilteredMatcher(sts).query(walker(), [walker()], deadline=-1.0)

@@ -1,0 +1,448 @@
+"""Unit tests for the deadline-aware serving layer (:mod:`repro.serving`).
+
+The load-bearing acceptance property lives in
+:class:`TestAnytimeSimilarity` / :class:`TestDeadlineScorer`: for *any*
+budget the exact Eq. 10 score provably lies within the returned
+``AnytimeScore.bounds``, and an unbounded run is **bitwise** equal to
+``STS.similarity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.errors import DegenerateTrajectoryError
+from repro.serving import (
+    AnytimeScore,
+    Budget,
+    CircuitBreaker,
+    DeadlineScorer,
+    ServiceEvent,
+    ServiceHealth,
+    anytime_similarity,
+    current_rss_mb,
+    filter_only_estimate,
+)
+from repro.serving import budget as budget_mod
+
+
+class FakeClock:
+    """Deterministic monotonic clock for budget/breaker tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def measure(small_grid) -> STS:
+    return STS(small_grid)
+
+
+@pytest.fixture
+def pair(straight_trajectory, l_shaped_trajectory):
+    """Two overlapping-span trajectories (21 Eq. 10 terms total)."""
+    return straight_trajectory, l_shaped_trajectory
+
+
+# ----------------------------------------------------------------------
+class TestCurrentRss:
+    def test_reports_positive_mib(self):
+        assert current_rss_mb() > 0.0
+
+
+class TestBudget:
+    def test_unbounded_never_expires(self):
+        budget = Budget.unbounded()
+        assert not budget.bounded
+        assert not budget.expired()
+        assert not budget.expired(10**9)
+        assert budget.remaining_ms() == float("inf")
+        assert budget.terms_allowance(10**9) == float("inf")
+
+    def test_deadline_expiry_with_fake_clock(self, clock):
+        budget = Budget(deadline_ms=100.0, clock=clock).start()
+        assert not budget.expired()
+        clock.advance(0.05)
+        assert budget.remaining_ms() == pytest.approx(50.0)
+        clock.advance(0.06)
+        assert budget.expired()
+        assert budget.remaining_ms() == 0.0
+        assert budget.elapsed_ms() == pytest.approx(110.0)
+
+    def test_start_is_lazy_and_idempotent(self, clock):
+        budget = Budget(deadline_ms=100.0, clock=clock)
+        assert not budget.started
+        assert budget.elapsed_ms() == 0.0
+        clock.advance(5.0)  # time before first query does not count
+        assert budget.remaining_ms() == pytest.approx(100.0)
+        assert budget.started
+        clock.advance(0.03)
+        budget.start()  # second start must not re-anchor
+        assert budget.remaining_ms() == pytest.approx(70.0)
+
+    def test_max_terms_cap(self):
+        budget = Budget(max_terms=5)
+        assert budget.bounded
+        assert budget.terms_allowance(3) == 2
+        assert not budget.expired(4)
+        assert budget.expired(5)
+
+    def test_memory_ceiling(self, monkeypatch):
+        budget = Budget(max_rss_mb=100.0)
+        monkeypatch.setattr(budget_mod, "current_rss_mb", lambda: 50.0)
+        assert not budget.expired()
+        monkeypatch.setattr(budget_mod, "current_rss_mb", lambda: 200.0)
+        assert budget.over_memory()
+        assert budget.expired()
+
+    def test_sub_budget_slices_remaining_deadline(self, clock):
+        budget = Budget(deadline_ms=100.0, max_rss_mb=64.0, clock=clock).start()
+        clock.advance(0.04)
+        child = budget.sub_budget(0.5)
+        assert child.deadline_ms == pytest.approx(30.0)  # half of the 60 left
+        assert child.max_rss_mb == 64.0
+        assert child.clock is clock
+        assert child.started
+
+    def test_sub_budget_of_unbounded_is_unbounded(self):
+        child = Budget.unbounded().sub_budget(0.5)
+        assert child.deadline_ms is None
+        assert not child.expired()
+
+    def test_sub_budget_fraction_validation(self):
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                Budget.unbounded().sub_budget(fraction)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            Budget(deadline_ms=-1.0)
+        with pytest.raises(ValueError, match="max_rss_mb"):
+            Budget(max_rss_mb=0.0)
+        with pytest.raises(ValueError, match="max_terms"):
+            Budget(max_terms=-1)
+
+    def test_repr(self):
+        assert repr(Budget.unbounded()) == "Budget(unbounded)"
+        assert "deadline_ms=100" in repr(Budget(deadline_ms=100.0))
+
+
+# ----------------------------------------------------------------------
+class TestAnytimeSimilarity:
+    def test_unbounded_is_bitwise_equal_to_exact(self, measure, pair):
+        tra1, tra2 = pair
+        exact = measure.similarity(tra1, tra2)
+        score = anytime_similarity(measure, tra1, tra2)
+        assert score.completed
+        assert score.value == exact  # bitwise, not approx
+        assert score.bounds == (exact, exact)
+        assert score.width == 0.0
+        assert float(score) == exact
+
+    def test_exact_within_bounds_for_any_term_budget(self, measure, pair):
+        # The acceptance property: sweep every possible partial budget.
+        tra1, tra2 = pair
+        exact = measure.similarity(tra1, tra2)
+        n_terms = len(tra1) + len(tra2)
+        for k in range(n_terms + 1):
+            score = anytime_similarity(
+                measure, tra1, tra2, budget=Budget(max_terms=k), batch_size=1
+            )
+            assert score.lower <= exact <= score.upper, f"violated at max_terms={k}"
+            assert score.lower <= score.value <= score.upper
+            if score.completed:
+                assert score.value == exact
+
+    def test_bounds_narrow_monotonically(self, measure, pair):
+        tra1, tra2 = pair
+        n_terms = len(tra1) + len(tra2)
+        lowers, uppers = [], []
+        for k in range(n_terms + 1):
+            score = anytime_similarity(
+                measure, tra1, tra2, budget=Budget(max_terms=k), batch_size=1
+            )
+            lowers.append(score.lower)
+            uppers.append(score.upper)
+        assert all(a <= b for a, b in zip(lowers, lowers[1:]))
+        assert all(a >= b for a, b in zip(uppers, uppers[1:]))
+
+    def test_zero_budget_still_bounds_exact(self, measure, pair):
+        tra1, tra2 = pair
+        score = anytime_similarity(measure, tra1, tra2, budget=Budget(max_terms=0))
+        assert score.evaluated_terms == 0
+        assert not score.completed
+        assert score.lower == 0.0
+        assert score.upper <= 1.0
+        assert score.lower <= measure.similarity(tra1, tra2) <= score.upper
+
+    def test_expired_deadline_short_circuits(self, measure, pair, clock):
+        tra1, tra2 = pair
+        budget = Budget(deadline_ms=10.0, clock=clock).start()
+        clock.advance(1.0)  # deadline long gone before the first batch
+        score = anytime_similarity(measure, tra1, tra2, budget=budget)
+        assert score.evaluated_terms == 0
+        assert not score.completed
+
+    def test_disjoint_spans_complete_for_free(self, measure, straight_trajectory):
+        # Every term is out-of-overlap -> exact 0 with no budget consumed.
+        late = Trajectory.from_arrays(
+            np.arange(5.0), np.zeros(5), 1000.0 + np.arange(5.0), "late"
+        )
+        score = anytime_similarity(
+            measure, straight_trajectory, late, budget=Budget(max_terms=0)
+        )
+        assert score.completed
+        assert score.value == 0.0
+        assert score.value == measure.similarity(straight_trajectory, late)
+
+    def test_empty_trajectory_raises(self, measure, straight_trajectory):
+        empty = Trajectory([], object_id="empty")
+        with pytest.raises(DegenerateTrajectoryError):
+            anytime_similarity(measure, straight_trajectory, empty)
+
+    def test_batch_size_validation(self, measure, pair):
+        with pytest.raises(ValueError, match="batch_size"):
+            anytime_similarity(measure, *pair, batch_size=0)
+
+    def test_str_forms(self, measure, pair):
+        done = anytime_similarity(measure, *pair)
+        partial = anytime_similarity(measure, *pair, budget=Budget(max_terms=3))
+        assert "exact" in str(done)
+        assert "∈" in str(partial) and "3/21 terms" in str(partial)
+
+
+class TestFilterOnlyEstimate:
+    def test_bound_contains_exact(self, measure, pair):
+        tra1, tra2 = pair
+        estimate = filter_only_estimate(tra1, tra2)
+        assert estimate.rung == "filter-only"
+        assert not estimate.completed
+        assert estimate.lower <= measure.similarity(tra1, tra2) <= estimate.upper
+
+    def test_zero_overlap_is_exact_zero(self, measure, straight_trajectory):
+        late = Trajectory.from_arrays(
+            np.arange(5.0), np.zeros(5), 1000.0 + np.arange(5.0), "late"
+        )
+        estimate = filter_only_estimate(straight_trajectory, late)
+        assert estimate.completed
+        assert estimate.value == 0.0
+        assert estimate.bounds == (0.0, 0.0)
+
+    def test_empty_trajectory_raises(self, straight_trajectory):
+        with pytest.raises(DegenerateTrajectoryError):
+            filter_only_estimate(straight_trajectory, Trajectory([]))
+
+
+# ----------------------------------------------------------------------
+class TestDeadlineScorer:
+    def test_unbounded_is_bitwise_exact_full_rung(self, measure, pair):
+        scorer = DeadlineScorer(measure)
+        health = ServiceHealth()
+        score = scorer.score(*pair, health=health, subject="a~b")
+        assert score.completed
+        assert score.rung == "full"
+        assert score.value == measure.similarity(*pair)
+        assert health.rungs == ["full"]
+        assert health.ok  # a full-fidelity score is not an incident
+
+    def test_exact_within_bounds_whatever_rung_answers(self, measure, pair):
+        # Acceptance sweep through the whole ladder: small budgets land on
+        # coarse or filter-only rungs, large ones on the full grid — the
+        # exact full-grid score must be inside the interval every time.
+        tra1, tra2 = pair
+        exact = measure.similarity(tra1, tra2)
+        scorer = DeadlineScorer(measure)
+        rungs_seen = set()
+        for k in range(0, len(tra1) + len(tra2) + 1):
+            score = scorer.score(tra1, tra2, budget=Budget(max_terms=k))
+            rungs_seen.add(score.rung)
+            assert score.lower <= exact <= score.upper, f"violated at max_terms={k}"
+            if score.completed:
+                assert score.value == exact
+        assert len(rungs_seen) >= 2  # the sweep actually exercised the ladder
+
+    def test_large_term_budget_completes_on_full_grid(self, measure, pair):
+        tra1, tra2 = pair
+        score = DeadlineScorer(measure).score(
+            tra1, tra2, budget=Budget(max_terms=len(tra1) + len(tra2))
+        )
+        assert score.completed
+        assert score.rung == "full"
+        assert score.value == measure.similarity(tra1, tra2)
+
+    def test_expired_budget_falls_to_filter_only(self, measure, pair, clock):
+        budget = Budget(deadline_ms=5.0, clock=clock).start()
+        clock.advance(1.0)
+        health = ServiceHealth(deadline_ms=5.0)
+        score = DeadlineScorer(measure).score(*pair, budget=budget, health=health)
+        assert score.rung == "filter-only"
+        assert not score.completed
+        assert health.rungs == ["filter-only"]
+        assert health.degraded
+
+    def test_coarse_completion_is_rebounded_not_exact(self, measure, pair):
+        # A coarse-grid score approximates a different discretization:
+        # it must come back open, clipped into the always-valid filter bound.
+        tra1, tra2 = pair
+        score = DeadlineScorer(measure).score(tra1, tra2, budget=Budget(max_terms=2))
+        assert score.rung.startswith("coarse-")
+        assert not score.completed
+        reference = filter_only_estimate(tra1, tra2)
+        assert score.bounds == reference.bounds
+        assert score.lower <= score.value <= score.upper
+
+    def test_non_full_rungs_are_recorded_as_events(self, measure, pair):
+        health = ServiceHealth()
+        DeadlineScorer(measure).score(
+            *pair, budget=Budget(max_terms=2), health=health, subject="a~b"
+        )
+        assert health.degraded
+        assert any(e.kind == "rung" and e.subject == "a~b" for e in health.events)
+
+    def test_coarse_measures_are_cached_and_coarsened(self, measure):
+        scorer = DeadlineScorer(measure)
+        coarse = scorer.coarse_measure(2)
+        assert coarse is scorer.coarse_measure(2)
+        assert coarse.grid.cell_size == measure.grid.cell_size * 2
+        assert coarse.name.endswith("@2x")
+
+    def test_rungs_property(self, measure):
+        assert DeadlineScorer(measure).rungs == (
+            "full", "coarse-2x", "coarse-4x", "filter-only",
+        )
+
+    def test_validation(self, measure):
+        with pytest.raises(ValueError, match="coarse factors"):
+            DeadlineScorer(measure, coarse_factors=(1,))
+        with pytest.raises(ValueError, match="rung fractions"):
+            DeadlineScorer(measure, coarse_factors=(2,), rung_fractions=(0.5, 0.5, 0.5))
+
+    def test_overloaded_full_rung_degrades(self, measure, pair):
+        # Injected latency on the full-fidelity STP path: the deadline
+        # forces the ladder below the full rung, yet the returned interval
+        # still brackets the exact score.
+        from tests.faultinjection.faults import SlowMeasure
+
+        slow = SlowMeasure(measure, delay=0.02)
+        health = ServiceHealth(deadline_ms=30.0)
+        score = DeadlineScorer(slow, batch_size=4).score(
+            *pair, budget=Budget(deadline_ms=30.0), health=health, subject="a~b"
+        )
+        assert score.rung != "full" or not score.completed
+        assert score.lower <= measure.similarity(*pair) <= score.upper
+        assert health.rungs  # the rung taken is on the record
+
+
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_timeouts(self, clock):
+        breaker = CircuitBreaker(threshold=2, cooldown_base=1.0, clock=clock)
+        assert breaker.allow("pair")
+        assert not breaker.record_timeout("pair")  # 1 of 2
+        assert breaker.allow("pair")
+        assert breaker.record_timeout("pair")  # trips
+        assert not breaker.allow("pair")
+        assert breaker.is_open("pair")
+        assert breaker.open_keys == ["pair"]
+
+    def test_half_open_probe_after_cooldown(self, clock):
+        breaker = CircuitBreaker(threshold=1, cooldown_base=1.0, clock=clock)
+        breaker.record_timeout("pair")
+        assert not breaker.allow("pair")
+        clock.advance(1.0)
+        assert breaker.allow("pair")  # the probe
+        breaker.record_success("pair")
+        assert breaker.allow("pair")
+        assert not breaker.is_open("pair")
+
+    def test_failed_probe_doubles_cooldown(self, clock):
+        breaker = CircuitBreaker(threshold=2, cooldown_base=1.0, clock=clock)
+        breaker.record_timeout("pair")
+        breaker.record_timeout("pair")  # trip 1: cooldown 1 s
+        clock.advance(1.0)
+        assert breaker.allow("pair")
+        assert breaker.record_timeout("pair")  # probe fails: immediate re-trip
+        clock.advance(1.5)
+        assert not breaker.allow("pair")  # trip 2 waits 2 s, not 1
+        clock.advance(0.5)
+        assert breaker.allow("pair")
+
+    def test_cooldown_is_capped(self, clock):
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_base=1.0, cooldown_max=3.0, clock=clock
+        )
+        for _ in range(10):  # uncapped backoff would be 512 s by now
+            breaker.record_timeout("pair")
+            clock.advance(3.0)
+            assert breaker.allow("pair")
+
+    def test_success_resets_the_count(self, clock):
+        breaker = CircuitBreaker(threshold=2, clock=clock)
+        breaker.record_timeout("pair")
+        breaker.record_success("pair")
+        assert not breaker.record_timeout("pair")  # back to 1 of 2
+        assert breaker.allow("pair")
+
+    def test_keys_are_independent(self, clock):
+        breaker = CircuitBreaker(threshold=1, clock=clock)
+        breaker.record_timeout(("a", "b"))
+        assert not breaker.allow(("a", "b"))
+        assert breaker.allow(("a", "c"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown_base=0.0)
+
+
+# ----------------------------------------------------------------------
+class TestServiceHealth:
+    def test_clean_call_is_ok(self):
+        health = ServiceHealth()
+        health.pairs_scored = 3
+        health.take_rung("full", "a~b")
+        assert health.ok
+        assert not health.degraded
+        assert "healthy" in health.summary()
+
+    def test_degradation_flips_ok(self):
+        health = ServiceHealth(deadline_ms=50.0)
+        health.take_rung("coarse-2x", "a~b")
+        assert not health.ok
+        assert health.degraded
+        assert health.events[0].kind == "rung"
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        health = ServiceHealth(deadline_ms=100.0)
+        health.pairs_shed = 2
+        health.record(ServiceEvent("shed-pair", "a~b", "deadline expired"))
+        payload = json.loads(json.dumps(health.to_dict()))
+        assert payload["pairs_shed"] == 2
+        assert payload["events"][0]["kind"] == "shed-pair"
+
+    def test_summary_names_the_deadline(self):
+        health = ServiceHealth(deadline_ms=100.0, elapsed_ms=120.0, deadline_hit=True)
+        health.pairs_shed = 1
+        assert "deadline HIT" in health.summary()
+        assert "120/100 ms" in health.summary()
+
+    def test_event_str(self):
+        event = ServiceEvent("breaker-open", "a~b", "cooling down")
+        assert str(event) == "breaker-open on a~b: cooling down"

@@ -205,3 +205,16 @@ class TestFrequencyBackend:
         cells, probs = stp.stp(5.0)
         assert probs.sum() == pytest.approx(1.0)
         assert len(stp.stp(4.0)[0]) == 0  # outside span
+
+
+class TestCacheStats:
+    def test_counts_grow_with_queries_and_reset_on_clear(self, grid, walker):
+        stp = make_stp(walker, grid)
+        assert all(v == 0 for v in stp.cache_stats().values())
+        stp.stp(2.5)
+        stp.stp(7.5)
+        stats = stp.cache_stats()
+        assert stats["results"] == 2
+        assert sum(stats.values()) > 2  # kernels/planes memoized too
+        stp.clear_cache()
+        assert all(v == 0 for v in stp.cache_stats().values())

@@ -114,3 +114,251 @@ class TestEvaluation:
 
     def test_pair_score_str(self):
         assert "a ~ b" in str(PairScore("a", "b", 0.25))
+
+
+class TestSanitizedIngest:
+    """Regression: a single non-finite sighting must not poison the stream."""
+
+    BAD = [
+        SightingEvent("a", float("nan"), 0.0, 1.0),
+        SightingEvent("a", 0.0, float("inf"), 1.0),
+        SightingEvent("a", 0.0, 0.0, float("inf")),
+        SightingEvent("a", 0.0, 0.0, float("nan")),
+    ]
+
+    def test_raise_policy_rejects_before_time_advances(self, grid):
+        from repro.errors import MalformedRecordError
+
+        detector = StreamingColocationDetector(grid)  # on_error="raise"
+        for event in self.BAD:
+            with pytest.raises(MalformedRecordError):
+                detector.ingest(event)
+        # Crucially, t=inf never became stream time.
+        assert detector.stream_time == float("-inf")
+        detector.ingest(SightingEvent("a", 0.0, 0.0, 5.0))
+        assert detector.stream_time == 5.0
+        assert len(detector.window_of("a")) == 1
+
+    def test_skip_policy_drops_and_counts(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="skip")
+        for event in self.BAD:
+            detector.ingest(event)
+        assert detector.malformed_dropped == 4
+        assert detector.stream_time == float("-inf")
+        assert len(detector.window_of("a")) == 0
+        # The stream keeps working, and the counter lands in health.
+        feed_walk(detector, "a", 0, 10, 0.0)
+        feed_walk(detector, "b", 1, 10, 0.0)
+        detector.evaluate()
+        assert detector.last_health.malformed_events == 4
+
+    def test_invalid_policy_rejected(self, grid):
+        with pytest.raises(ValueError):
+            StreamingColocationDetector(grid, on_error="explode")
+
+
+class TestAdmissionQueue:
+    def test_offer_is_bounded(self, grid):
+        detector = StreamingColocationDetector(grid, max_pending=3)
+        for k in range(10):
+            detector.offer(SightingEvent("a", float(k), 0.0, float(k)))
+            assert detector.pending <= 3  # never grows past the cap
+        assert detector.shed_events == 7
+
+    def test_freshest_events_survive_shedding(self, grid):
+        detector = StreamingColocationDetector(grid, max_pending=2)
+        for k in range(5):
+            detector.offer(SightingEvent("a", float(k), 0.0, float(k)))
+        detector.drain()
+        # The two freshest sightings (t=3, t=4) are the ones applied.
+        assert list(detector.window_of("a").timestamps) == [3.0, 4.0]
+
+    def test_stale_incoming_event_is_the_one_shed(self, grid):
+        detector = StreamingColocationDetector(grid, max_pending=1)
+        assert detector.offer(SightingEvent("a", 0.0, 0.0, 100.0))
+        assert not detector.offer(SightingEvent("a", 0.0, 0.0, 1.0))  # staler
+        assert detector.pending == 1
+        detector.drain()
+        assert list(detector.window_of("a").timestamps) == [100.0]
+
+    def test_drain_limit_and_auto_drain_on_evaluate(self, grid):
+        detector = StreamingColocationDetector(grid)
+        for k in range(6):
+            detector.offer(SightingEvent("a", float(k), 10.0, float(k)))
+        assert detector.drain(limit=2) == 2
+        assert detector.pending == 4
+        detector.evaluate()  # evaluate drains the rest
+        assert detector.pending == 0
+        assert len(detector.window_of("a")) == 6
+
+    def test_queued_malformed_events_follow_policy(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="skip")
+        detector.offer(SightingEvent("a", float("nan"), 0.0, 1.0))
+        detector.drain()
+        assert detector.malformed_dropped == 1
+
+    def test_invalid_max_pending(self, grid):
+        with pytest.raises(ValueError):
+            StreamingColocationDetector(grid, max_pending=0)
+
+
+class TestDegenerateWindows:
+    def test_thin_windows_are_skipped_and_counted(self, grid):
+        # Eviction shrank "a" below min_points: the evaluation must skip
+        # it (not crash) and account for it.
+        detector = StreamingColocationDetector(grid, window=60.0, min_points=3)
+        feed_walk(detector, "a", 0, 10, t0=0.0, n=3, dt=5.0)  # spans 0..10
+        feed_walk(detector, "b", 0, 10, t0=30.0, n=6, dt=5.0)  # spans 30..55
+        feed_walk(detector, "c", 1, 10, t0=30.0, n=6, dt=5.0)
+        # Stream time is 55; horizon 55-60 leaves "a" only partially evicted?
+        detector.ingest(SightingEvent("b", 30, 10, 65.0))  # horizon now 5
+        scores = detector.evaluate()
+        health = detector.last_health
+        assert health.degenerate_objects == 1  # "a" is down to 2 points
+        assert any(e.kind == "degenerate" and e.subject == "a" for e in health.events)
+        assert {frozenset((s.object_a, s.object_b)) for s in scores} == {
+            frozenset(("b", "c"))
+        }
+
+    def test_scoring_errors_are_skipped_and_counted(self, grid):
+        from repro.errors import DegenerateTrajectoryError
+
+        class ExplodingMeasure:
+            name = "exploding"
+
+            def similarity(self, tra1, tra2):
+                raise DegenerateTrajectoryError("injected: window too thin")
+
+        detector = StreamingColocationDetector(
+            grid, measure_factory=ExplodingMeasure
+        )
+        feed_walk(detector, "a", 0, 10, 0.0)
+        feed_walk(detector, "b", 1, 10, 0.0)
+        scores = detector.evaluate()  # must not raise
+        assert scores == []
+        health = detector.last_health
+        assert health.degenerate_pairs == 1
+        assert health.pairs_scored == 0
+        assert not health.ok
+
+
+class TestDeadlineEvaluation:
+    def companions(self, grid, **kwargs):
+        detector = StreamingColocationDetector(grid, window=300.0, **kwargs)
+        feed_walk(detector, "alice", x0=0, y=10, t0=0.0)
+        feed_walk(detector, "bob", x0=1, y=11, t0=2.0)
+        feed_walk(detector, "carol", x0=0, y=35, t0=1.0)
+        return detector
+
+    def test_unbounded_evaluate_reports_healthy(self, grid):
+        detector = self.companions(grid)
+        scores = detector.evaluate()
+        health = detector.last_health
+        assert health.ok and not health.degraded
+        assert health.pairs_scored == 3
+        assert health.rungs == ["full"] * 3
+        assert all(s.completed and s.rung == "full" for s in scores)
+
+    def test_zero_deadline_sheds_every_pair(self, grid):
+        detector = self.companions(grid)
+        scores = detector.evaluate(deadline=0.0)
+        health = detector.last_health
+        assert scores == []
+        assert health.deadline_hit
+        assert health.pairs_shed == 3
+        assert health.pairs_scored == 0
+        assert sum(1 for e in health.events if e.kind == "shed-pair") == 3
+
+    def test_term_budget_degrades_with_bounds(self, grid):
+        from repro.serving import Budget
+
+        detector = self.companions(grid)
+        exact = {
+            frozenset((s.object_a, s.object_b)): s.similarity
+            for s in detector.evaluate()
+        }
+        scores = detector.evaluate(budget=Budget(max_terms=4))
+        health = detector.last_health
+        assert health.pairs_scored == 3
+        assert health.degraded
+        assert len(health.rungs) == 3  # one rung on record per scored pair
+        for score in scores:
+            assert not score.completed
+            assert score.rung in ("coarse-2x", "coarse-4x", "filter-only")
+            key = frozenset((score.object_a, score.object_b))
+            assert score.lower <= exact[key] <= score.upper
+            assert score.lower <= score.similarity <= score.upper
+
+    def test_deadline_and_budget_are_exclusive(self, grid):
+        from repro.serving import Budget
+
+        detector = self.companions(grid)
+        with pytest.raises(ValueError, match="not both"):
+            detector.evaluate(deadline=1.0, budget=Budget(deadline_ms=5.0))
+        with pytest.raises(ValueError, match="deadline"):
+            detector.evaluate(deadline=-1.0)
+
+    def test_companions_of_honors_budget(self, grid):
+        from repro.serving import Budget
+
+        detector = self.companions(grid)
+        companions = detector.companions_of("alice", budget=Budget(max_terms=4))
+        health = detector.last_health
+        assert health.pairs_scored == 2
+        assert all(not c.completed for c in companions)
+
+
+class TestOverloadAcceptance:
+    """The issue's acceptance scenario: injected slow pairs + a deadline."""
+
+    DELAY = 0.02
+    DEADLINE = 0.25
+
+    def overloaded_detector(self, grid, **kwargs):
+        from tests.faultinjection.faults import SlowMeasure
+
+        from repro.core.sts import STS
+
+        detector = StreamingColocationDetector(
+            grid,
+            window=300.0,
+            measure_factory=lambda: SlowMeasure(STS(grid), delay=self.DELAY),
+            **kwargs,
+        )
+        # 20 points per window -> 40 Eq. 10 terms per pair, more than one
+        # anytime batch, so the full rung can actually run out of slice.
+        for idx, oid in enumerate(["alice", "bob", "carol", "dave"]):
+            feed_walk(detector, oid, x0=idx, y=10 + idx, t0=float(idx), n=20)
+        return detector
+
+    def test_returns_within_1_5x_deadline_with_bounded_scores(self, grid):
+        import time
+
+        detector = self.overloaded_detector(grid)
+        start = time.monotonic()
+        scores = detector.evaluate(deadline=self.DEADLINE)
+        elapsed = time.monotonic() - start
+        assert elapsed <= 1.5 * self.DEADLINE
+        health = detector.last_health
+        # Every scored pair has exactly one rung on the record, and the
+        # overload shows up as degradation/shedding, never an exception.
+        assert len(health.rungs) == health.pairs_scored
+        assert health.deadline_hit or health.degraded
+        assert health.pairs_scored + health.pairs_shed + health.breaker_skips == 6
+        for score in scores:
+            if not score.completed:
+                assert score.lower <= score.similarity <= score.upper
+
+    def test_repeated_misses_trip_the_pair_breaker(self, grid):
+        from repro.serving import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=1, cooldown_base=3600.0)
+        detector = self.overloaded_detector(grid, breaker=breaker)
+        detector.evaluate(deadline=self.DEADLINE)
+        first = detector.last_health
+        assert first.breaker_trips >= 1
+        assert any(e.kind == "breaker-trip" for e in first.events)
+        detector.evaluate(deadline=self.DEADLINE)
+        second = detector.last_health
+        assert second.breaker_skips >= first.breaker_trips
+        assert any(e.kind == "breaker-open" for e in second.events)
