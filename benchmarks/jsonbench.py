@@ -11,14 +11,35 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
 
-__all__ = ["REPO_ROOT", "time_config", "write_report"]
+__all__ = ["REPO_ROOT", "HISTORY_LIMIT", "time_config", "write_report"]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Runs kept under each report's ``history`` key (oldest dropped first).
+HISTORY_LIMIT = 20
+
+
+def _git_sha() -> str | None:
+    """The current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> dict:
@@ -57,7 +78,14 @@ def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> 
 
 
 def write_report(filename: str, payload: dict) -> Path:
-    """Write ``payload`` (plus environment metadata) to the repo root."""
+    """Write ``payload`` (plus environment metadata) to the repo root.
+
+    Each write also appends a compact run record — commit SHA, UTC
+    timestamp, per-config mean seconds — to the report's ``history``
+    list (carried over from the existing file, bounded to the last
+    :data:`HISTORY_LIMIT` runs), so regressions can be traced to a
+    commit without a separate tracking database.
+    """
     payload = dict(payload)
     payload.setdefault(
         "environment",
@@ -68,5 +96,24 @@ def write_report(filename: str, payload: dict) -> Path:
         },
     )
     path = REPO_ROOT / filename
+    history: list[dict] = []
+    if path.exists():
+        try:
+            history = list(json.loads(path.read_text()).get("history", []))
+        except (OSError, json.JSONDecodeError, AttributeError):
+            history = []
+    record: dict = {
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    configs = payload.get("configs")
+    if isinstance(configs, dict):
+        record["mean_s"] = {
+            label: stats["mean_s"]
+            for label, stats in configs.items()
+            if isinstance(stats, dict) and "mean_s" in stats
+        }
+    history.append(record)
+    payload["history"] = history[-HISTORY_LIMIT:]
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

@@ -107,3 +107,21 @@ print(f"  pairs shed:       {health.pairs_shed}")
 print(f"  malformed events: {health.malformed_events}")
 print(f"  queue shed:       {health.shed_events}")
 print(f"  deadline hit:     {health.deadline_hit}")
+print()
+
+# ----------------------------------------------------------------------
+# 4. The metrics registry: the cumulative rung distribution across
+#    everything this process scored (sections 2 and 3 combined).
+# ----------------------------------------------------------------------
+from repro import get_registry
+
+snapshot = get_registry().snapshot()
+rung_counts = snapshot.get("counters", {}).get("repro_ladder_rung_total", {})
+if rung_counts:
+    total = sum(rung_counts.values())
+    print("ladder-rung distribution (repro_ladder_rung_total):")
+    for label, count in sorted(rung_counts.items(), key=lambda kv: -kv[1]):
+        rung = label.split('"')[1] if '"' in label else label
+        print(f"  {rung:<12} {int(count):3d}  ({count / total:.0%})")
+else:
+    print("(metrics disabled: run without REPRO_OBS=off to see the rung distribution)")

@@ -19,7 +19,10 @@ Public API highlights:
 * :mod:`repro.serving` — the deadline-aware online path:
   :class:`repro.Budget`, :class:`repro.AnytimeScore`,
   :class:`repro.DeadlineScorer`, :class:`repro.CircuitBreaker` and the
-  :class:`repro.ServiceHealth` degradation report.
+  :class:`repro.ServiceHealth` degradation report;
+* :mod:`repro.obs` — zero-dependency observability:
+  :func:`repro.get_registry` (metrics), :func:`repro.trace_span`
+  (hierarchical tracing), disabled globally with ``REPRO_OBS=off``.
 """
 
 from .errors import (
@@ -56,6 +59,7 @@ from .core import (
     sts_g,
     sts_n,
 )
+from .obs import MetricsRegistry, Tracer, get_registry, get_tracer, trace_span
 from .serving import (
     AnytimeScore,
     Budget,
@@ -107,4 +111,9 @@ __all__ = [
     "ServiceEvent",
     "ServiceHealth",
     "anytime_similarity",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "trace_span",
 ]

@@ -202,14 +202,43 @@ class ExperimentCheckpoint:
         )
         return data["result"], float(data["runtime"])
 
-    def store(self, exp_id: str, result_dict: dict, runtime: float) -> None:
-        """Journal one completed experiment atomically."""
-        write_json_atomic(
-            self._path(exp_id),
-            {
-                "version": self.VERSION,
-                "fingerprint": self.fingerprint,
-                "result": result_dict,
-                "runtime": float(runtime),
-            },
-        )
+    def load_stages(self, exp_id: str) -> dict[str, float]:
+        """The stored per-stage wall-second breakdown for ``exp_id``.
+
+        Empty for journals written before stage accounting existed (the
+        field is additive; :meth:`load`'s payload is unchanged).
+        """
+        path = self._path(exp_id)
+        if not path.exists():
+            path = self._legacy_path(exp_id)
+            if not path.exists():
+                return {}
+        data = _read_json(path, "experiment")
+        if data.get("fingerprint") != self.fingerprint:
+            return {}
+        stages = data.get("stage_times") or {}
+        return {str(k): float(v) for k, v in stages.items()}
+
+    def store(
+        self,
+        exp_id: str,
+        result_dict: dict,
+        runtime: float,
+        stage_times: dict[str, float] | None = None,
+    ) -> None:
+        """Journal one completed experiment atomically.
+
+        ``stage_times`` optionally records the experiment's per-stage
+        wall-second breakdown (from the metrics registry's
+        ``repro_stage_seconds_total`` deltas); it rides along in the
+        journal and is read back with :meth:`load_stages`.
+        """
+        payload = {
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "result": result_dict,
+            "runtime": float(runtime),
+        }
+        if stage_times:
+            payload["stage_times"] = {str(k): float(v) for k, v in stage_times.items()}
+        write_json_atomic(self._path(exp_id), payload)

@@ -10,12 +10,18 @@ Subcommands::
     repro-sts link       --queries q.csv --gallery g.csv --cell 3 --sigma 3 --top 3
     repro-sts events     --corpus c.csv --a device-1 --b device-2 --cell 3 --sigma 3
     repro-sts groups     --corpus c.csv --cell 3 --sigma 3
+    repro-sts obs        [--format text|prom|flame|chrome] [--input snap.json] [--check m.prom]
 
 ``experiment`` accepts the figure families of the paper's evaluation:
 ``fig4`` (= figs 4–5), ``fig6`` (= 6–7), ``fig8`` (= 8–9), ``fig10``,
 ``fig11`` and ``fig12`` (= 12–14); ``report`` runs them all and writes a
 markdown report.  ``link`` and ``events`` operate on trajectory CSVs in
 the library's flat ``object_id,x,y,t`` format.
+
+Every subcommand accepts ``--metrics-out FILE`` to dump the metrics
+registry when the command finishes (``.json`` → JSON snapshot, anything
+else → Prometheus text).  ``obs`` runs a small instrumented demo (or
+pretty-prints / validates an existing dump); see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -80,9 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-measures", help="list registered similarity measures")
+    obs_out = argparse.ArgumentParser(add_help=False)
+    obs_out.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry here when the command finishes "
+        "(.json → JSON snapshot, anything else → Prometheus text)",
+    )
 
-    common = argparse.ArgumentParser(add_help=False)
+    sub.add_parser(
+        "list-measures", parents=[obs_out], help="list registered similarity measures"
+    )
+
+    common = argparse.ArgumentParser(add_help=False, parents=[obs_out])
     common.add_argument("--dataset", choices=["taxi", "mall"], default="taxi")
     common.add_argument("--size", type=int, default=30, help="number of trajectories")
     common.add_argument("--seed", type=int, default=0)
@@ -121,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         "pointed at the same directory resumes from the last good state",
     )
 
-    on_error = argparse.ArgumentParser(add_help=False)
+    on_error = argparse.ArgumentParser(add_help=False, parents=[obs_out])
     on_error.add_argument(
         "--on-error",
         choices=["raise", "skip", "repair"],
@@ -179,6 +196,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="similarity threshold (default: 20%% of mean self-similarity)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        parents=[obs_out],
+        help="inspect the instrumentation layer (demo run, dump viewer, validator)",
+    )
+    obs.add_argument(
+        "--format",
+        choices=["text", "prom", "flame", "chrome"],
+        default="text",
+        help="demo output: rendered snapshot + flamegraph (text, default), "
+        "Prometheus text (prom), flamegraph only (flame), or Chrome "
+        "trace-event JSON (chrome)",
+    )
+    obs.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="pretty-print an existing JSON metrics snapshot instead of running the demo",
+    )
+    obs.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="validate a Prometheus text dump and exit (non-zero on format errors)",
     )
 
     return parser
@@ -276,6 +319,73 @@ def _run_groups(args) -> int:
     return 0
 
 
+def _write_metrics(path: str) -> None:
+    """Dump the default registry to ``path`` (JSON or Prometheus text)."""
+    import json
+
+    from .obs import get_registry
+
+    registry = get_registry()
+    if path.endswith(".json"):
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = registry.to_prometheus()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote metrics to {path}", file=sys.stderr)
+
+
+def _run_obs(args) -> int:
+    """The ``obs`` subcommand: validator, dump viewer, or instrumented demo."""
+    import json
+
+    from .obs import get_registry, get_tracer, render_snapshot, validate_prometheus_text
+
+    if args.check is not None:
+        with open(args.check, encoding="utf-8") as handle:
+            errors = validate_prometheus_text(handle.read())
+        for error in errors:
+            print(f"{args.check}: {error}", file=sys.stderr)
+        print(f"{args.check}: {'FAILED' if errors else 'OK'}")
+        return 1 if errors else 0
+
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(render_snapshot(snapshot))
+        return 0
+
+    # Demo: a small instrumented run so every metric family has samples.
+    from .serving import Budget, DeadlineScorer
+
+    dataset = _load_dataset("taxi", 8, seed=0)
+    trajectories = dataset.trajectories
+    measure = STS(
+        grid_covering(trajectories, dataset.cell_size, dataset.margin),
+        noise_model=GaussianNoiseModel(dataset.location_error),
+    )
+    measure.pairwise(trajectories[:4], queries=trajectories[4:6])
+    scorer = DeadlineScorer(measure)
+    for candidate in trajectories[1:4]:
+        scorer.score(trajectories[0], candidate, budget=Budget(deadline_ms=5.0))
+    registry = get_registry()
+    if not getattr(registry, "enabled", False):
+        print("observability is disabled (REPRO_OBS=off); nothing to show")
+        return 0
+    if args.format == "prom":
+        print(registry.to_prometheus(), end="")
+    elif args.format == "flame":
+        print(get_tracer().flamegraph())
+    elif args.format == "chrome":
+        print(json.dumps(get_tracer().to_chrome_trace()))
+    else:
+        print(render_snapshot(registry.snapshot()))
+        print()
+        print("Span flamegraph:")
+        print(get_tracer().flamegraph())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -285,13 +395,20 @@ def main(argv: list[str] | None = None) -> int:
     skip/repair policies.
     """
     try:
-        return _dispatch(build_parser().parse_args(argv))
+        args = build_parser().parse_args(argv)
+        code = _dispatch(args)
+        if getattr(args, "metrics_out", None):
+            _write_metrics(args.metrics_out)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "list-measures":
         for name in available_measures():

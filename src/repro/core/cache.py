@@ -33,7 +33,7 @@ class LRUCache:
         ``None`` means unbounded.  Negative sizes are rejected.
     """
 
-    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses")
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int | None = 128):
         if maxsize is not None and maxsize < 0:
@@ -43,6 +43,7 @@ class LRUCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -66,6 +67,7 @@ class LRUCache:
             self._data[key] = value
             if self.maxsize is not None and len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """``get`` with a fallback factory; the computed value is cached.
@@ -113,6 +115,17 @@ class LRUCache:
         with self._lock:
             return list(self._data.values())
 
+    def stats(self) -> dict[str, int | None]:
+        """Size, capacity and lifetime hit/miss/eviction counters."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "max": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
     # Locks don't pickle; a cache crossing a process boundary restarts cold.
     def __getstate__(self) -> dict:
         with self._lock:
@@ -124,9 +137,10 @@ class LRUCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __repr__(self) -> str:
         return (
             f"LRUCache(maxsize={self.maxsize}, len={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )

@@ -53,10 +53,13 @@ without growing memory unboundedly.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 from scipy import fft as _fft
 
 from ..errors import DegenerateTrajectoryError
+from ..obs import get_registry
 from .cache import LRUCache
 from .grid import Grid
 from .noise import NoiseModel
@@ -110,6 +113,10 @@ class TrajectorySTP:
         FFT caches are sized proportionally.  ``None`` means unbounded,
         ``0`` disables all memoization (every query recomputes from
         scratch — useful for benchmarking the cold path).
+    registry:
+        Metrics registry receiving stage timings, FFT canvas-reuse
+        counters and (at snapshot time) cache statistics.  Defaults to
+        the process-wide registry; a no-op registry when ``REPRO_OBS=off``.
     """
 
     _MODES = ("auto", "fft", "pruned", "dense")
@@ -122,6 +129,7 @@ class TrajectorySTP:
         transition_model: TransitionModel,
         mode: str = "auto",
         cache_size: int | None = 4096,
+        registry=None,
     ):
         if len(trajectory) == 0:
             raise DegenerateTrajectoryError(
@@ -143,11 +151,14 @@ class TrajectorySTP:
             self._resolved_mode = "fft" if transition_model.isotropic else "pruned"
         else:
             self._resolved_mode = mode
+        self._init_obs(registry)
         # Per-observation noise distributions, precomputed once: these are
         # the f(·, ℓ_i) terms every Eq. 4 evaluation reuses.
+        t0 = perf_counter()
         self._observed: list[SparseDistribution] = [
             noise_model.cell_distribution(grid, p.x, p.y) for p in trajectory
         ]
+        self._t_noise.inc(perf_counter() - t0)
         self.cache_size = cache_size
         scaled = (lambda frac, floor: None) if cache_size is None else (
             lambda frac, floor: 0 if cache_size == 0 else max(floor, cache_size // frac)
@@ -159,6 +170,59 @@ class TrajectorySTP:
         self._segment_cache = LRUCache(scaled(16, 16))  # dense-mode geometry
 
     # ------------------------------------------------------------------
+    def _init_obs(self, registry=None) -> None:
+        """Bind metric handles once; hot paths then pay one dict-add each.
+
+        ``bridge-interp`` is the inclusive wall time of segment
+        interpolation (Eq. 4); ``kernel-fft`` and ``normalize`` are
+        components within it on the FFT path.
+        """
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        stage = reg.counter(
+            "repro_stage_seconds_total", "Wall seconds spent per pipeline stage"
+        )
+        self._t_noise = stage.child(component="stp", stage="noise-eval")
+        self._t_bridge = stage.child(component="stp", stage="bridge-interp")
+        self._t_kernel = stage.child(component="stp", stage="kernel-fft")
+        self._t_norm = stage.child(component="stp", stage="normalize")
+        # Bound here so colocation_batch pays no per-call instrument lookup.
+        self._t_coloc_resolve = stage.child(component="colocation", stage="stp-resolve")
+        self._t_coloc_inner = stage.child(component="colocation", stage="inner-product")
+        self._m_plane_transforms = reg.counter(
+            "repro_fft_plane_transforms_total", "Noise-plane forward FFTs computed"
+        ).child()
+        self._m_canvas_reuse = reg.counter(
+            "repro_fft_canvas_reuse_total",
+            "Noise-plane FFTs served from the fixed-canvas cache",
+        ).child()
+        reg.register_collector(self._collect_cache_samples)
+
+    def _named_caches(self) -> tuple[tuple[str, LRUCache], ...]:
+        return (
+            ("stp-results", self._cache),
+            ("stp-kernels", self._kernel_cache),
+            ("stp-planes", self._plane_cache),
+            ("stp-plane-ffts", self._plane_fft_cache),
+            ("stp-segments", self._segment_cache),
+        )
+
+    def _collect_cache_samples(self):
+        """Snapshot-time cache samples; summed across live estimators."""
+        samples = []
+        for name, cache in self._named_caches():
+            stats = cache.stats()
+            labels = {"cache": name}
+            samples.append(("counter", "repro_cache_hits_total", labels, stats["hits"]))
+            samples.append(("counter", "repro_cache_misses_total", labels, stats["misses"]))
+            samples.append(
+                ("counter", "repro_cache_evictions_total", labels, stats["evictions"])
+            )
+            samples.append(("gauge", "repro_cache_entries", labels, stats["size"]))
+            if stats["max"] is not None:
+                samples.append(("gauge", "repro_cache_capacity", labels, stats["max"]))
+        return samples
+
     def stp(self, t: float) -> SparseDistribution:
         """Eq. 5: sparse distribution ``STP(·, t, Tra)`` over grid cells.
 
@@ -238,20 +302,21 @@ class TrajectorySTP:
         needed = int(np.searchsorted(covered, mass - 1e-12)) + 1
         return np.sort(cells[order[:needed]])
 
-    def cache_stats(self) -> dict[str, int]:
-        """Entry counts of every memoization layer, keyed by cache name.
+    def cache_stats(self) -> dict[str, dict[str, int | None]]:
+        """Per-cache ``{size, max, hits, misses, evictions}`` stats.
 
         Observability hook for long-lived estimators on the serving path:
         a memory-ceiling trip (``Budget.max_rss_mb``) says *that* the
-        process grew, these counters say *where*.  Pair with
-        :meth:`clear_cache` to release the memoized state.
+        process grew, these counters say *where*.  The same numbers feed
+        the registry's ``repro_cache_*`` metrics at snapshot time.  Pair
+        with :meth:`clear_cache` to release the memoized state.
         """
         return {
-            "results": len(self._cache),
-            "kernels": len(self._kernel_cache),
-            "planes": len(self._plane_cache),
-            "plane_ffts": len(self._plane_fft_cache),
-            "segments": len(self._segment_cache),
+            "results": self._cache.stats(),
+            "kernels": self._kernel_cache.stats(),
+            "planes": self._plane_cache.stats(),
+            "plane_ffts": self._plane_fft_cache.stats(),
+            "segments": self._segment_cache.stats(),
         }
 
     def clear_cache(self) -> None:
@@ -275,9 +340,13 @@ class TrajectorySTP:
 
     def _segment_batch(self, lo: int, hi: int, ts: np.ndarray) -> list[SparseDistribution]:
         """All interpolation queries of one segment, in one pass."""
-        if self._resolved_mode == "fft":
-            return self._interpolate_fft_batch(lo, hi, ts)
-        return self._interpolate_pairwise_batch(lo, hi, ts)
+        t0 = perf_counter()
+        try:
+            if self._resolved_mode == "fft":
+                return self._interpolate_fft_batch(lo, hi, ts)
+            return self._interpolate_pairwise_batch(lo, hi, ts)
+        finally:
+            self._t_bridge.inc(perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # Pairwise evaluation (pruned / dense)
@@ -415,8 +484,11 @@ class TrajectorySTP:
         p_lo, p_hi = traj[lo], traj[hi]
         dts1 = ts - p_lo.t
         dts2 = p_hi.t - ts
+        t0 = perf_counter()
         forward = self._convolved_planes(lo, dts1)
         backward = self._convolved_planes(hi, dts2)
+        t1 = perf_counter()
+        self._t_kernel.inc(t1 - t0)
         results: list[SparseDistribution] = []
         for i in range(len(ts)):
             unnorm = (forward[i] * backward[i]).ravel()
@@ -432,6 +504,7 @@ class TrajectorySTP:
                 continue
             kept = probs[cells]
             results.append((cells, kept / kept.sum()))
+        self._t_norm.inc(perf_counter() - t1)
         return results
 
     def _convolved_planes(self, index: int, dts: np.ndarray) -> np.ndarray:
@@ -545,10 +618,14 @@ class TrajectorySTP:
 
     def _plane_fft(self, index: int, fft_shape: tuple[int, int]) -> np.ndarray:
         """Forward real FFT of observation ``index``'s noise plane."""
-        return self._plane_fft_cache.get_or_compute(
-            (index, fft_shape),
-            lambda: _fft.rfft2(self._dense_plane(index), s=fft_shape),
-        )
+        cached = self._plane_fft_cache.get((index, fft_shape))
+        if cached is not None:
+            self._m_canvas_reuse.inc()
+            return cached
+        value = _fft.rfft2(self._dense_plane(index), s=fft_shape)
+        self._plane_fft_cache.put((index, fft_shape), value)
+        self._m_plane_transforms.inc()
+        return value
 
     def _canvas_lattice(
         self, rows_half: int, cols_half: int
@@ -622,6 +699,22 @@ class TrajectorySTP:
         y = p_lo.y + w * (p_hi.y - p_lo.y)
         cell = self.grid.cell_of(x, y)
         return np.array([cell], dtype=int), np.ones(1)
+
+    # Metric handles hold locks, which do not pickle; an estimator
+    # crossing a process boundary rebinds to the worker's own registry.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for key in (
+            "_registry", "_t_noise", "_t_bridge", "_t_kernel", "_t_norm",
+            "_t_coloc_resolve", "_t_coloc_inner",
+            "_m_plane_transforms", "_m_canvas_reuse",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_obs()
 
     def __repr__(self) -> str:
         return (

@@ -20,11 +20,13 @@ variants of Section VI-C are thin configurations of the same machinery:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..errors import DegenerateTrajectoryError
+from ..obs import get_registry, trace_span
 from .cache import LRUCache
 from .colocation import colocation_batch
 from .grid import Grid
@@ -102,6 +104,11 @@ class STS:
     stp_cache_size:
         Per-trajectory query/kernel cache capacity, forwarded to
         :class:`TrajectorySTP` (``0`` disables memoization entirely).
+    registry:
+        Metrics registry receiving similarity-call counters, latency
+        histograms and stage timings, and forwarded to every estimator
+        this measure builds.  Defaults to the process-wide registry
+        (:func:`repro.obs.get_registry`); a no-op when ``REPRO_OBS=off``.
 
     Notes
     -----
@@ -125,6 +132,7 @@ class STS:
         mode: str = "auto",
         cache_size: int | None = 512,
         stp_cache_size: int | None = 4096,
+        registry=None,
     ):
         self.grid = grid
         self.noise_model = noise_model if noise_model is not None else GaussianNoiseModel(grid.cell_size)
@@ -142,8 +150,43 @@ class STS:
         self.mode = mode
         self.stp_cache_size = stp_cache_size
         self._stp_cache = LRUCache(cache_size)  # id -> (Trajectory, TrajectorySTP)
+        self._init_obs(registry)
 
     # ------------------------------------------------------------------
+    def _init_obs(self, registry=None) -> None:
+        """Bind metric handles once (hot paths pay one dict-add each)."""
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        self._m_calls = reg.counter(
+            "repro_sts_similarity_calls_total", "similarity() evaluations (Eq. 10)"
+        ).child()
+        self._h_similarity = reg.histogram(
+            "repro_similarity_seconds", "Wall seconds per similarity() call"
+        ).child()
+        self._h_pairwise = reg.histogram(
+            "repro_pairwise_seconds", "Wall seconds per pairwise() call"
+        ).child()
+        stage = reg.counter(
+            "repro_stage_seconds_total", "Wall seconds spent per pipeline stage"
+        )
+        self._t_prewarm = stage.child(component="sts", stage="prewarm")
+        self._t_pairloop = stage.child(component="sts", stage="pair-loop")
+        reg.register_collector(self._collect_cache_samples)
+
+    def _collect_cache_samples(self):
+        """Snapshot-time samples for the estimator cache (summed if shared)."""
+        stats = self._stp_cache.stats()
+        labels = {"cache": "sts-estimators"}
+        samples = [
+            ("counter", "repro_cache_hits_total", labels, stats["hits"]),
+            ("counter", "repro_cache_misses_total", labels, stats["misses"]),
+            ("counter", "repro_cache_evictions_total", labels, stats["evictions"]),
+            ("gauge", "repro_cache_entries", labels, stats["size"]),
+        ]
+        if stats["max"] is not None:
+            samples.append(("gauge", "repro_cache_capacity", labels, stats["max"]))
+        return samples
+
     def stp_for(self, trajectory: Trajectory) -> TrajectorySTP:
         """The (cached) S-T probability estimator for ``trajectory``."""
         key = id(trajectory)
@@ -157,6 +200,7 @@ class STS:
             self._transition_factory(trajectory),
             mode=self.mode,
             cache_size=self.stp_cache_size,
+            registry=self._registry,
         )
         self._stp_cache.put(key, (trajectory, stp))
         return stp
@@ -181,17 +225,23 @@ class STS:
         bound).  An exhausted-free budget returns the exact score,
         bitwise identical to the unbudgeted path.
         """
-        if budget is not None and budget.bounded:
-            from ..serving.anytime import anytime_similarity
+        t0 = perf_counter()
+        try:
+            if budget is not None and budget.bounded:
+                from ..serving.anytime import anytime_similarity
 
-            return anytime_similarity(self, tra1, tra2, budget=budget).value
-        if len(tra1) == 0 or len(tra2) == 0:
-            raise DegenerateTrajectoryError("STS is undefined for empty trajectories")
-        stp1 = self.stp_for(tra1)
-        stp2 = self.stp_for(tra2)
-        times = np.concatenate([tra1.timestamps, tra2.timestamps])
-        cps = colocation_batch(stp1, stp2, times)
-        return float(cps.sum()) / (len(tra1) + len(tra2))
+                return anytime_similarity(self, tra1, tra2, budget=budget).value
+            if len(tra1) == 0 or len(tra2) == 0:
+                raise DegenerateTrajectoryError("STS is undefined for empty trajectories")
+            with trace_span("sts.similarity"):
+                stp1 = self.stp_for(tra1)
+                stp2 = self.stp_for(tra2)
+                times = np.concatenate([tra1.timestamps, tra2.timestamps])
+                cps = colocation_batch(stp1, stp2, times)
+                return float(cps.sum()) / (len(tra1) + len(tra2))
+        finally:
+            self._m_calls.inc()
+            self._h_similarity.observe(perf_counter() - t0)
 
     def __call__(self, tra1: Trajectory, tra2: Trajectory) -> float:
         return self.similarity(tra1, tra2)
@@ -260,19 +310,32 @@ class STS:
             return ParallelSTS(self, n_jobs=n_jobs, backend=backend).pairwise(
                 gallery, queries, checkpoint=checkpoint, deadline=deadline
             )
-        everything = list(gallery) if queries is None else list(gallery) + list(queries)
-        self._prewarm(everything)
-        if queries is None:
-            n = len(gallery)
-            out = np.zeros((n, n))
-            for i in range(n):
-                for j in range(i, n):
-                    out[i, j] = out[j, i] = self.similarity(gallery[i], gallery[j])
-            return out
-        out = np.zeros((len(queries), len(gallery)))
-        for i, q in enumerate(queries):
-            for j, g in enumerate(gallery):
-                out[i, j] = self.similarity(q, g)
+        t_start = perf_counter()
+        with trace_span(
+            "sts.pairwise",
+            gallery=len(gallery),
+            queries=len(queries) if queries is not None else len(gallery),
+        ):
+            everything = list(gallery) if queries is None else list(gallery) + list(queries)
+            with trace_span("sts.prewarm"):
+                t0 = perf_counter()
+                self._prewarm(everything)
+                self._t_prewarm.inc(perf_counter() - t0)
+            t0 = perf_counter()
+            with trace_span("sts.pair-loop"):
+                if queries is None:
+                    n = len(gallery)
+                    out = np.zeros((n, n))
+                    for i in range(n):
+                        for j in range(i, n):
+                            out[i, j] = out[j, i] = self.similarity(gallery[i], gallery[j])
+                else:
+                    out = np.zeros((len(queries), len(gallery)))
+                    for i, q in enumerate(queries):
+                        for j, g in enumerate(gallery):
+                            out[i, j] = self.similarity(q, g)
+            self._t_pairloop.inc(perf_counter() - t0)
+        self._h_pairwise.observe(perf_counter() - t_start)
         return out
 
     def _prewarm(self, trajectories: Sequence[Trajectory]) -> None:
@@ -298,6 +361,21 @@ class STS:
             ]
             if inside.size:
                 stp.stp_batch(inside)
+
+    # Metric handles hold locks, which do not pickle; a measure shipped to
+    # a process worker rebinds to that worker's own registry on arrival.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for key in (
+            "_registry", "_m_calls", "_h_similarity", "_h_pairwise",
+            "_t_prewarm", "_t_pairloop",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_obs()
 
     def __repr__(self) -> str:
         return f"<{self.name} grid={self.grid!r} noise={self.noise_model!r} mode={self.mode!r}>"

@@ -9,11 +9,13 @@ repository's own EXPERIMENTS.md regeneration.
 from __future__ import annotations
 
 import inspect
+import re
 import time
 from dataclasses import dataclass, field
 
 from ..checkpoint import ExperimentCheckpoint
 from ..datasets.synthetic import TrajectoryDataset
+from ..obs import get_registry, trace_span
 from .experiments import (
     SweepResult,
     ablation_experiment,
@@ -42,6 +44,27 @@ _EXPERIMENTS = {
 }
 
 
+_LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def _stage_deltas(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    """Per-stage wall seconds accrued between two counter readings.
+
+    Readings come from the registry's ``repro_stage_seconds_total``
+    counter; keys are its label strings.  The delta is reported under
+    ``component/stage`` (e.g. ``"stp/bridge-interp"``).
+    """
+    deltas: dict[str, float] = {}
+    for key, value in after.items():
+        delta = value - before.get(key, 0.0)
+        if delta <= 0.0:
+            continue
+        labels = dict(_LABEL_RE.findall(key))
+        name = f"{labels.get('component', '?')}/{labels.get('stage', key)}"
+        deltas[name] = deltas.get(name, 0.0) + delta
+    return deltas
+
+
 @dataclass
 class ExperimentReport:
     """All sweep results for one corpus, plus wall-clock accounting.
@@ -50,12 +73,19 @@ class ExperimentReport:
     checkpoint instead of recomputed (empty for a clean run — and for a
     resumed run the loaded results are identical to what recomputation
     would produce, so the report content does not depend on it).
+
+    ``stage_times`` holds, per experiment, the pipeline-stage wall
+    seconds the metrics registry accumulated while that experiment ran
+    (``"stp/bridge-interp"``-style keys; empty when observability is
+    off).  For resumed experiments the breakdown is read back from the
+    journal, so it reflects the run that actually computed the result.
     """
 
     dataset: str
     results: dict[str, SweepResult] = field(default_factory=dict)
     runtimes: dict[str, float] = field(default_factory=dict)
     resumed: list[str] = field(default_factory=list)
+    stage_times: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def total_runtime(self) -> float:
@@ -99,6 +129,7 @@ def run_all_experiments(
         else None
     )
     report = ExperimentReport(dataset=dataset.name)
+    registry = get_registry()
     for exp_id, (runner, _label) in selected.items():
         if checkpoint is not None:
             stored = checkpoint.load(exp_id)
@@ -107,16 +138,29 @@ def run_all_experiments(
                 report.results[exp_id] = SweepResult.from_dict(result_dict)
                 report.runtimes[exp_id] = runtime
                 report.resumed.append(exp_id)
+                stages = checkpoint.load_stages(exp_id)
+                if stages:
+                    report.stage_times[exp_id] = stages
                 continue
         kwargs: dict = {"seed": seed}
         if n_jobs is not None and "n_jobs" in inspect.signature(runner).parameters:
             kwargs["n_jobs"] = n_jobs
+        stage_before = registry.value("repro_stage_seconds_total")
         start = time.perf_counter()
-        report.results[exp_id] = runner(dataset, **kwargs)
+        with trace_span(f"experiment.{exp_id}", dataset=dataset.name):
+            report.results[exp_id] = runner(dataset, **kwargs)
         report.runtimes[exp_id] = time.perf_counter() - start
+        stages = _stage_deltas(
+            stage_before, registry.value("repro_stage_seconds_total")
+        )
+        if stages:
+            report.stage_times[exp_id] = stages
         if checkpoint is not None:
             checkpoint.store(
-                exp_id, report.results[exp_id].to_dict(), report.runtimes[exp_id]
+                exp_id,
+                report.results[exp_id].to_dict(),
+                report.runtimes[exp_id],
+                stage_times=stages or None,
             )
     return report
 
@@ -140,4 +184,12 @@ def render_markdown(report: ExperimentReport) -> str:
             lines.append("")
         lines.append(f"_Runtime: {report.runtimes[exp_id]:.1f} s._")
         lines.append("")
+        stages = report.stage_times.get(exp_id)
+        if stages:
+            breakdown = ", ".join(
+                f"{name} {secs:.2f} s"
+                for name, secs in sorted(stages.items(), key=lambda kv: -kv[1])
+            )
+            lines.append(f"_Stage breakdown: {breakdown}._")
+            lines.append("")
     return "\n".join(lines)

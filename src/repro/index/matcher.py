@@ -11,12 +11,14 @@ pattern of spatial databases.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from ..core.grid import Grid
 from ..core.trajectory import Trajectory
 from ..eval.queries import RankedMatch
+from ..obs import get_registry, trace_span
 from ..serving.budget import Budget
 from ..serving.health import ServiceEvent, ServiceHealth
 from .filters import bounding_box_filter, cell_signature_filter, time_overlap_filter
@@ -38,6 +40,8 @@ class MatchReport:
     gallery_size: int
     candidates_scored: int
     health: ServiceHealth | None = None
+    #: Metrics snapshot taken when the query finished (None when obs is off).
+    metrics: dict | None = None
 
     @property
     def filter_rate(self) -> float:
@@ -88,6 +92,7 @@ class FilteredMatcher:
         min_time_overlap: float = 0.0,
         signature_dilation: int = 2,
         n_jobs: int | None = None,
+        registry=None,
     ):
         self.measure = measure
         self.grid = grid
@@ -95,6 +100,21 @@ class FilteredMatcher:
         self.min_time_overlap = float(min_time_overlap)
         self.signature_dilation = int(signature_dilation)
         self.n_jobs = n_jobs
+        # Share the measure's registry when it has one, so filter and
+        # refine metrics land next to the scoring metrics.
+        if registry is not None:
+            self._registry = registry
+        else:
+            self._registry = getattr(measure, "_registry", None) or get_registry()
+        candidates_counter = self._registry.counter(
+            "repro_matcher_candidates_total", "Gallery candidates by filter outcome"
+        )
+        self._m_considered = candidates_counter.child(stage="considered")
+        self._m_survived = candidates_counter.child(stage="survived")
+        self._m_scored = candidates_counter.child(stage="scored")
+        self._h_query = self._registry.histogram(
+            "repro_matcher_query_seconds", "Wall seconds per FilteredMatcher.query call"
+        ).child()
 
     # ------------------------------------------------------------------
     def candidates(self, query: Trajectory, gallery: list[Trajectory]) -> np.ndarray:
@@ -142,29 +162,40 @@ class FilteredMatcher:
             if deadline < 0:
                 raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
             budget = Budget(deadline_ms=deadline * 1000.0)
-        surviving = self.candidates(query, gallery)
-        subset = [gallery[int(i)] for i in surviving]
-        health: ServiceHealth | None = None
-        if budget is not None and budget.bounded:
-            budget.start()
-            health = ServiceHealth(deadline_ms=budget.deadline_ms)
-            keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
-            surviving = surviving[keep]
-            subset = [subset[i] for i in keep]
-        else:
-            scores = self._score_survivors(query, subset)
-        matches = [
-            RankedMatch(index=int(i), trajectory=traj, score=float(s))
-            for i, traj, s in zip(surviving, subset, scores)
-        ]
-        matches.sort(key=lambda m: -m.score)
-        if k is not None:
-            matches = matches[:k]
+        t0 = perf_counter()
+        with trace_span("matcher.query", gallery=len(gallery)):
+            surviving = self.candidates(query, gallery)
+            self._m_considered.inc(len(gallery))
+            self._m_survived.inc(int(surviving.size))
+            subset = [gallery[int(i)] for i in surviving]
+            health: ServiceHealth | None = None
+            if budget is not None and budget.bounded:
+                budget.start()
+                health = ServiceHealth(deadline_ms=budget.deadline_ms)
+                keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
+                surviving = surviving[keep]
+                subset = [subset[i] for i in keep]
+            else:
+                scores = self._score_survivors(query, subset)
+            self._m_scored.inc(int(surviving.size))
+            matches = [
+                RankedMatch(index=int(i), trajectory=traj, score=float(s))
+                for i, traj, s in zip(surviving, subset, scores)
+            ]
+            matches.sort(key=lambda m: -m.score)
+            if k is not None:
+                matches = matches[:k]
+        self._h_query.observe(perf_counter() - t0)
         return MatchReport(
             matches=matches,
             gallery_size=len(gallery),
             candidates_scored=int(surviving.size),
             health=health,
+            metrics=(
+                self._registry.snapshot()
+                if getattr(self._registry, "enabled", False)
+                else None
+            ),
         )
 
     def _score_survivors(self, query: Trajectory, subset: list[Trajectory]) -> list[float]:
@@ -202,7 +233,7 @@ class FilteredMatcher:
         from ..serving.ladder import DeadlineScorer
 
         scorer = (
-            DeadlineScorer(self.measure)
+            DeadlineScorer(self.measure, registry=self._registry)
             if hasattr(self.measure, "stp_for") and hasattr(self.measure, "grid")
             else None
         )

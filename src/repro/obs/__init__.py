@@ -1,0 +1,49 @@
+"""Zero-dependency observability: metrics, tracing, rendering.
+
+Quickstart::
+
+    from repro.obs import get_registry, trace_span
+
+    reg = get_registry()
+    calls = reg.counter("repro_sts_similarity_calls_total", "similarity() calls")
+    with trace_span("pairwise", gallery=50):
+        calls.inc()
+    print(reg.to_prometheus())
+
+Set ``REPRO_OBS=off`` (before import/construction) to disable every
+instrument and span with near-zero residual cost.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    get_registry,
+    set_enabled,
+    set_registry,
+)
+from .render import render_snapshot, validate_prometheus_text
+from .tracing import Span, Tracer, get_tracer, set_tracer, trace_span, traced
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "render_snapshot",
+    "set_enabled",
+    "set_registry",
+    "set_tracer",
+    "trace_span",
+    "traced",
+    "validate_prometheus_text",
+]

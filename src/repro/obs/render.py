@@ -1,0 +1,103 @@
+"""Human-facing rendering and validation of observability output.
+
+Two jobs live here:
+
+* :func:`render_snapshot` — pretty-print a registry snapshot (the dict
+  from :meth:`MetricsRegistry.snapshot`) for terminals and the
+  ``repro obs`` subcommand;
+* :func:`validate_prometheus_text` — a promtool-style line validator
+  for the text exposition format, used by the golden test and the CI
+  obs-smoke job (no promtool binary in the image, so we re-check the
+  grammar with regexes).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_snapshot", "validate_prometheus_text"]
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_LABEL_VALUE = r'"(?:[^"\\\n]|\\["\\n])*"'
+_LABELS = rf"\{{{_LABEL_NAME}={_LABEL_VALUE}(?:,{_LABEL_NAME}={_LABEL_VALUE})*\}}"
+_VALUE = r"(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)|[+-]?Inf|NaN)"
+
+_SAMPLE_RE = re.compile(rf"^{_METRIC_NAME}(?:{_LABELS})? {_VALUE}(?: \d+)?$")
+_HELP_RE = re.compile(rf"^# HELP {_METRIC_NAME} .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE {_METRIC_NAME} (?:counter|gauge|histogram|summary|untyped)$"
+)
+_COMMENT_RE = re.compile(r"^#(?!\s*(HELP|TYPE)\b).*$")
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Return a list of error strings; empty means the exposition parses."""
+    errors: list[str] = []
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _HELP_RE.match(line) or _TYPE_RE.match(line) or _COMMENT_RE.match(line):
+                match = re.match(rf"^# TYPE ({_METRIC_NAME}) ", line)
+                if match:
+                    name = match.group(1)
+                    if name in typed:
+                        errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+                    typed.add(name)
+                continue
+            errors.append(f"line {lineno}: malformed comment line: {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+    return errors
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_snapshot(snapshot: dict, indent: str = "  ") -> str:
+    """Render a metrics snapshot as an aligned, grouped text report."""
+    if not snapshot or not any(snapshot.get(k) for k in ("counters", "gauges", "histograms")):
+        return "(no metrics recorded)"
+    lines: list[str] = []
+
+    def section(title: str, series_map: dict) -> None:
+        if not series_map:
+            return
+        lines.append(f"{title}:")
+        for name in sorted(series_map):
+            series = series_map[name]
+            if len(series) == 1 and "" in series:
+                lines.append(f"{indent}{name} = {_format_number(series[''])}")
+            else:
+                lines.append(f"{indent}{name}")
+                for key in sorted(series):
+                    label = key if key else "(no labels)"
+                    lines.append(f"{indent * 2}{label} = {_format_number(series[key])}")
+        lines.append("")
+
+    section("counters", snapshot.get("counters", {}))
+    section("gauges", snapshot.get("gauges", {}))
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            lines.append(f"{indent}{name}")
+            for key in sorted(histograms[name]):
+                stats = histograms[name][key]
+                label = key if key else "(no labels)"
+                lines.append(
+                    f"{indent * 2}{label}: count={stats['count']} "
+                    f"sum={stats['sum']:.6g}s "
+                    f"p50={stats['p50'] * 1e3:.3f}ms "
+                    f"p95={stats['p95'] * 1e3:.3f}ms "
+                    f"p99={stats['p99'] * 1e3:.3f}ms"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

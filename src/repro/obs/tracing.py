@@ -1,0 +1,275 @@
+"""Lightweight hierarchical tracing: span trees, Chrome traces, flamegraphs.
+
+A *span* is one timed region of the pipeline — a pairwise run, one
+similarity evaluation, a worker chunk.  Spans nest: entering a span
+while another is open on the same thread makes it a child, so a run
+produces a forest of trees whose wall/CPU times explain where the
+`O(|Tra|·|Tra'|·|R|^2)` work went.
+
+The tracer is thread-aware (per-thread open-span stacks) and bounded
+(a deque of the most recent root spans), so it can stay on in serving
+loops without growing without bound.  Export paths:
+
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` JSON, load
+  in ``chrome://tracing`` / Perfetto;
+* :meth:`Tracer.flamegraph` — a rendered text flamegraph, spans merged
+  by path with inclusive wall time and call counts.
+
+Like the metrics registry, tracing honours ``REPRO_OBS=off``: the span
+context manager becomes a shared no-op.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from .registry import enabled
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "trace_span",
+    "traced",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class Span:
+    """One completed (or open) timed region."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "wall_s", "cpu_s", "tid")
+
+    def __init__(self, name: str, attrs: dict, start_s: float, tid: int):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start_s = start_s  # perf_counter offset; relative, not epoch
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.tid = tid
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the span subtree."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_s:.6f}s, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the current thread."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        self._cpu0 = time.thread_time()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        cpu = time.thread_time() - self._cpu0
+        self._tracer._close(self._span, cpu)
+        return None
+
+
+class _NullSpanContext:
+    """Shared no-op span for REPRO_OBS=off and disabled tracers."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: list = []
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects span trees per thread, keeping the last ``max_roots`` roots."""
+
+    def __init__(self, max_roots: int = 256):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span as a context manager: ``with tracer.span("x"): ...``"""
+        return _SpanContext(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str, attrs: dict) -> Span:
+        span = Span(name, attrs, time.perf_counter(), threading.get_ident())
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span, cpu_s: float) -> None:
+        span.wall_s = time.perf_counter() - span.start_s
+        span.cpu_s = cpu_s
+        stack = self._stack()
+        # Tolerate out-of-order exits (generator teardown) by unwinding.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        """Forget every recorded root span."""
+        with self._lock:
+            self._roots.clear()
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome ``trace_event`` JSON (list of complete "X" events)."""
+        events: list[dict] = []
+        roots = self.roots()
+        if not roots:
+            return events
+        t0 = min(r.start_s for r in roots)
+
+        def walk(span: Span) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start_s - t0) * 1e6,
+                    "dur": span.wall_s * 1e6,
+                    "pid": 1,
+                    "tid": span.tid,
+                    "args": dict(span.attrs, cpu_ms=round(span.cpu_s * 1e3, 3)),
+                }
+            )
+            for child in span.children:
+                walk(child)
+
+        for root in roots:
+            walk(root)
+        return events
+
+    def flamegraph(self, width: int = 72) -> str:
+        """Text flamegraph: spans merged by path, bars scaled to root time."""
+        roots = self.roots()
+        if not roots:
+            return "(no spans recorded)"
+        # Merge the forest by span-name path.
+        merged: dict[str, dict] = {}
+
+        def fold(span: Span, into: dict) -> None:
+            node = into.setdefault(
+                span.name, {"wall": 0.0, "cpu": 0.0, "count": 0, "children": {}}
+            )
+            node["wall"] += span.wall_s
+            node["cpu"] += span.cpu_s
+            node["count"] += 1
+            for child in span.children:
+                fold(child, node["children"])
+
+        for root in roots:
+            fold(root, merged)
+        total = sum(node["wall"] for node in merged.values()) or 1.0
+        lines: list[str] = []
+
+        def render(name: str, node: dict, depth: int) -> None:
+            bar = max(1, int(round(width * node["wall"] / total)))
+            lines.append(
+                f"{'  ' * depth}{'█' * bar} {name}  "
+                f"{node['wall'] * 1e3:.2f} ms  (x{node['count']}, cpu {node['cpu'] * 1e3:.2f} ms)"
+            )
+            for child_name in sorted(
+                node["children"], key=lambda n: -node["children"][n]["wall"]
+            ):
+                render(child_name, node["children"][child_name], depth + 1)
+
+        for name in sorted(merged, key=lambda n: -merged[n]["wall"]):
+            render(name, merged[name], 0)
+        return "\n".join(lines)
+
+    # Tracers may ride along on objects shipped to process workers; the
+    # worker restarts with an empty tracer (locks do not pickle).
+    def __getstate__(self) -> dict:
+        return {"maxlen": self._roots.maxlen}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(max_roots=state.get("maxlen") or 256)
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _DEFAULT_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide default tracer; returns the previous one."""
+    global _DEFAULT_TRACER
+    previous = _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer
+    return previous
+
+
+def trace_span(name: str, **attrs):
+    """Open a span on the default tracer (no-op when REPRO_OBS=off)."""
+    if not enabled():
+        return _NULL_SPAN
+    return _DEFAULT_TRACER.span(name, **attrs)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form: ``@traced("stage")`` or bare ``@traced()``."""
+
+    def wrap(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            with trace_span(span_name):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap

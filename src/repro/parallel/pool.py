@@ -43,11 +43,14 @@ def _init_worker(measure, gallery, queries) -> None:
 
 def _score_chunk(pairs: Sequence[tuple[int, int]]) -> list[tuple[int, int, float]]:
     """Score one chunk of index pairs against the worker's state."""
+    from ..obs import trace_span
+
     measure = _WORKER_STATE["measure"]
     gallery = _WORKER_STATE["gallery"]
     queries = _WORKER_STATE["queries"]
     rows = gallery if queries is None else queries
-    return [(i, j, measure.similarity(rows[i], gallery[j])) for i, j in pairs]
+    with trace_span("parallel.chunk", pairs=len(pairs)):
+        return [(i, j, measure.similarity(rows[i], gallery[j])) for i, j in pairs]
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:

@@ -24,12 +24,14 @@ resumes from the last good state — see :mod:`repro.checkpoint`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..checkpoint import PairwiseCheckpoint
 from ..core.trajectory import Trajectory
+from ..obs import get_registry, trace_span
 from .pool import chunk_pairs, resolve_n_jobs
 from .supervisor import RunHealth, SupervisedExecutor
 
@@ -86,6 +88,7 @@ class ParallelSTS:
         backoff_max: float = 2.0,
         on_error: str = "raise",
         validate_scores: bool = True,
+        registry=None,
     ):
         self.measure = measure
         self.n_jobs = resolve_n_jobs(n_jobs)
@@ -99,6 +102,15 @@ class ParallelSTS:
         self.on_error = on_error
         self.validate_scores = bool(validate_scores)
         self.last_health: RunHealth | None = None
+        # Share the measure's registry when it has one, so parallel and
+        # serial metrics land in one place.
+        if registry is not None:
+            self._registry = registry
+        else:
+            self._registry = getattr(measure, "_registry", None) or get_registry()
+        self._h_pairwise = self._registry.histogram(
+            "repro_pairwise_seconds", "Wall seconds per pairwise() call"
+        ).child()
 
     # ------------------------------------------------------------------
     def similarity(self, tra1: Trajectory, tra2: Trajectory) -> float:
@@ -189,11 +201,22 @@ class ParallelSTS:
             on_error=self.on_error,
             validate_scores=self.validate_scores,
             deadline=deadline,
+            registry=self._registry,
         )
         self.last_health = supervisor.health
-        results = supervisor.run(
-            chunks, done=done, on_chunk_done=ckpt.record if ckpt is not None else None
-        )
+        t0 = perf_counter()
+        with trace_span(
+            "parallel.pairwise",
+            n_jobs=self.n_jobs,
+            backend=backend,
+            chunks=len(chunks),
+        ):
+            results = supervisor.run(
+                chunks, done=done, on_chunk_done=ckpt.record if ckpt is not None else None
+            )
+        self._h_pairwise.observe(perf_counter() - t0)
+        if getattr(self._registry, "enabled", False):
+            supervisor.health.metrics = self._registry.snapshot()
         if ckpt is not None:
             ckpt.flush()
         for k in range(len(chunks)):

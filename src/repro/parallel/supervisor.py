@@ -48,6 +48,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import ScoreCorruptionError, validate_policy
+from ..obs import get_registry
 from .pool import _init_worker, _score_chunk, make_executor
 
 __all__ = ["ChunkEvent", "RunHealth", "SupervisedExecutor"]
@@ -94,6 +95,8 @@ class RunHealth:
     backends_used: list[str] = field(default_factory=list)
     degradations: list[str] = field(default_factory=list)
     events: list[ChunkEvent] = field(default_factory=list)
+    #: Metrics snapshot taken when the run finished (None when obs is off).
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -134,6 +137,7 @@ class RunHealth:
                 }
                 for e in self.events
             ],
+            "metrics": self.metrics,
         }
 
     def summary(self) -> str:
@@ -231,6 +235,7 @@ class SupervisedExecutor:
         deadline: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        registry=None,
     ):
         if backend not in self._LADDERS:
             raise ValueError(
@@ -255,6 +260,21 @@ class SupervisedExecutor:
         self.health = RunHealth(backend_requested=backend)
         self._attempts: dict[int, int] = defaultdict(int)
         self._deadline_at: float | None = None
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        chunk_counter = reg.counter(
+            "repro_supervisor_chunks_total",
+            "Chunk lifecycle events in the supervised executor",
+        )
+        self._m_queued = chunk_counter.child(event="queued")
+        self._m_completed = chunk_counter.child(event="completed")
+        self._m_retried = chunk_counter.child(event="retried")
+        self._m_shed = chunk_counter.child(event="shed")
+        self._m_resumed = chunk_counter.child(event="resumed")
+        self._m_degradations = reg.counter(
+            "repro_supervisor_degradations_total",
+            "Backend ladder step-downs (process->thread->serial)",
+        )
 
     # ------------------------------------------------------------------
     def _remaining(self) -> float | None:
@@ -286,6 +306,7 @@ class SupervisedExecutor:
                 continue
             results[k] = [(i, j, float("nan")) for i, j in chunks[k]]
             health.skipped_pairs += len(chunks[k])
+            self._m_shed.inc()
             health.record(
                 ChunkEvent(
                     k,
@@ -316,6 +337,10 @@ class SupervisedExecutor:
         health.n_chunks = len(chunks)
         health.resumed_chunks = len(results)
         todo = [k for k in range(len(chunks)) if k not in results]
+        if results:
+            self._m_resumed.inc(len(results))
+        if todo:
+            self._m_queued.inc(len(todo))
         if self.deadline is not None and self._deadline_at is None:
             self._deadline_at = self.clock() + self.deadline
 
@@ -343,6 +368,7 @@ class SupervisedExecutor:
             health.retries += 1
             for k, kind, detail in failed:
                 self._attempts[k] += 1
+                self._m_retried.inc()
                 health.record(
                     ChunkEvent(k, self._attempts[k], backend, kind, detail)
                 )
@@ -351,6 +377,7 @@ class SupervisedExecutor:
             ):
                 next_backend = ladder[rung + 1]
                 health.degradations.append(f"{backend}->{next_backend}")
+                self._m_degradations.inc(step=f"{backend}->{next_backend}")
                 rung += 1
                 rounds_on_rung = 0
             else:
@@ -446,6 +473,7 @@ class SupervisedExecutor:
                     else:
                         if self._validate(triples):
                             results[k] = triples
+                            self._m_completed.inc()
                             if on_chunk_done is not None:
                                 on_chunk_done(k, triples)
                         else:
@@ -510,6 +538,7 @@ class SupervisedExecutor:
                     )
                 )
             results[k] = triples
+            self._m_completed.inc()
             if on_chunk_done is not None:
                 on_chunk_done(k, triples)
 

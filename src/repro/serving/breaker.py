@@ -62,6 +62,15 @@ class CircuitBreaker:
             raise ValueError(f"threshold must be >= 1, got {self.threshold}")
         if self.cooldown_base <= 0 or self.cooldown_max <= 0:
             raise ValueError("cooldowns must be positive")
+        from ..obs import get_registry
+
+        transitions = get_registry().counter(
+            "repro_breaker_transitions_total", "Circuit-breaker state transitions"
+        )
+        # Plain attributes (not dataclass fields) so repr/eq stay unchanged.
+        self._m_open = transitions.child(state="open")
+        self._m_half_open = transitions.child(state="half-open")
+        self._m_closed = transitions.child(state="closed")
 
     # ------------------------------------------------------------------
     def allow(self, key: Hashable) -> bool:
@@ -71,6 +80,8 @@ class CircuitBreaker:
             return True
         if self.clock() >= state.open_until:
             # Cooldown over: admit one probe (half-open).
+            if not state.half_open:
+                self._m_half_open.inc()
             state.half_open = True
             return True
         return False
@@ -88,11 +99,13 @@ class CircuitBreaker:
             state.open_until = self.clock() + cooldown
             state.consecutive_timeouts = 0
             state.half_open = False
+            self._m_open.inc()
         return tripped
 
     def record_success(self, key: Hashable) -> None:
         """A completed attempt closes the breaker and forgets its history."""
-        self._states.pop(key, None)
+        if self._states.pop(key, None) is not None:
+            self._m_closed.inc()
 
     def is_open(self, key: Hashable) -> bool:
         """Whether ``key`` is currently rejecting attempts."""

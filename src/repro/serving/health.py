@@ -54,6 +54,8 @@ class ServiceHealth:
     breaker_trips: int = 0  # breakers newly tripped during this call
     rungs: list[str] = field(default_factory=list)
     events: list[ServiceEvent] = field(default_factory=list)
+    #: Metrics snapshot taken when the call finished (None when obs is off).
+    metrics: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +98,7 @@ class ServiceHealth:
                 {"kind": e.kind, "subject": e.subject, "detail": e.detail}
                 for e in self.events
             ],
+            "metrics": self.metrics,
         }
 
     def summary(self) -> str:

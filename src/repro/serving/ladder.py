@@ -33,10 +33,12 @@ The per-pair rung taken is recorded through
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 from ..core.sts import STS
 from ..core.trajectory import Trajectory
+from ..obs import get_registry, trace_span
 from .anytime import AnytimeScore, anytime_similarity, filter_only_estimate
 from .budget import Budget
 from .health import ServiceHealth
@@ -64,6 +66,10 @@ class DeadlineScorer:
         computing rung (``1 + len(coarse_factors)`` of them).
     batch_size:
         Terms per anytime batch; bounds the deadline overshoot.
+    registry:
+        Metrics registry receiving per-rung counters and scoring-latency
+        histograms.  Defaults to the wrapped measure's registry so batch
+        and serving metrics land in one place.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class DeadlineScorer:
         coarse_factors: Sequence[int] = (2, 4),
         rung_fractions: Sequence[float] | None = None,
         batch_size: int = 32,
+        registry=None,
     ):
         if rung_fractions is None:
             rung_fractions = DEFAULT_RUNG_FRACTIONS[: 1 + len(coarse_factors)]
@@ -88,6 +95,19 @@ class DeadlineScorer:
         self.rung_fractions = tuple(float(f) for f in rung_fractions)
         self.batch_size = batch_size
         self._coarse: dict[int, STS] = {}
+        if registry is not None:
+            self._registry = registry
+        else:
+            self._registry = getattr(measure, "_registry", None) or get_registry()
+        rung_counter = self._registry.counter(
+            "repro_ladder_rung_total", "Degradation-ladder rungs taken per pair"
+        )
+        self._m_rung = {
+            rung: rung_counter.child(rung=rung) for rung in self.rungs
+        }
+        self._h_score = self._registry.histogram(
+            "repro_serving_score_seconds", "Wall seconds per DeadlineScorer.score call"
+        ).child()
 
     # ------------------------------------------------------------------
     def coarse_measure(self, factor: int) -> STS:
@@ -100,6 +120,7 @@ class DeadlineScorer:
                 transition=self.measure._transition_factory,
                 mode=self.measure.mode,
                 stp_cache_size=self.measure.stp_cache_size,
+                registry=self._registry,
             )
             measure.name = f"{self.measure.name}@{factor}x"
             self._coarse[factor] = measure
@@ -120,11 +141,32 @@ class DeadlineScorer:
         subject: str = "",
     ) -> AnytimeScore:
         """Score one pair within ``budget``, descending rungs as needed."""
+        t0 = perf_counter()
+        try:
+            with trace_span("serving.score"):
+                return self._score_inner(tra1, tra2, budget, health, subject)
+        finally:
+            self._h_score.observe(perf_counter() - t0)
+
+    def _count_rung(self, rung: str) -> None:
+        handle = self._m_rung.get(rung)
+        if handle is not None:
+            handle.inc()
+
+    def _score_inner(
+        self,
+        tra1: Trajectory,
+        tra2: Trajectory,
+        budget: Budget | None,
+        health: ServiceHealth | None,
+        subject: str,
+    ) -> AnytimeScore:
         budget = (budget if budget is not None else Budget.unbounded()).start()
         if not budget.bounded:
             result = anytime_similarity(
                 self.measure, tra1, tra2, budget=budget, batch_size=self.batch_size
             )
+            self._count_rung(result.rung)
             if health is not None:
                 health.take_rung(result.rung, subject)
             return result
@@ -145,6 +187,7 @@ class DeadlineScorer:
             if result.completed:
                 if rung != "full":
                     result = self._with_filter_bounds(result, tra1, tra2, budget)
+                self._count_rung(rung)
                 if health is not None:
                     health.take_rung(rung, subject, f"completed in {result.elapsed_ms:.1f} ms")
                 return self._stamped(result, budget)
@@ -158,6 +201,7 @@ class DeadlineScorer:
             chosen = best_partial
         else:
             chosen = fallback
+        self._count_rung(chosen.rung)
         if health is not None:
             health.take_rung(
                 chosen.rung,

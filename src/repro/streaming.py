@@ -39,11 +39,14 @@ from dataclasses import dataclass
 from math import isfinite
 from typing import Callable
 
+from time import perf_counter
+
 from .core.grid import Grid
 from .core.noise import GaussianNoiseModel, NoiseModel
 from .core.sts import STS
 from .core.trajectory import Trajectory, TrajectoryPoint
 from .errors import MalformedRecordError, ReproError, validate_policy
+from .obs import get_registry, trace_span
 from .serving.breaker import CircuitBreaker
 from .serving.budget import Budget
 from .serving.health import ServiceEvent, ServiceHealth
@@ -134,6 +137,7 @@ class StreamingColocationDetector:
         max_pending: int | None = None,
         breaker: CircuitBreaker | None = None,
         measure_factory: Callable[[], STS] | None = None,
+        registry=None,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
@@ -158,6 +162,27 @@ class StreamingColocationDetector:
         self.shed_events = 0
         #: :class:`~repro.serving.ServiceHealth` of the last evaluation.
         self.last_health: ServiceHealth | None = None
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        events_counter = reg.counter(
+            "repro_stream_events_total", "Sighting events by ingest outcome"
+        )
+        self._m_ingested = events_counter.child(outcome="ingested")
+        self._m_malformed = events_counter.child(outcome="malformed")
+        self._m_evt_shed = events_counter.child(outcome="shed")
+        self._m_late = events_counter.child(outcome="late")
+        self._h_evaluate = reg.histogram(
+            "repro_stream_evaluate_seconds", "Wall seconds per evaluate() call"
+        ).child()
+        reg.register_collector(self._collect_gauge_samples)
+
+    def _collect_gauge_samples(self):
+        """Snapshot-time queue-depth / active-window gauges."""
+        active = sum(1 for win in self._windows.values() if win)
+        return [
+            ("gauge", "repro_stream_queue_depth", {}, len(self._pending)),
+            ("gauge", "repro_stream_active_windows", {}, active),
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -194,6 +219,7 @@ class StreamingColocationDetector:
         """
         if self.max_pending is not None and len(self._pending) >= self.max_pending:
             self.shed_events += 1
+            self._m_evt_shed.inc()
             if self._pending and self._pending[0].t <= event.t:
                 self._pending.popleft()
             else:
@@ -230,11 +256,14 @@ class StreamingColocationDetector:
                     f"x={event.x}, y={event.y}, t={event.t}"
                 )
             self.malformed_dropped += 1
+            self._m_malformed.inc()
             return
         self._now = max(self._now, event.t)
         horizon = self._now - self.window
         if event.t < horizon:
+            self._m_late.inc()
             return
+        self._m_ingested.inc()
         window = self._windows.setdefault(event.object_id, deque())
         window.append(TrajectoryPoint(event.x, event.y, event.t))
         # Keep the window time-sorted under slight out-of-order arrival.
@@ -313,7 +342,9 @@ class StreamingColocationDetector:
         """Score ``pairs`` in order under ``budget``; the shared engine of
         :meth:`evaluate` and :meth:`companions_of`."""
         measure = self._make_measure()
-        scorer = DeadlineScorer(measure) if budget.bounded else None
+        scorer = (
+            DeadlineScorer(measure, registry=self._registry) if budget.bounded else None
+        )
         scores: list[PairScore] = []
         for idx, (a, b) in enumerate(pairs):
             if budget.bounded and budget.expired():
@@ -412,14 +443,21 @@ class StreamingColocationDetector:
         partial bounds, shed pairs, breaker activity — is in
         :attr:`last_health` after the call.
         """
-        self.drain()
-        budget = self._resolve_budget(deadline, budget)
-        windows = self._collect_windows()
-        health = self._new_health(budget, windows)
-        scorable = sorted(oid for oid, w in windows.items() if len(w) >= self.min_points)
-        pairs = [(a, b) for i, a in enumerate(scorable) for b in scorable[i + 1 :]]
-        pairs = self._freshest_first(pairs, windows)
-        scores = self._score_pairs(pairs, windows, budget, health, threshold)
+        t0 = perf_counter()
+        with trace_span("stream.evaluate"):
+            self.drain()
+            budget = self._resolve_budget(deadline, budget)
+            windows = self._collect_windows()
+            health = self._new_health(budget, windows)
+            scorable = sorted(
+                oid for oid, w in windows.items() if len(w) >= self.min_points
+            )
+            pairs = [(a, b) for i, a in enumerate(scorable) for b in scorable[i + 1 :]]
+            pairs = self._freshest_first(pairs, windows)
+            scores = self._score_pairs(pairs, windows, budget, health, threshold)
+        self._h_evaluate.observe(perf_counter() - t0)
+        if getattr(self._registry, "enabled", False):
+            health.metrics = self._registry.snapshot()
         self.last_health = health
         return scores
 

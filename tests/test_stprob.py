@@ -210,11 +210,23 @@ class TestFrequencyBackend:
 class TestCacheStats:
     def test_counts_grow_with_queries_and_reset_on_clear(self, grid, walker):
         stp = make_stp(walker, grid)
-        assert all(v == 0 for v in stp.cache_stats().values())
+        assert all(s["size"] == 0 for s in stp.cache_stats().values())
         stp.stp(2.5)
         stp.stp(7.5)
         stats = stp.cache_stats()
-        assert stats["results"] == 2
-        assert sum(stats.values()) > 2  # kernels/planes memoized too
+        assert stats["results"]["size"] == 2
+        assert sum(s["size"] for s in stats.values()) > 2  # kernels/planes too
         stp.clear_cache()
-        assert all(v == 0 for v in stp.cache_stats().values())
+        assert all(s["size"] == 0 for s in stp.cache_stats().values())
+
+    def test_stats_report_capacity_and_hit_miss_eviction(self, grid, walker):
+        stp = make_stp(walker, grid)
+        stp.stp(2.5)
+        stp.stp(2.5)  # second query hits the result cache
+        stats = stp.cache_stats()
+        results = stats["results"]
+        assert set(results) == {"size", "max", "hits", "misses", "evictions"}
+        assert results["max"] == 4096
+        assert results["hits"] >= 1
+        assert results["misses"] >= 1
+        assert results["evictions"] == 0
