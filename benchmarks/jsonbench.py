@@ -18,7 +18,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
 
-__all__ = ["REPO_ROOT", "HISTORY_LIMIT", "time_config", "write_report"]
+__all__ = ["REPO_ROOT", "HISTORY_LIMIT", "time_config", "time_paired", "write_report"]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -42,20 +42,7 @@ def _git_sha() -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
-def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> dict:
-    """Wall-clock stats of ``repeats`` runs of ``fn`` (seconds).
-
-    ``warmup`` extra runs are executed first and discarded — use 1 for
-    paths with one-time process-level setup (FFT plan caches, KDE lookup
-    tables) when steady-state cost is the quantity of interest.
-    """
-    for _ in range(warmup):
-        fn()
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
+def _stats(times: list[float]) -> dict:
     ordered = sorted(times)
 
     def percentile(q: float) -> float:
@@ -67,7 +54,7 @@ def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> 
         return ordered[lo] + (pos - lo) * (ordered[hi] - ordered[lo])
 
     return {
-        "repeats": repeats,
+        "repeats": len(times),
         "mean_s": sum(times) / len(times),
         "p50_s": percentile(0.50),
         "p95_s": percentile(0.95),
@@ -75,6 +62,55 @@ def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> 
         "max_s": ordered[-1],
         "times_s": times,
     }
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_config(fn: Callable[[], object], repeats: int = 3, warmup: int = 0) -> dict:
+    """Wall-clock stats of ``repeats`` runs of ``fn`` (seconds).
+
+    ``warmup`` extra runs are executed first and discarded — use 1 for
+    paths with one-time process-level setup (FFT plan caches, KDE lookup
+    tables) when steady-state cost is the quantity of interest.
+    """
+    for _ in range(warmup):
+        fn()
+    return _stats([_timed(fn) for _ in range(repeats)])
+
+
+def time_paired(
+    fn_a: Callable[[], object],
+    fn_b: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 0,
+) -> tuple[dict, dict]:
+    """Interleaved A/B stats for two variants of the same workload.
+
+    When the expected difference between two configurations is small
+    relative to machine drift (thermal throttling, noisy-neighbour load
+    on shared runners), timing them in separate blocks attributes the
+    drift to whichever ran later.  Here every round runs both callables
+    back-to-back, alternating which goes first (ABBA ordering), so slow
+    drift lands on both sides equally and the *difference* stays
+    meaningful.  Returns ``(stats_a, stats_b)``, each shaped exactly
+    like :func:`time_config`'s result.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    times_a: list[float] = []
+    times_b: list[float] = []
+    for k in range(repeats):
+        order = [(fn_a, times_a), (fn_b, times_b)]
+        if k % 2:
+            order.reverse()
+        for fn, sink in order:
+            sink.append(_timed(fn))
+    return _stats(times_a), _stats(times_b)
 
 
 def write_report(filename: str, payload: dict) -> Path:
@@ -85,6 +121,12 @@ def write_report(filename: str, payload: dict) -> Path:
     list (carried over from the existing file, bounded to the last
     :data:`HISTORY_LIMIT` runs), so regressions can be traced to a
     commit without a separate tracking database.
+
+    Consecutive runs on the *same commit* collapse into one record (the
+    newest wins): re-running a bench while iterating locally refreshes
+    the tail entry instead of flushing real per-commit history out of
+    the bounded window.  Records without a SHA (outside a checkout) are
+    never collapsed — there is no evidence they are the same code.
     """
     payload = dict(payload)
     payload.setdefault(
@@ -113,7 +155,14 @@ def write_report(filename: str, payload: dict) -> Path:
             for label, stats in configs.items()
             if isinstance(stats, dict) and "mean_s" in stats
         }
-    history.append(record)
+    if (
+        history
+        and record["git_sha"] is not None
+        and history[-1].get("git_sha") == record["git_sha"]
+    ):
+        history[-1] = record
+    else:
+        history.append(record)
     payload["history"] = history[-HISTORY_LIMIT:]
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

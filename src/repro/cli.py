@@ -104,8 +104,38 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--size", type=int, default=30, help="number of trajectories")
     common.add_argument("--seed", type=int, default=0)
 
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="parallel workers for score matrices (-1 = all available CPUs; "
+        "default: serial)",
+    )
+    perf.add_argument(
+        "--shm",
+        dest="shm",
+        action="store_true",
+        default=None,
+        help="force the shared-memory corpus broadcast for parallel scoring "
+        "(default: auto — used whenever the process backend is)",
+    )
+    perf.add_argument(
+        "--no-shm",
+        dest="shm",
+        action="store_false",
+        help="disable the shared-memory broadcast (pickle the corpus per worker)",
+    )
+    perf.add_argument(
+        "--chunking",
+        choices=["count", "cost"],
+        default=None,
+        help="chunk balancing for parallel scoring: equal pair counts "
+        "(count, default) or near-equal estimated cost (|T1|·|T2|)",
+    )
+
     matching = sub.add_parser(
-        "matching", parents=[common], help="run the trajectory-matching task"
+        "matching", parents=[common, perf], help="run the trajectory-matching task"
     )
     matching.add_argument(
         "--methods",
@@ -125,7 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True, help="output CSV path")
 
     report = sub.add_parser(
-        "report", parents=[common], help="run all experiments, write markdown report"
+        "report",
+        parents=[common, perf],
+        help="run all experiments, write markdown report",
     )
     report.add_argument("--out", default=None, help="output path (default: stdout)")
     report.add_argument(
@@ -148,7 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     link = sub.add_parser(
-        "link", parents=[on_error], help="link query trajectories to a gallery (STS)"
+        "link",
+        parents=[on_error, perf],
+        help="link query trajectories to a gallery (STS)",
     )
     link.add_argument("--queries", required=True, help="queries CSV (object_id,x,y,t)")
     link.add_argument("--gallery", required=True, help="gallery CSV (object_id,x,y,t)")
@@ -227,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_parallel_flags(args) -> None:
+    """Install the --shm/--chunking choices as process-wide defaults."""
+    shm = getattr(args, "shm", None)
+    chunking = getattr(args, "chunking", None)
+    if shm is not None or chunking is not None:
+        from .parallel import set_parallel_defaults
+
+        set_parallel_defaults(shm=shm, chunking=chunking)
+
+
 def _load_corpus(path: str, on_error: str) -> list:
     """Load a CSV corpus through the sanitization gate, reporting skips."""
     trajectories, io_report = load_trajectories_csv_report(path, on_error=on_error)
@@ -256,19 +300,32 @@ def _run_link(args) -> int:
     if not queries or not gallery:
         raise SystemExit("link: queries and gallery must both be non-empty")
     measure = _grid_and_measure(queries + gallery, args.cell, args.sigma)
-    matcher = FilteredMatcher(measure, grid=measure.grid, spatial_slack=8.0 * args.sigma)
+    _apply_parallel_flags(args)
+    parallel = args.n_jobs is not None and args.n_jobs != 1
+    # With several queries against one gallery, a persistent pool pays
+    # the gallery broadcast once and reuses warm workers per query.
+    matcher = FilteredMatcher(
+        measure,
+        grid=measure.grid,
+        spatial_slack=8.0 * args.sigma,
+        n_jobs=args.n_jobs,
+        shm=args.shm,
+        chunking=args.chunking,
+        persistent_pool=parallel and len(queries) > 1,
+    )
     bounded = args.deadline_ms is not None or args.max_rss_mb is not None
-    for query in queries:
-        budget = None
-        if bounded:
-            from .serving import Budget
+    with matcher:
+        for query in queries:
+            budget = None
+            if bounded:
+                from .serving import Budget
 
-            budget = Budget(deadline_ms=args.deadline_ms, max_rss_mb=args.max_rss_mb)
-        report = matcher.query(query, gallery, k=args.top, budget=budget)
-        best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
-        print(f"{query.object_id}: {best}   [{report}]")
-        if report.health is not None and not report.health.ok:
-            print(f"  health: {report.health.summary()}", file=sys.stderr)
+                budget = Budget(deadline_ms=args.deadline_ms, max_rss_mb=args.max_rss_mb)
+            report = matcher.query(query, gallery, k=args.top, budget=budget)
+            best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
+            print(f"{query.object_id}: {best}   [{report}]")
+            if report.health is not None and not report.health.ok:
+                print(f"  health: {report.health.summary()}", file=sys.stderr)
     return 0
 
 
@@ -439,8 +496,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             grid, corpus, dataset.location_error, include=args.methods
         )
         print(f"matching task on {dataset.name} (n={len(d1)} queries)")
+        _apply_parallel_flags(args)
         for measure in measures.values():
-            print(f"  {evaluate_matching(measure, d1, d2)}")
+            print(f"  {evaluate_matching(measure, d1, d2, n_jobs=args.n_jobs)}")
         return 0
 
     if args.command == "experiment":
@@ -451,8 +509,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "report":
+        _apply_parallel_flags(args)
         report = run_all_experiments(
-            dataset, seed=args.seed, only=args.only, checkpoint_dir=args.checkpoint_dir
+            dataset,
+            seed=args.seed,
+            only=args.only,
+            n_jobs=args.n_jobs,
+            checkpoint_dir=args.checkpoint_dir,
         )
         if report.resumed:
             print(

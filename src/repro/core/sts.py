@@ -281,6 +281,8 @@ class STS:
         backend: str = "auto",
         checkpoint: str | None = None,
         deadline: float | None = None,
+        shm: bool | str | None = None,
+        chunking: str | None = None,
     ) -> np.ndarray:
         """Similarity matrix between two trajectory collections.
 
@@ -295,9 +297,16 @@ class STS:
         pool is supervised: dead/hung workers are retried and the backend
         degrades rather than failing the run.
 
+        ``shm`` controls the corpus transport for the process backend:
+        ``"auto"`` (default) broadcasts the trajectories once through a
+        shared-memory arena instead of pickling them per worker;
+        ``False`` forces the pickling path.  ``chunking="cost"`` balances
+        chunks by estimated per-pair work instead of pair count.
+
         ``checkpoint`` names a chunk journal file (atomic write-rename);
         an interrupted run pointed at the same file resumes from the last
-        completed chunk.  Resume requires the same ``n_jobs``.
+        completed chunk.  Resume requires the same ``n_jobs`` and
+        ``chunking``.
 
         ``deadline`` caps the whole call at that many wall-clock seconds;
         pairs not scored in time come back NaN (see
@@ -307,9 +316,9 @@ class STS:
         if (n_jobs is not None and n_jobs != 1) or checkpoint is not None or deadline is not None:
             from ..parallel import ParallelSTS
 
-            return ParallelSTS(self, n_jobs=n_jobs, backend=backend).pairwise(
-                gallery, queries, checkpoint=checkpoint, deadline=deadline
-            )
+            return ParallelSTS(
+                self, n_jobs=n_jobs, backend=backend, shm=shm, chunking=chunking
+            ).pairwise(gallery, queries, checkpoint=checkpoint, deadline=deadline)
         t_start = perf_counter()
         with trace_span(
             "sts.pairwise",

@@ -73,7 +73,11 @@ class Trajectory:
     Instances are immutable: transformations (slicing, resampling,
     distortion) return new trajectories.  Points are stored both as a tuple
     of :class:`TrajectoryPoint` (for ergonomic iteration) and as dense numpy
-    arrays (for the vectorized math in :mod:`repro.core.stprob`).
+    arrays (for the vectorized math in :mod:`repro.core.stprob`).  The
+    point tuple is materialized lazily when the trajectory was built from
+    arrays (:meth:`from_views`), so array-backed trajectories — e.g. the
+    zero-copy shared-memory views of :mod:`repro.parallel.shm` — never
+    allocate per-point objects unless something iterates them.
 
     Parameters
     ----------
@@ -83,14 +87,27 @@ class Trajectory:
         Optional identifier of the moving object (taxi id, MAC address, ...).
     """
 
-    __slots__ = ("_points", "_xy", "_t", "object_id")
+    __slots__ = ("_points_cache", "_xy", "_t", "object_id")
 
     def __init__(self, points: Iterable[TrajectoryPoint], object_id: str | None = None):
         pts = sorted(points, key=lambda p: p.t)
-        self._points: tuple[TrajectoryPoint, ...] = tuple(pts)
+        self._points_cache: tuple[TrajectoryPoint, ...] | None = tuple(pts)
         self._xy = np.array([(p.x, p.y) for p in pts], dtype=float).reshape(len(pts), 2)
         self._t = np.array([p.t for p in pts], dtype=float)
         self.object_id = object_id
+
+    @property
+    def _points(self) -> tuple[TrajectoryPoint, ...]:
+        """The point tuple, materialized on first access for array-backed
+        trajectories (the arrays are the source of truth either way)."""
+        pts = self._points_cache
+        if pts is None:
+            pts = tuple(
+                TrajectoryPoint(float(x), float(y), float(t))
+                for (x, y), t in zip(self._xy, self._t)
+            )
+            self._points_cache = pts
+        return pts
 
     # ------------------------------------------------------------------
     # Constructors
@@ -111,11 +128,49 @@ class Trajectory:
         points = [TrajectoryPoint(float(x), float(y), float(t)) for x, y, t in zip(xs, ys, ts)]
         return cls(points, object_id=object_id)
 
+    @classmethod
+    def from_views(
+        cls,
+        xy: np.ndarray,
+        t: np.ndarray,
+        object_id: str | None = None,
+    ) -> "Trajectory":
+        """Adopt pre-validated arrays **without copying** them.
+
+        ``xy`` must be ``(n, 2)`` float64 and ``t`` ``(n,)`` float64,
+        already sorted by timestamp and all-finite — exactly the invariant
+        an existing trajectory's :attr:`xy` / :attr:`timestamps` satisfy.
+        The arrays are adopted as-is (they may be views into a shared
+        memory block — see :class:`repro.parallel.shm.SharedTrajectoryArena`),
+        and the :class:`TrajectoryPoint` tuple is materialized lazily, so
+        construction allocates nothing per point.
+
+        This is a trusted fast path: it performs shape/dtype checks only.
+        Data from untrusted sources belongs in :meth:`from_arrays`, which
+        validates finiteness point by point.
+        """
+        xy = np.asarray(xy)
+        t = np.asarray(t)
+        if xy.ndim != 2 or xy.shape[1] != 2 or t.ndim != 1 or len(xy) != len(t):
+            raise ValueError(
+                f"from_views needs xy (n, 2) and t (n,), got {xy.shape} and {t.shape}"
+            )
+        if xy.dtype != np.float64 or t.dtype != np.float64:
+            raise ValueError(
+                f"from_views needs float64 arrays, got {xy.dtype} and {t.dtype}"
+            )
+        self = cls.__new__(cls)
+        self._points_cache = None
+        self._xy = xy
+        self._t = t
+        self.object_id = object_id
+        return self
+
     # ------------------------------------------------------------------
     # Sequence protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._t)
 
     def __iter__(self) -> Iterator[TrajectoryPoint]:
         return iter(self._points)
@@ -135,7 +190,7 @@ class Trajectory:
 
     def __repr__(self) -> str:
         oid = f" id={self.object_id!r}" if self.object_id is not None else ""
-        span = f" span=[{self.start_time:.1f}, {self.end_time:.1f}]" if self._points else ""
+        span = f" span=[{self.start_time:.1f}, {self.end_time:.1f}]" if len(self._t) else ""
         return f"<Trajectory n={len(self)}{oid}{span}>"
 
     # ------------------------------------------------------------------
@@ -182,7 +237,7 @@ class Trajectory:
 
     def covers_time(self, t: float) -> bool:
         """Whether ``t`` falls within ``[t_1, t_n]``."""
-        return bool(self._points) and self.start_time <= t <= self.end_time
+        return len(self._t) > 0 and self.start_time <= t <= self.end_time
 
     def index_of_time(self, t: float) -> int | None:
         """Index of the observation taken exactly at ``t``, or ``None``."""
@@ -273,7 +328,7 @@ class Trajectory:
 
     # ------------------------------------------------------------------
     def _require_nonempty(self) -> None:
-        if not self._points:
+        if not len(self._t):
             raise DegenerateTrajectoryError("operation requires a non-empty trajectory")
 
 

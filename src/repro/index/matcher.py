@@ -82,6 +82,21 @@ class FilteredMatcher:
         exposing the STS-style ``pairwise(..., n_jobs=...)`` entry point
         (see :class:`repro.parallel.ParallelSTS`).  ``None``/``1`` scores
         serially — still through the batched path when available.
+    shm, chunking:
+        Transport and chunk-balancing policy for parallel refine, passed
+        through to :class:`~repro.parallel.ParallelSTS` (``shm="auto"``
+        broadcasts the corpus through a shared-memory arena;
+        ``chunking="cost"`` balances chunks by estimated pair cost).
+    persistent_pool:
+        Keep one warm worker pool (and the gallery's shared-memory
+        arena) alive across :meth:`query` calls — the serving pattern:
+        the gallery is broadcast once, then every query ships only its
+        own trajectory plus surviving indices.  Call :meth:`close` (or
+        use the matcher as a context manager) to release the pool.
+        Reuse requires the same gallery *objects* across calls; a
+        different gallery transparently invalidates the warm pool and
+        re-broadcasts (or, with ``shm=False``, re-pickles) — on every
+        transport, never silently scoring the old corpus.
     """
 
     def __init__(
@@ -92,6 +107,9 @@ class FilteredMatcher:
         min_time_overlap: float = 0.0,
         signature_dilation: int = 2,
         n_jobs: int | None = None,
+        shm: bool | str | None = None,
+        chunking: str | None = None,
+        persistent_pool: bool = False,
         registry=None,
     ):
         self.measure = measure
@@ -100,6 +118,10 @@ class FilteredMatcher:
         self.min_time_overlap = float(min_time_overlap)
         self.signature_dilation = int(signature_dilation)
         self.n_jobs = n_jobs
+        self.shm = shm
+        self.chunking = chunking
+        self.persistent_pool = bool(persistent_pool)
+        self._parallel = None  # lazy ParallelSTS, cached when persistent
         # Share the measure's registry when it has one, so filter and
         # refine metrics land next to the scoring metrics.
         if registry is not None:
@@ -176,7 +198,7 @@ class FilteredMatcher:
                 surviving = surviving[keep]
                 subset = [subset[i] for i in keep]
             else:
-                scores = self._score_survivors(query, subset)
+                scores = self._score_survivors(query, gallery, surviving, subset)
             self._m_scored.inc(int(surviving.size))
             matches = [
                 RankedMatch(index=int(i), trajectory=traj, score=float(s))
@@ -198,22 +220,70 @@ class FilteredMatcher:
             ),
         )
 
-    def _score_survivors(self, query: Trajectory, subset: list[Trajectory]) -> list[float]:
+    def _refine_engine(self):
+        """The (lazily built, possibly cached) parallel scoring engine."""
+        if self._parallel is not None:
+            return self._parallel
+        from ..parallel import ParallelSTS
+
+        engine = ParallelSTS(
+            self.measure,
+            n_jobs=self.n_jobs,
+            shm=self.shm,
+            chunking=self.chunking,
+            persistent=self.persistent_pool,
+            registry=self._registry,
+        )
+        if self.persistent_pool:
+            self._parallel = engine
+        return engine
+
+    def close(self) -> None:
+        """Release the persistent worker pool and gallery arena, if any."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "FilteredMatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _score_survivors(
+        self,
+        query: Trajectory,
+        gallery: list[Trajectory],
+        surviving: np.ndarray,
+        subset: list[Trajectory],
+    ) -> list[float]:
         """Oriented scores of the query against each surviving candidate.
 
-        Routes through the measure's batched/parallel ``pairwise`` when it
-        offers the STS-style ``n_jobs`` entry point and parallel scoring
-        was requested; otherwise falls back to the ``score`` loop (which,
-        for STS, already uses the batched co-location path per pair).
+        Routes through :meth:`repro.parallel.ParallelSTS.query` when the
+        measure offers the STS-style parallel entry point and parallel
+        scoring was requested: the *full gallery* rides the shared-memory
+        arena (reused across calls under ``persistent_pool``) and only
+        the surviving indices are dispatched.  Otherwise falls back to
+        the ``score`` loop (which, for STS, already uses the batched
+        co-location path per pair).
         """
         if not subset:
             return []
         if self.n_jobs not in (None, 1):
             from ..eval.matching import _supports_parallel_pairwise
 
-            if _supports_parallel_pairwise(self.measure):
-                row = self.measure.pairwise(subset, queries=[query], n_jobs=self.n_jobs)
-                return [float(s) for s in np.asarray(row)[0]]
+            if _supports_parallel_pairwise(self.measure) and hasattr(
+                self.measure, "similarity"
+            ):
+                engine = self._refine_engine()
+                try:
+                    row = engine.query(
+                        query, gallery, cols=[int(i) for i in surviving]
+                    )
+                finally:
+                    if not self.persistent_pool:
+                        engine.close()
+                return [float(s) for s in np.asarray(row)]
         return [float(self.measure.score(query, candidate)) for candidate in subset]
 
     def _score_survivors_budgeted(

@@ -8,14 +8,31 @@ workers each hold one private copy of the measure (built once per worker
 by the pool initializer), then assembles the matrix deterministically
 from ``(row, col, score)`` triples.  Because every entry is produced by
 the exact same scoring code as the serial path, the parallel matrix
-matches ``STS.pairwise`` to the last bit regardless of worker count or
-chunk schedule.
+matches ``STS.pairwise`` to the last bit regardless of worker count,
+chunk schedule, chunking policy, or transport.
+
+Transport: by default (``shm="auto"``) the process backend broadcasts
+the trajectory corpus through a :class:`~repro.parallel.shm.
+SharedTrajectoryArena` — one shared-memory pack, workers attach at
+initializer time and score zero-copy views — so the per-call pickle
+payload is the measure plus bare index chunks instead of the whole
+corpus.  Thread and serial execution share the parent address space and
+need no arena.  ``persistent=True`` additionally keeps the worker pool
+and the gallery arena warm across ``pairwise``/``query`` calls, so a
+serving loop pays pool startup and the gallery broadcast once.
+
+Chunking: ``chunking="count"`` (default) splits the pair list into
+equally sized interleaved chunks; ``chunking="cost"`` packs chunks to
+near-equal *estimated cost* (Eq. 10 work scales with ``|T1|·|T2|``),
+which tightens the straggler tail when trajectory lengths vary widely.
+Either way every pair is scored exactly once, so results are identical.
 
 Execution is *supervised* by default (see
 :mod:`repro.parallel.supervisor`): dead workers are detected and their
 chunks retried with capped exponential backoff, hung chunks are timed
 out, and the backend degrades ``process → thread → serial`` rather than
-failing the run.  What happened is recorded in the
+failing the run — the arena becoming a no-op passthrough on the lower
+rungs.  What happened is recorded in the
 :class:`~repro.parallel.supervisor.RunHealth` exposed as
 :attr:`ParallelSTS.last_health`.  Passing ``checkpoint=`` journals
 completed chunks to disk (atomic write-rename) so an interrupted run
@@ -24,6 +41,7 @@ resumes from the last good state — see :mod:`repro.checkpoint`.
 
 from __future__ import annotations
 
+from functools import partial
 from time import perf_counter
 from typing import Sequence
 
@@ -32,10 +50,35 @@ import numpy as np
 from ..checkpoint import PairwiseCheckpoint
 from ..core.trajectory import Trajectory
 from ..obs import get_registry, trace_span
-from .pool import chunk_pairs, resolve_n_jobs
+from .pool import (
+    _init_worker,
+    _score_chunk_vs_queries,
+    chunk_pairs,
+    chunk_pairs_by_cost,
+    get_parallel_defaults,
+    make_executor,
+    pair_costs,
+    resolve_n_jobs,
+)
 from .supervisor import RunHealth, SupervisedExecutor
 
 __all__ = ["ParallelSTS"]
+
+#: Ratio buckets for the chunk-imbalance histogram (chunk cost / mean).
+_IMBALANCE_BUCKETS = (0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0)
+
+
+def _same_collections(a, b) -> bool:
+    """Element-wise *identity* match between two trajectory collections.
+
+    Identity, not equality, for the same reason as
+    :meth:`~repro.parallel.shm.SharedTrajectoryArena.matches`: warm
+    workers hold state keyed to the exact objects they were initialized
+    with, so only the same objects may reuse them.
+    """
+    if a is None or b is None:
+        return a is None and b is None
+    return len(a) == len(b) and all(x is y for x, y in zip(a, b))
 
 
 class ParallelSTS:
@@ -56,8 +99,28 @@ class ParallelSTS:
         when the measure pickles, threads otherwise).
     chunks_per_worker:
         Dispatch granularity: the pair list is split into roughly
-        ``n_jobs * chunks_per_worker`` interleaved chunks, trading
-        scheduling slack against per-chunk overhead.
+        ``n_jobs * chunks_per_worker`` chunks, trading scheduling slack
+        against per-chunk overhead.
+    chunking:
+        ``"count"`` — equal pair counts, interleaved; ``"cost"`` —
+        near-equal estimated cost from trajectory lengths (see
+        :func:`~repro.parallel.pool.chunk_pairs_by_cost`).  ``None``
+        (default) resolves against the process-wide default
+        (:func:`~repro.parallel.pool.set_parallel_defaults`, initially
+        ``"count"``).
+    shm:
+        ``"auto"`` — broadcast the corpus through a shared-memory arena
+        whenever the process backend is in play; ``True`` — same, but
+        warn loudly if the arena cannot be used; ``False`` — always
+        pickle collections into the pool initializer (the historical
+        transport).  ``None`` (default) resolves against the
+        process-wide default (initially ``"auto"``).
+    persistent:
+        Keep the worker pool and the gallery arena warm across calls.
+        Use as a context manager (or call :meth:`close`) to release the
+        pool and unlink the arena.  Repeated :meth:`pairwise` calls on
+        the same gallery object, and any number of :meth:`query` calls
+        against it, then skip pool startup and the corpus broadcast.
     supervised:
         Run chunks through the :class:`~repro.parallel.supervisor.
         SupervisedExecutor` (default).  ``False`` restores the bare
@@ -81,6 +144,9 @@ class ParallelSTS:
         n_jobs: int | None = -1,
         backend: str = "auto",
         chunks_per_worker: int = 4,
+        chunking: str | None = None,
+        shm: bool | str | None = None,
+        persistent: bool = False,
         supervised: bool = True,
         chunk_timeout: float | None = None,
         max_retries: int = 2,
@@ -90,10 +156,22 @@ class ParallelSTS:
         validate_scores: bool = True,
         registry=None,
     ):
+        defaults = get_parallel_defaults()
+        chunking = defaults["chunking"] if chunking is None else chunking
+        shm = defaults["shm"] if shm is None else shm
+        if chunking not in ("count", "cost"):
+            raise ValueError(
+                f"chunking must be 'count' or 'cost', got {chunking!r}"
+            )
+        if shm not in (True, False, "auto"):
+            raise ValueError(f"shm must be True, False or 'auto', got {shm!r}")
         self.measure = measure
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = backend
         self.chunks_per_worker = int(chunks_per_worker)
+        self.chunking = chunking
+        self.shm = shm
+        self.persistent = bool(persistent)
         self.supervised = bool(supervised)
         self.chunk_timeout = chunk_timeout
         self.max_retries = int(max_retries)
@@ -102,6 +180,8 @@ class ParallelSTS:
         self.on_error = on_error
         self.validate_scores = bool(validate_scores)
         self.last_health: RunHealth | None = None
+        self._arena = None
+        self._warm: dict | None = None  # {"executor", "backend", "shm_name"}
         # Share the measure's registry when it has one, so parallel and
         # serial metrics land in one place.
         if registry is not None:
@@ -110,6 +190,15 @@ class ParallelSTS:
             self._registry = getattr(measure, "_registry", None) or get_registry()
         self._h_pairwise = self._registry.histogram(
             "repro_pairwise_seconds", "Wall seconds per pairwise() call"
+        ).child()
+        self._h_dispatch = self._registry.histogram(
+            "repro_parallel_dispatch_seconds",
+            "Wall seconds per supervised chunk-dispatch round trip",
+        ).child()
+        self._h_imbalance = self._registry.histogram(
+            "repro_parallel_chunk_imbalance",
+            "Estimated chunk cost over the mean chunk cost, per chunk",
+            buckets=_IMBALANCE_BUCKETS,
         ).child()
 
     # ------------------------------------------------------------------
@@ -128,8 +217,173 @@ class ParallelSTS:
             "n_pairs": n_pairs,
             "n_chunks": n_chunks,
             "symmetric": symmetric,
+            "chunking": self.chunking,
         }
 
+    # ------------------------------------------------------------------
+    # Chunk planning
+    # ------------------------------------------------------------------
+    def _plan_chunks(
+        self,
+        pairs: list[tuple[int, int]],
+        gallery: Sequence[Trajectory],
+        queries: Sequence[Trajectory] | None,
+    ) -> list[list[tuple[int, int]]]:
+        """Partition the pair list per the configured chunking policy."""
+        if self.chunking == "cost":
+            rows = gallery if queries is None else queries
+            row_lengths = [len(t) for t in rows]
+            col_lengths = (
+                row_lengths if queries is None else [len(t) for t in gallery]
+            )
+            costs = pair_costs(pairs, row_lengths, col_lengths)
+            chunks = chunk_pairs_by_cost(
+                pairs, costs, self.n_jobs, self.chunks_per_worker
+            )
+            cost_of = dict(zip(pairs, costs))
+            totals = [sum(cost_of[p] for p in chunk) for chunk in chunks]
+        else:
+            chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
+            totals = [len(chunk) for chunk in chunks]
+        if totals:
+            mean = sum(totals) / len(totals)
+            if mean > 0:
+                for total in totals:
+                    self._h_imbalance.observe(total / mean)
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Arena + warm-pool lifecycle
+    # ------------------------------------------------------------------
+    def _shm_wanted(self) -> bool:
+        """Whether the arena transport should even be attempted."""
+        if self.shm is False:
+            return False
+        # With one worker the effective backend is serial regardless of
+        # what was configured: the run executes in the driver process and
+        # an arena would be packed and unlinked without ever being
+        # attached.
+        if self.n_jobs <= 1:
+            return False
+        # Threads never need the arena; "auto"/True only matter when the
+        # process rung can be reached from the configured backend.
+        return self.backend in ("auto", "process")
+
+    def _ensure_arena(self, gallery, queries):
+        """The (possibly reused) arena for this call, or ``None``.
+
+        Packing failures are not fatal — the pickling transport still
+        works — but they are announced so the regression is diagnosable.
+        """
+        from .shm import SharedTrajectoryArena
+
+        if self._arena is not None:
+            if self.persistent and self._arena.matches(gallery, queries):
+                return self._arena
+            self._drop_arena()
+        try:
+            self._arena = SharedTrajectoryArena.pack(
+                gallery, queries, registry=self._registry
+            )
+        except Exception as exc:  # e.g. no /dev/shm on the platform
+            from .pool import _announce_shm_fallback
+
+            _announce_shm_fallback(f"arena pack failed: {exc}", self._registry)
+            self._arena = None
+        return self._arena
+
+    def _drop_arena(self) -> None:
+        # The warm pool's workers hold attachments keyed to the old
+        # arena; a new arena invalidates them along with the segment.
+        self._release_warm()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def _release_warm(self) -> None:
+        if self._warm is not None:
+            try:
+                self._warm["executor"].shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._warm = None
+
+    def _executor_factory(self, gallery, queries, arena_handle):
+        """A supervisor ``executor_factory`` honouring persistence."""
+        shm_name = arena_handle.shm_name if arena_handle is not None else None
+        gallery = list(gallery)
+        queries = list(queries) if queries is not None else None
+
+        def factory(backend: str, n_workers: int):
+            warm = self._warm
+            # Reuse requires the same transport (backend + arena) AND the
+            # same collection objects: without the identity check, a call
+            # with a different gallery on the pickling/thread paths (where
+            # shm_name is None on both sides) would silently score against
+            # the collections the warm workers were initialized with.
+            if (
+                warm is not None
+                and warm["backend"] == backend
+                and warm["shm_name"] == shm_name
+                and _same_collections(warm["gallery"], gallery)
+                and _same_collections(warm["queries"], queries)
+            ):
+                if backend == "thread":
+                    # Thread workers read the module-global worker state,
+                    # which any executor built in this process since may
+                    # have replaced; refreshing it is free of pickling.
+                    _init_worker(self.measure, gallery, queries)
+                return warm["executor"], warm["backend"]
+            self._release_warm()
+            executor, actual = make_executor(
+                backend,
+                n_workers,
+                self.measure,
+                gallery,
+                queries,
+                arena_handle=arena_handle,
+                registry=self._registry,
+            )
+            if self.persistent:
+                self._warm = {
+                    "executor": executor,
+                    "backend": actual,
+                    "shm_name": shm_name,
+                    "gallery": gallery,
+                    "queries": queries,
+                }
+            return executor, actual
+
+        return factory
+
+    def _executor_release(self, executor, actual: str, healthy: bool) -> None:
+        """Supervisor release hook: keep healthy persistent pools warm."""
+        warm = self._warm
+        if self.persistent and warm is not None and warm["executor"] is executor:
+            if healthy:
+                return  # stays warm for the next call
+            self._warm = None
+        from .supervisor import _kill_executor
+
+        if healthy:
+            executor.shutdown(wait=True, cancel_futures=True)
+        else:
+            _kill_executor(executor, actual)
+
+    def close(self) -> None:
+        """Release the warm pool and unlink the arena (idempotent)."""
+        self._release_warm()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "ParallelSTS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def pairwise(
         self,
         gallery: Sequence[Trajectory],
@@ -147,8 +401,8 @@ class ParallelSTS:
         ``checkpoint`` names a journal file: completed chunks are
         persisted there (atomic write-rename) and a rerun pointing at the
         same file skips them.  Resume requires the same chunk plan — same
-        collections, ``n_jobs`` and ``chunks_per_worker`` — which the
-        journal's fingerprint enforces.
+        collections, ``n_jobs``, ``chunks_per_worker`` and ``chunking``
+        policy — which the journal's fingerprint enforces.
 
         ``deadline`` caps the whole call at that many wall-clock seconds:
         chunks not finished in time come back NaN-filled (recorded as
@@ -173,68 +427,174 @@ class ParallelSTS:
             self.last_health = None
             return self._serial_fast_path(out, pairs, gallery, queries)
 
-        chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
-        if not self.supervised and checkpoint is None and deadline is None:
-            return self._unsupervised(out, chunks, gallery, queries)
-        ckpt = None
-        done = None
-        if checkpoint is not None:
-            ckpt = PairwiseCheckpoint(
-                checkpoint,
-                self._fingerprint(
-                    out.shape[0], out.shape[1], len(pairs), len(chunks), queries is None
+        chunks = self._plan_chunks(pairs, gallery, queries)
+        arena = self._ensure_arena(gallery, queries) if self._shm_wanted() else None
+        try:
+            if not self.supervised and checkpoint is None and deadline is None:
+                return self._unsupervised(out, chunks, gallery, queries, arena)
+            ckpt = None
+            done = None
+            if checkpoint is not None:
+                ckpt = PairwiseCheckpoint(
+                    checkpoint,
+                    self._fingerprint(
+                        out.shape[0], out.shape[1], len(pairs), len(chunks),
+                        queries is None,
+                    ),
+                )
+                done = ckpt.completed
+
+            backend = self.backend if self.n_jobs > 1 else "serial"
+            arena_handle = arena.handle if arena is not None else None
+            supervisor = SupervisedExecutor(
+                self.measure,
+                list(gallery),
+                list(queries) if queries is not None else None,
+                self.n_jobs,
+                backend=backend,
+                chunk_timeout=self.chunk_timeout,
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                backoff_max=self.backoff_max,
+                on_error=self.on_error,
+                validate_scores=self.validate_scores,
+                deadline=deadline,
+                registry=self._registry,
+                arena_handle=arena_handle,
+                executor_factory=self._executor_factory(
+                    gallery, queries, arena_handle
                 ),
+                executor_release=self._executor_release,
             )
-            done = ckpt.completed
+            self.last_health = supervisor.health
+            t0 = perf_counter()
+            with trace_span(
+                "parallel.pairwise",
+                n_jobs=self.n_jobs,
+                backend=backend,
+                chunks=len(chunks),
+                shm=arena is not None,
+            ):
+                results = supervisor.run(
+                    chunks,
+                    done=done,
+                    on_chunk_done=ckpt.record if ckpt is not None else None,
+                )
+            elapsed = perf_counter() - t0
+            self._h_pairwise.observe(elapsed)
+            self._h_dispatch.observe(elapsed)
+            if getattr(self._registry, "enabled", False):
+                supervisor.health.metrics = self._registry.snapshot()
+            if ckpt is not None:
+                ckpt.flush()
+            for k in range(len(chunks)):
+                for i, j, score in results[k]:
+                    out[i, j] = score
+            if queries is None:
+                upper = np.triu(out)
+                out = upper + np.triu(upper, 1).T
+            return out
+        finally:
+            if not self.persistent:
+                self._drop_arena()
 
-        backend = self.backend if self.n_jobs > 1 else "serial"
-        supervisor = SupervisedExecutor(
-            self.measure,
-            list(gallery),
-            list(queries) if queries is not None else None,
-            self.n_jobs,
-            backend=backend,
-            chunk_timeout=self.chunk_timeout,
-            max_retries=self.max_retries,
-            backoff_base=self.backoff_base,
-            backoff_max=self.backoff_max,
-            on_error=self.on_error,
-            validate_scores=self.validate_scores,
-            deadline=deadline,
-            registry=self._registry,
+    def query(
+        self,
+        query: Trajectory,
+        gallery: Sequence[Trajectory],
+        cols: Sequence[int] | None = None,
+        deadline: float | None = None,
+    ) -> np.ndarray:
+        """Scores of one query against (a subset of) the gallery.
+
+        ``cols`` selects gallery indices to score (default: all); the
+        result is aligned with ``cols``.  With ``persistent=True`` the
+        gallery arena is packed and broadcast on the first call and the
+        warm workers are reused after that, so a serving loop pays only
+        the per-call index chunks plus one small pickled query — the
+        query itself never enters the arena.
+
+        Scores are produced by the exact same ``measure.similarity``
+        calls as the serial path, so the vector is bitwise identical to
+        scoring each pair in-process.
+        """
+        cols = (
+            list(range(len(gallery)))
+            if cols is None
+            else [int(c) for c in cols]
         )
-        self.last_health = supervisor.health
-        t0 = perf_counter()
-        with trace_span(
-            "parallel.pairwise",
-            n_jobs=self.n_jobs,
-            backend=backend,
-            chunks=len(chunks),
-        ):
-            results = supervisor.run(
-                chunks, done=done, on_chunk_done=ckpt.record if ckpt is not None else None
+        if not cols:
+            return np.empty(0)
+        if self.n_jobs == 1 and deadline is None:
+            return np.array(
+                [float(self.measure.similarity(query, gallery[c])) for c in cols]
             )
-        self._h_pairwise.observe(perf_counter() - t0)
-        if getattr(self._registry, "enabled", False):
-            supervisor.health.metrics = self._registry.snapshot()
-        if ckpt is not None:
-            ckpt.flush()
-        for k in range(len(chunks)):
-            for i, j, score in results[k]:
-                out[i, j] = score
-        if queries is None:
-            upper = np.triu(out)
-            out = upper + np.triu(upper, 1).T
-        return out
+        pairs = [(0, c) for c in cols]
+        if self.chunking == "cost":
+            costs = pair_costs(pairs, [len(query)], [len(t) for t in gallery])
+            chunks = chunk_pairs_by_cost(
+                pairs, costs, self.n_jobs, self.chunks_per_worker
+            )
+        else:
+            chunks = chunk_pairs(pairs, self.n_jobs, self.chunks_per_worker)
+        # The persistent arena must describe the gallery alone, so it
+        # stays valid across calls with changing queries.
+        arena = self._ensure_arena(gallery, None) if self._shm_wanted() else None
+        try:
+            backend = self.backend if self.n_jobs > 1 else "serial"
+            arena_handle = arena.handle if arena is not None else None
+            supervisor = SupervisedExecutor(
+                self.measure,
+                list(gallery),
+                [query],
+                self.n_jobs,
+                backend=backend,
+                chunk_timeout=self.chunk_timeout,
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                backoff_max=self.backoff_max,
+                on_error=self.on_error,
+                validate_scores=self.validate_scores,
+                deadline=deadline,
+                registry=self._registry,
+                arena_handle=arena_handle,
+                task=partial(_score_chunk_vs_queries, [query]),
+                executor_factory=self._executor_factory(
+                    gallery, None, arena_handle
+                ),
+                executor_release=self._executor_release,
+            )
+            self.last_health = supervisor.health
+            t0 = perf_counter()
+            with trace_span(
+                "parallel.query",
+                n_jobs=self.n_jobs,
+                backend=backend,
+                chunks=len(chunks),
+                shm=arena is not None,
+            ):
+                results = supervisor.run(chunks)
+            self._h_dispatch.observe(perf_counter() - t0)
+            by_col = {
+                j: score
+                for triples in results.values()
+                for _i, j, score in triples
+            }
+            return np.array([by_col[c] for c in cols])
+        finally:
+            if not self.persistent:
+                self._drop_arena()
 
-    def _unsupervised(self, out, chunks, gallery, queries) -> np.ndarray:
+    def _unsupervised(self, out, chunks, gallery, queries, arena) -> np.ndarray:
         """The original fail-fast pool: any worker fault kills the run."""
-        from .pool import _score_chunk, make_executor
+        from .pool import _score_chunk
 
         self.last_health = None
         executor, _backend = make_executor(
             self.backend, self.n_jobs, self.measure, list(gallery),
             list(queries) if queries is not None else None,
+            arena_handle=arena.handle if arena is not None else None,
+            registry=self._registry,
         )
         try:
             for triples in executor.map(_score_chunk, chunks):
@@ -261,5 +621,7 @@ class ParallelSTS:
     def __repr__(self) -> str:
         return (
             f"ParallelSTS({self.measure!r}, n_jobs={self.n_jobs}, "
-            f"backend={self.backend!r}, supervised={self.supervised})"
+            f"backend={self.backend!r}, supervised={self.supervised}, "
+            f"shm={self.shm!r}, chunking={self.chunking!r}, "
+            f"persistent={self.persistent})"
         )

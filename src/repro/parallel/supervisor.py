@@ -210,6 +210,26 @@ class SupervisedExecutor:
         Injection point for the backoff sleep (tests pass a no-op).
     clock:
         Monotonic time source for the deadline (injectable for tests).
+    arena_handle:
+        Optional :class:`~repro.parallel.shm.ArenaHandle`: the process
+        rung then uses the shared-memory protocol (workers attach to the
+        arena instead of unpickling the collections).  The thread and
+        serial rungs ignore it — they share the parent address space, so
+        the arena is a no-op passthrough and ``gallery``/``queries`` are
+        used directly.  Degrading away from the process rung while an
+        arena is in play is announced (warning + fallback counter).
+    task:
+        The chunk-scoring callable submitted to the pool (default
+        :func:`~repro.parallel.pool._score_chunk`).  Must be picklable
+        (top-level function or ``functools.partial`` of one) and accept
+        one argument: the chunk's pair list.
+    executor_factory, executor_release:
+        Pool lifecycle hooks for warm-pool reuse.  ``executor_factory(
+        backend, n_workers)`` returns ``(executor, actual_backend)``;
+        ``executor_release(executor, actual_backend, healthy)`` is called
+        after each round — ``healthy=False`` means the pool broke or
+        hung and must not be reused.  Defaults build a fresh pool per
+        round and shut it down after (the historical behaviour).
     """
 
     _LADDERS = {
@@ -236,6 +256,10 @@ class SupervisedExecutor:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         registry=None,
+        arena_handle=None,
+        task: Callable[[Chunk], list[Triple]] | None = None,
+        executor_factory=None,
+        executor_release=None,
     ):
         if backend not in self._LADDERS:
             raise ValueError(
@@ -257,6 +281,14 @@ class SupervisedExecutor:
         self.deadline = deadline
         self.sleep = sleep
         self.clock = clock
+        self.arena_handle = arena_handle
+        self.task = task if task is not None else _score_chunk
+        self._executor_factory = (
+            executor_factory if executor_factory is not None else self._default_factory
+        )
+        self._executor_release = (
+            executor_release if executor_release is not None else self._default_release
+        )
         self.health = RunHealth(backend_requested=backend)
         self._attempts: dict[int, int] = defaultdict(int)
         self._deadline_at: float | None = None
@@ -275,6 +307,26 @@ class SupervisedExecutor:
             "repro_supervisor_degradations_total",
             "Backend ladder step-downs (process->thread->serial)",
         )
+
+    # ------------------------------------------------------------------
+    def _default_factory(self, backend: str, n_workers: int):
+        """Fresh pool per round (shared-memory protocol when arena set)."""
+        return make_executor(
+            backend,
+            n_workers,
+            self.measure,
+            self.gallery,
+            self.queries,
+            arena_handle=self.arena_handle,
+            registry=self._registry,
+        )
+
+    def _default_release(self, executor, actual: str, healthy: bool) -> None:
+        """Tear the round's pool down (hard when it broke or hung)."""
+        if healthy:
+            executor.shutdown(wait=True, cancel_futures=True)
+        else:
+            _kill_executor(executor, actual)
 
     # ------------------------------------------------------------------
     def _remaining(self) -> float | None:
@@ -378,6 +430,14 @@ class SupervisedExecutor:
                 next_backend = ladder[rung + 1]
                 health.degradations.append(f"{backend}->{next_backend}")
                 self._m_degradations.inc(step=f"{backend}->{next_backend}")
+                if backend == "process" and self.arena_handle is not None:
+                    # Leaving the process rung abandons the shared-memory
+                    # protocol; say so rather than silently re-pickling.
+                    from .pool import _announce_shm_fallback
+
+                    _announce_shm_fallback(
+                        f"degraded {backend}->{next_backend}", self._registry
+                    )
                 rung += 1
                 rounds_on_rung = 0
             else:
@@ -406,12 +466,8 @@ class SupervisedExecutor:
         """One dispatch round on a pool; returns ``(chunk, kind, detail)`` failures."""
         health = self.health
         try:
-            executor, actual = make_executor(
-                backend,
-                max(1, min(self.n_jobs, len(todo))),
-                self.measure,
-                self.gallery,
-                self.queries,
+            executor, actual = self._executor_factory(
+                backend, max(1, min(self.n_jobs, len(todo)))
             )
         except Exception as exc:
             # e.g. an un-picklable measure on the process rung.
@@ -425,7 +481,7 @@ class SupervisedExecutor:
         failed: list[tuple[int, str, str]] = []
         pool_broke = False
         hung = False
-        futures = {executor.submit(_score_chunk, chunks[k]): k for k in todo}
+        futures = {executor.submit(self.task, chunks[k]): k for k in todo}
         remaining = set(futures)
         try:
             while remaining:
@@ -483,10 +539,7 @@ class SupervisedExecutor:
                             )
                 remaining = not_done
         finally:
-            if hung:
-                _kill_executor(executor, actual)
-            else:
-                executor.shutdown(wait=True, cancel_futures=True)
+            self._executor_release(executor, actual, healthy=not (hung or pool_broke))
         if pool_broke:
             health.worker_crashes += 1
         health.errors += sum(1 for _, kind, _ in failed if kind == "error")
@@ -510,7 +563,7 @@ class SupervisedExecutor:
                 return
             attempt = self._attempts[k] + 1
             try:
-                triples = _score_chunk(chunks[k])
+                triples = self.task(chunks[k])
                 if not self._validate(triples):
                     health.corrupt_scores += 1
                     raise ScoreCorruptionError(

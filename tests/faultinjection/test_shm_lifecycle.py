@@ -1,0 +1,174 @@
+"""Leak-safety of the shared-memory arena under faults.
+
+The ownership protocol says the parent owns the segment and unlinks it
+exactly once, no matter how the run ends: clean exit, a worker taken by
+SIGKILL, a hang that forces the supervisor to kill the pool, or a
+degradation off the process rung entirely.  These tests assert the
+protocol's observable consequence — ``/dev/shm`` holds no new ``psm_*``
+segment after the run — and that Python's ``resource_tracker`` agrees
+(no "leaked shared_memory" warning at interpreter shutdown).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.sts import STS
+from repro.parallel import ParallelSTS
+
+from .faults import FaultyMeasure
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="needs a POSIX /dev/shm to observe segments"
+)
+
+
+def _segments() -> set[str]:
+    """The Python shared-memory segments currently in /dev/shm."""
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+class ProcessAllergicMeasure:
+    """Kills any worker *process* that scores with it; fine in threads.
+
+    Deterministic degradation driver: every process-pool round dies with
+    a SIGKILL-equivalent (``os._exit``), so the supervisor must walk the
+    ladder to the thread rung — where the pid check passes — while the
+    arena it broadcast for the process rung has to be cleaned up.
+    """
+
+    def __init__(self, base):
+        self.base = base
+        self.home_pid = os.getpid()
+
+    @property
+    def name(self) -> str:
+        return f"process-allergic({getattr(self.base, 'name', 'measure')})"
+
+    def similarity(self, tra1, tra2) -> float:
+        if os.getpid() != self.home_pid:
+            os._exit(1)
+        return self.base.similarity(tra1, tra2)
+
+
+class TestNoLeakedSegments:
+    def test_normal_run_leaves_no_segment(self, grid, gallery, clean_serial):
+        before = _segments()
+        wrapper = ParallelSTS(STS(grid), n_jobs=2, backend="process", shm=True)
+        out = wrapper.pairwise(gallery)
+        assert np.array_equal(out, clean_serial)
+        assert _segments() <= before
+
+    def test_persistent_close_releases_segment(self, grid, gallery, clean_serial):
+        before = _segments()
+        with ParallelSTS(
+            STS(grid), n_jobs=2, backend="process", shm=True, persistent=True
+        ) as wrapper:
+            out = wrapper.pairwise(gallery)
+            assert np.array_equal(out, clean_serial)
+            assert wrapper._arena is not None  # still broadcast while warm
+        assert _segments() <= before
+
+    def test_sigkilled_worker_leaves_no_segment(
+        self, grid, gallery, clean_serial, tmp_path
+    ):
+        before = _segments()
+        faulty = FaultyMeasure(
+            STS(grid), "crash", ("a", "c"), tmp_path / "crash.token"
+        )
+        wrapper = ParallelSTS(
+            faulty, n_jobs=2, backend="process", shm=True,
+            max_retries=3, backoff_base=0.0,
+        )
+        out = wrapper.pairwise(gallery)
+        assert np.array_equal(out, clean_serial)
+        assert wrapper.last_health.worker_crashes >= 1
+        assert _segments() <= before
+
+    def test_hung_worker_killed_pool_leaves_no_segment(
+        self, grid, gallery, clean_serial, tmp_path
+    ):
+        before = _segments()
+        faulty = FaultyMeasure(
+            STS(grid), "hang", ("a", "c"), tmp_path / "hang.token",
+            hang_seconds=60.0,
+        )
+        wrapper = ParallelSTS(
+            faulty, n_jobs=2, backend="process", shm=True,
+            chunk_timeout=1.5, max_retries=3, backoff_base=0.0,
+        )
+        out = wrapper.pairwise(gallery)
+        assert np.array_equal(out, clean_serial)
+        assert wrapper.last_health.timeouts >= 1
+        assert _segments() <= before
+
+    def test_degradation_to_threads_announces_and_leaves_no_segment(
+        self, grid, gallery, clean_serial
+    ):
+        before = _segments()
+        wrapper = ParallelSTS(
+            ProcessAllergicMeasure(STS(grid)),
+            n_jobs=2, backend="process", shm=True,
+            max_retries=1, backoff_base=0.0,
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to the pickling"):
+            out = wrapper.pairwise(gallery)
+        assert np.array_equal(out, clean_serial)
+        health = wrapper.last_health
+        assert any(step.startswith("process->") for step in health.degradations)
+        assert "thread" in health.backends_used
+        assert _segments() <= before
+
+
+class TestResourceTrackerSilence:
+    """The tracker's shutdown audit must not flag our segments."""
+
+    _SCRIPT = """
+import numpy as np
+from repro.core.grid import Grid
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.parallel import ParallelSTS
+
+grid = Grid(0, 0, 40, 20, cell_size=2.0)
+gallery = [
+    Trajectory.from_arrays(
+        xs, [y] * len(xs), np.array([0.0, 5.0, 10.0, 15.0]) + t0, object_id=oid
+    )
+    for oid, xs, y, t0 in [
+        ("a", [2.0, 8.0, 14.0, 20.0], 10.0, 0.0),
+        ("b", [4.0, 10.0, 16.0, 22.0], 10.0, 2.0),
+        ("c", [2.0, 8.0, 14.0, 20.0], 4.0, 0.0),
+    ]
+]
+serial = STS(grid).pairwise(gallery)
+parallel = ParallelSTS(STS(grid), n_jobs=2, backend="process", shm=True)
+assert np.array_equal(parallel.pairwise(gallery), serial)
+print("OK")
+"""
+
+    def test_no_leak_warning_at_interpreter_exit(self):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::UserWarning", "-c", self._SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr

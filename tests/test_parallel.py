@@ -45,12 +45,35 @@ class TestResolveNJobs:
     def test_positive_passthrough(self):
         assert resolve_n_jobs(3) == 3
 
-    def test_minus_one_is_cpu_count(self):
-        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+    def test_minus_one_is_available_cpus(self):
+        from repro.parallel import available_cpus
+
+        assert resolve_n_jobs(-1) == available_cpus()
 
     def test_sklearn_negative_convention(self):
-        cpus = os.cpu_count() or 1
-        assert resolve_n_jobs(-2) == max(1, cpus - 1)
+        from repro.parallel import available_cpus
+
+        assert resolve_n_jobs(-2) == max(1, available_cpus() - 1)
+
+    def test_available_cpus_prefers_affinity(self, monkeypatch):
+        # A cgroup-limited container may expose 64 cores via cpu_count
+        # while pinning the process to 2; the pool must size to the 2.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5}, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        from repro.parallel import available_cpus
+
+        assert available_cpus() == 2
+        assert resolve_n_jobs(-1) == 2
+
+    def test_available_cpus_falls_back_without_affinity(self, monkeypatch):
+        def boom(pid):
+            raise AttributeError("no sched_getaffinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        from repro.parallel import available_cpus
+
+        assert available_cpus() == 7
 
     def test_zero_rejected(self):
         with pytest.raises(ValueError, match="n_jobs"):
