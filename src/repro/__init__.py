@@ -32,6 +32,9 @@ from .errors import (
     MalformedRecordError,
     ReproError,
     ScoreCorruptionError,
+    WALCorruptionError,
+    WALError,
+    WALWriteError,
     WorkerCrashError,
 )
 from .core import (
@@ -104,6 +107,9 @@ __all__ = [
     "ChunkTimeoutError",
     "ScoreCorruptionError",
     "CheckpointError",
+    "WALError",
+    "WALWriteError",
+    "WALCorruptionError",
     "AnytimeScore",
     "Budget",
     "CircuitBreaker",

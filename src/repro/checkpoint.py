@@ -36,15 +36,54 @@ from pathlib import Path as FilePath
 
 from .errors import CheckpointError
 
-__all__ = ["write_json_atomic", "PairwiseCheckpoint", "ExperimentCheckpoint"]
+__all__ = [
+    "write_json_atomic",
+    "fsync_directory",
+    "fingerprint_digest",
+    "PairwiseCheckpoint",
+    "ExperimentCheckpoint",
+]
+
+
+def fsync_directory(directory: str | FilePath) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic, but on ext4/xfs the *directory
+    entry* update lives in the parent directory's metadata and is not
+    durable until the directory itself is fsynced — a crash right after
+    the rename can roll the directory back to a state where the new name
+    never existed.  Platforms whose directories cannot be opened or
+    fsynced (Windows) are skipped: rename durability there is
+    best-effort, exactly as it was before this helper existed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def fingerprint_digest(fingerprint: dict, length: int = 10) -> str:
+    """A short stable hex digest of a JSON-serializable fingerprint."""
+    digest = hashlib.sha1(
+        json.dumps(fingerprint, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+    return digest[:length]
 
 
 def write_json_atomic(path: str | FilePath, payload: dict) -> None:
-    """Write ``payload`` as JSON to ``path`` atomically (write-rename).
+    """Write ``payload`` as JSON to ``path`` atomically *and durably*.
 
-    The temporary file lives in the same directory as the target so the
-    final ``os.replace`` stays within one filesystem (rename atomicity
-    holds only then).
+    Write-rename: the payload is written to a sibling temporary file
+    (same directory, so the final ``os.replace`` stays within one
+    filesystem — rename atomicity holds only then), fsynced, renamed
+    over the target, and then the parent directory is fsynced so the
+    rename itself survives a crash (see :func:`fsync_directory`).
     """
     path = FilePath(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -53,6 +92,7 @@ def write_json_atomic(path: str | FilePath, payload: dict) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    fsync_directory(path.parent)
 
 
 def _read_json(path: FilePath, what: str) -> dict:
@@ -167,10 +207,7 @@ class ExperimentCheckpoint:
         self.directory = FilePath(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
-        digest = hashlib.sha1(
-            json.dumps(fingerprint, sort_keys=True, default=str).encode("utf-8")
-        ).hexdigest()
-        self.fingerprint_hash = digest[:10]
+        self.fingerprint_hash = fingerprint_digest(fingerprint)
 
     def _path(self, exp_id: str) -> FilePath:
         return self.directory / f"{exp_id}-{self.fingerprint_hash}.json"

@@ -10,6 +10,7 @@ Subcommands::
     repro-sts link       --queries q.csv --gallery g.csv --cell 3 --sigma 3 --top 3
     repro-sts events     --corpus c.csv --a device-1 --b device-2 --cell 3 --sigma 3
     repro-sts groups     --corpus c.csv --cell 3 --sigma 3
+    repro-sts stream     --corpus c.csv --cell 3 --sigma 3 --wal-dir wal/ [--resume]
     repro-sts obs        [--format text|prom|flame|chrome] [--input snap.json] [--check m.prom]
 
 ``experiment`` accepts the figure families of the paper's evaluation:
@@ -232,6 +233,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="similarity threshold (default: 20%% of mean self-similarity)",
     )
 
+    stream = sub.add_parser(
+        "stream",
+        parents=[on_error],
+        help="replay a sighting CSV through the streaming detector "
+        "(optionally journaled to a crash-safe write-ahead log)",
+    )
+    stream.add_argument("--corpus", required=True, help="sightings CSV (object_id,x,y,t)")
+    stream.add_argument("--cell", type=float, required=True, help="grid cell size (m)")
+    stream.add_argument("--sigma", type=float, required=True, help="location noise σ (m)")
+    stream.add_argument("--window", type=float, default=600.0, help="sliding window (s)")
+    stream.add_argument(
+        "--threshold", type=float, default=0.0, help="only report pairs above this STS"
+    )
+    stream.add_argument(
+        "--wal-dir",
+        default=None,
+        help="journal every accepted sighting to a write-ahead log in this "
+        "directory; a crashed run restarted with --resume recovers exactly",
+    )
+    stream.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=512,
+        help="journaled commands between automatic state snapshots (default 512)",
+    )
+    stream.add_argument(
+        "--fsync-every",
+        type=int,
+        default=1,
+        help="records per fsync: 1 (default) = every acknowledged sighting is "
+        "durable; N trades <= N-1 tail records of staleness for throughput",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover detector state from --wal-dir before streaming: events "
+        "at or before the recovered high-water mark (applied or still queued) "
+        "are skipped as already seen",
+    )
+
     obs = sub.add_parser(
         "obs",
         parents=[obs_out],
@@ -376,6 +417,104 @@ def _run_groups(args) -> int:
     return 0
 
 
+def _load_sightings(path: str):
+    """Read a flat ``object_id,x,y,t`` CSV as time-ordered sighting events."""
+    import csv
+
+    from .streaming import SightingEvent
+
+    events = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = [c for c in ("object_id", "x", "y", "t") if c not in (reader.fieldnames or [])]
+        if missing:
+            raise SystemExit(f"stream: {path} is missing column(s) {missing}")
+        for row in reader:
+            try:
+                events.append(
+                    SightingEvent(
+                        row["object_id"], float(row["x"]), float(row["y"]), float(row["t"])
+                    )
+                )
+            except (TypeError, ValueError):
+                # Let the detector's on_error policy judge unparsable rows
+                # as non-finite sightings rather than crashing the reader.
+                events.append(
+                    SightingEvent(row["object_id"] or "?", float("nan"), float("nan"), float("nan"))
+                )
+    events.sort(key=lambda e: e.t)
+    return events
+
+
+def _run_stream(args) -> int:
+    import numpy as _np
+
+    from .streaming import StreamingColocationDetector
+    from .streaming_wal import StreamingWAL
+
+    events = _load_sightings(args.corpus)
+    if not events:
+        raise SystemExit("stream: corpus holds no sightings")
+    skip_until = float("-inf")
+    if args.resume:
+        if args.wal_dir is None:
+            raise SystemExit("stream: --resume requires --wal-dir")
+        detector = StreamingColocationDetector.recover(
+            args.wal_dir,
+            fsync_every=args.fsync_every,
+            snapshot_every=args.snapshot_every,
+        )
+        report = detector.last_recovery
+        # Skip past everything the WAL already holds — including sightings
+        # that were offered but not yet drained when the crash hit; those
+        # live in the recovered pending queue, not in stream_time.
+        skip_until = detector.accepted_through
+        print(
+            f"recovered from {args.wal_dir}: {report.summary()} "
+            f"({report.elapsed_s * 1000:.1f} ms); resuming after t={skip_until:.1f}",
+            file=sys.stderr,
+        )
+    else:
+        points = _np.array([[e.x, e.y] for e in events if np.isfinite(e.x) and np.isfinite(e.y)])
+        grid = Grid.covering(points, args.cell, margin=4.0 * args.sigma)
+        wal = None
+        if args.wal_dir is not None:
+            wal = StreamingWAL(
+                args.wal_dir,
+                fsync_every=args.fsync_every,
+                snapshot_every=args.snapshot_every,
+            )
+        detector = StreamingColocationDetector(
+            grid,
+            window=args.window,
+            noise_model=GaussianNoiseModel(args.sigma),
+            on_error=args.on_error,
+            wal=wal,
+        )
+    with detector:
+        streamed = 0
+        for event in events:
+            if event.t <= skip_until:
+                continue
+            detector.offer(event)
+            streamed += 1
+        detector.drain()
+        scores = detector.evaluate(threshold=args.threshold)
+        if args.wal_dir is not None:
+            detector.snapshot()
+        print(
+            f"streamed {streamed} sighting(s); {len(detector.active_objects)} active "
+            f"object(s) at stream time {detector.stream_time:.1f}; "
+            f"dropped {detector.malformed_dropped} malformed / "
+            f"{detector.duplicate_dropped} duplicate"
+        )
+        if not scores:
+            print("no co-located pairs above threshold")
+        for score in scores:
+            print(f"  {score}")
+    return 0
+
+
 def _write_metrics(path: str) -> None:
     """Dump the default registry to ``path`` (JSON or Prometheus text)."""
     import json
@@ -480,6 +619,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "groups":
         return _run_groups(args)
+
+    if args.command == "stream":
+        return _run_stream(args)
 
     dataset = _load_dataset(args.dataset, args.size, args.seed)
 

@@ -32,6 +32,9 @@ __all__ = [
     "ChunkTimeoutError",
     "ScoreCorruptionError",
     "CheckpointError",
+    "WALError",
+    "WALWriteError",
+    "WALCorruptionError",
     "ERROR_POLICIES",
     "validate_policy",
 ]
@@ -79,6 +82,35 @@ class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file is unreadable or belongs to a different run
     (fingerprint mismatch).  Never silently ignored: resuming the wrong
     checkpoint would splice two unrelated result sets together."""
+
+
+class WALError(ReproError, RuntimeError):
+    """Base class of write-ahead-log failures (:mod:`repro.streaming_wal`).
+
+    Raised for misuse of the durable streaming layer: attaching a fresh
+    detector to a directory that already holds journaled history,
+    recovering against a directory whose configuration fingerprint does
+    not match, or recovering a directory with no journal at all."""
+
+
+class WALWriteError(WALError):
+    """An append or fsync failed (disk full, revoked mount, bad fd).
+
+    The contract is journal-before-apply: when an append fails the
+    sighting that triggered it was *not* applied to detector state, so
+    the producer can retry or shed it.  The partial frame (if any) is
+    truncated away immediately, and would otherwise be detected and
+    truncated by CRC on recovery."""
+
+
+class WALCorruptionError(WALError):
+    """A *non-tail* WAL record failed its CRC or framing check.
+
+    A torn final record is the expected signature of a crash mid-append
+    and is silently truncated (with a metric).  A bad record in the
+    middle of the journal — with acknowledged records after it — means
+    bit rot or tampering; replaying past it would silently drop
+    acknowledged events, so recovery refuses loudly instead."""
 
 
 #: The valid ``on_error`` policies, in increasing order of leniency.

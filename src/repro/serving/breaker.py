@@ -15,10 +15,19 @@ States per key (standard closed / open / half-open automaton):
 * **half-open** — the cooldown passed; one probe attempt is allowed.  A
   success closes the breaker, another timeout re-opens it with a longer
   cooldown.
+
+The breaker is thread-safe: every transition happens under one lock,
+and granting the half-open probe *re-arms* the cooldown, so exactly one
+caller per cooldown window wins the probe — two threads observing the
+cooldown's end concurrently cannot both probe (the classic half-open
+stampede), and a probe whose outcome is never reported (the caller
+crashed or hit an unrelated error) simply forfeits its window instead
+of wedging the breaker half-open forever.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
@@ -71,49 +80,115 @@ class CircuitBreaker:
         self._m_open = transitions.child(state="open")
         self._m_half_open = transitions.child(state="half-open")
         self._m_closed = transitions.child(state="closed")
+        self._lock = threading.RLock()
+
+    def _cooldown(self, trips: int) -> float:
+        return min(self.cooldown_max, self.cooldown_base * (2 ** (max(trips, 1) - 1)))
 
     # ------------------------------------------------------------------
     def allow(self, key: Hashable) -> bool:
-        """Whether an attempt on ``key`` is currently admitted."""
-        state = self._states.get(key)
-        if state is None or state.trips == 0 and state.open_until == float("-inf"):
-            return True
-        if self.clock() >= state.open_until:
-            # Cooldown over: admit one probe (half-open).
-            if not state.half_open:
+        """Whether an attempt on ``key`` is currently admitted.
+
+        At the end of a cooldown exactly *one* caller is granted the
+        half-open probe: granting it re-arms ``open_until`` by the
+        current cooldown, so concurrent callers racing past the same
+        cooldown boundary see the breaker open again and back off.
+        """
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or (
+                state.trips == 0 and state.open_until == float("-inf")
+            ):
+                return True
+            now = self.clock()
+            if now >= state.open_until:
+                # Cooldown over: admit one probe (half-open) and re-arm
+                # so no second caller can double-probe this window.
                 self._m_half_open.inc()
-            state.half_open = True
-            return True
-        return False
+                state.half_open = True
+                state.open_until = now + self._cooldown(state.trips)
+                return True
+            return False
 
     def record_timeout(self, key: Hashable) -> bool:
         """Account one timeout on ``key``; returns True if this *trips* it."""
-        state = self._states.setdefault(key, _BreakerState())
-        state.consecutive_timeouts += 1
-        tripped = state.half_open or state.consecutive_timeouts >= self.threshold
-        if tripped:
-            state.trips += 1
-            cooldown = min(
-                self.cooldown_max, self.cooldown_base * (2 ** (state.trips - 1))
-            )
-            state.open_until = self.clock() + cooldown
-            state.consecutive_timeouts = 0
-            state.half_open = False
-            self._m_open.inc()
-        return tripped
+        with self._lock:
+            state = self._states.setdefault(key, _BreakerState())
+            state.consecutive_timeouts += 1
+            tripped = state.half_open or state.consecutive_timeouts >= self.threshold
+            if tripped:
+                state.trips += 1
+                state.open_until = self.clock() + self._cooldown(state.trips)
+                state.consecutive_timeouts = 0
+                state.half_open = False
+                self._m_open.inc()
+            return tripped
 
     def record_success(self, key: Hashable) -> None:
         """A completed attempt closes the breaker and forgets its history."""
-        if self._states.pop(key, None) is not None:
-            self._m_closed.inc()
+        with self._lock:
+            if self._states.pop(key, None) is not None:
+                self._m_closed.inc()
 
     def is_open(self, key: Hashable) -> bool:
         """Whether ``key`` is currently rejecting attempts."""
-        state = self._states.get(key)
-        return state is not None and self.clock() < state.open_until
+        with self._lock:
+            state = self._states.get(key)
+            return state is not None and self.clock() < state.open_until
 
     @property
     def open_keys(self) -> list[Hashable]:
         """Keys currently in the open state."""
-        now = self.clock()
-        return [k for k, s in self._states.items() if now < s.open_until]
+        with self._lock:
+            now = self.clock()
+            return [k for k, s in self._states.items() if now < s.open_until]
+
+    # ------------------------------------------------------------------
+    # Durability (used by the streaming WAL snapshots)
+    # ------------------------------------------------------------------
+    def snapshot_states(self) -> list:
+        """JSON-serializable per-key state for a durable snapshot.
+
+        Keys must be strings or tuples of strings (the streaming
+        detector's pair keys).  ``open_until`` is stored as *remaining*
+        cooldown seconds relative to this breaker's clock, so a restore
+        in a new process — whose monotonic clock starts elsewhere —
+        resumes the same residual cooldown.
+        """
+        with self._lock:
+            now = self.clock()
+            entries = []
+            for key, state in self._states.items():
+                encoded = list(key) if isinstance(key, tuple) else key
+                remaining = state.open_until - now
+                if remaining == float("-inf"):
+                    remaining = None  # never tripped: no cooldown running
+                entries.append(
+                    [
+                        encoded,
+                        {
+                            "consecutive_timeouts": state.consecutive_timeouts,
+                            "trips": state.trips,
+                            "remaining_s": remaining,
+                            "half_open": state.half_open,
+                        },
+                    ]
+                )
+            return entries
+
+    def restore_states(self, entries: list) -> None:
+        """Inverse of :meth:`snapshot_states` (replaces current states)."""
+        with self._lock:
+            self._states.clear()
+            now = self.clock()
+            for encoded, payload in entries:
+                key = tuple(encoded) if isinstance(encoded, list) else encoded
+                remaining = payload.get("remaining_s")
+                self._states[key] = _BreakerState(
+                    consecutive_timeouts=int(payload["consecutive_timeouts"]),
+                    trips=int(payload["trips"]),
+                    open_until=(
+                        float("-inf") if remaining is None else now + float(remaining)
+                    ),
+                    half_open=bool(payload["half_open"]),
+                )

@@ -1,0 +1,674 @@
+"""Durable streaming: a write-ahead log for the online co-location path.
+
+The batch pipeline got checkpoint-resume (:mod:`repro.checkpoint`); this
+module gives the *streaming* path the same crash story.  Every mutating
+command a :class:`~repro.streaming.StreamingColocationDetector` accepts —
+an ``offer``, a direct ``ingest``, a ``drain`` — is journaled here
+*before* it touches detector state, so a ``kill -9`` at any instant
+loses nothing that was acknowledged:
+
+* **Segmented, CRC-checked log.**  Records are length-prefixed binary
+  frames with a CRC32 over the payload, appended to segment files named
+  by their first log sequence number (LSN).  Segments rotate at a
+  bounded record count and whenever a snapshot is taken.
+* **Append-fsync with a batching knob.**  ``fsync_every=1`` (default)
+  makes every acknowledged record durable before the detector applies
+  it; larger values trade bounded staleness (at most ``fsync_every - 1``
+  tail records) for amortized fsync cost.
+* **Snapshots.**  Detector state (windows, pending queue, stream clock,
+  admission counters, breaker states, last pair scores) is written with
+  the atomic, directory-fsynced write-rename idiom from
+  :mod:`repro.checkpoint`.  The newest ``keep_snapshots`` snapshots are
+  retained; segments fully covered by the *oldest retained* snapshot are
+  pruned, so disk usage tracks the active-window horizon instead of the
+  stream's lifetime.
+* **Deterministic replay.**  Recovery (:func:`load_wal`, driven by
+  :meth:`StreamingColocationDetector.recover`) restores the newest valid
+  snapshot and re-executes the journaled command tail in order.  The
+  detector's command handlers are deterministic functions of prior
+  state, so the recovered detector — windows, pending queue, shed and
+  malformed counters — is bitwise-identical to an uncrashed run, and so
+  are the :class:`~repro.streaming.PairScore` values it produces.
+* **Torn-tail truncation vs. corruption.**  A torn frame at the *end*
+  of the last segment is the expected signature of a crash mid-append:
+  it is truncated away, counted in
+  ``repro_wal_records_total{outcome="truncated"}``, and reported in the
+  :class:`RecoveryReport`.  A bad frame anywhere *before* acknowledged
+  records raises :class:`~repro.errors.WALCorruptionError` — replaying
+  past it would silently drop data.
+
+The on-disk layout of a WAL directory::
+
+    wal-meta.json                  # config + fingerprint, written once
+    wal-0000000000000000.log       # segment starting at LSN 0
+    wal-0000000000000512.log       # ...
+    snapshot-0000000000000512.json # state covering every LSN < 512
+
+Frame format (little-endian)::
+
+    +----------------+----------------+------------------------+
+    | payload length | CRC32(payload) | payload                |
+    | uint32         | uint32         | op byte + body         |
+    +----------------+----------------+------------------------+
+
+    op 0x01 OFFER  / 0x02 INGEST: <ddd> x, y, t  + utf-8 object id
+    op 0x03 DRAIN:                <q>   limit (-1 = drain all)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from time import perf_counter
+
+from .checkpoint import fingerprint_digest, fsync_directory, write_json_atomic
+from .errors import WALCorruptionError, WALError, WALWriteError
+from .obs import get_registry
+
+__all__ = [
+    "StreamingWAL",
+    "RecoveryReport",
+    "WALRecovery",
+    "load_wal",
+    "read_meta",
+    "OP_OFFER",
+    "OP_INGEST",
+    "OP_DRAIN",
+]
+
+# Injection seams for fault tests (disk-full, failing fsync).  The chaos
+# harness monkeypatches these module attributes instead of the global os
+# functions so only the WAL feels the fault.
+_os_write = os.write
+_os_fsync = os.fsync
+
+SEGMENT_MAGIC = b"RWALSEG1"
+_HEADER = struct.Struct("<II")
+_EVENT_BODY = struct.Struct("<ddd")
+_DRAIN_BODY = struct.Struct("<q")
+
+OP_OFFER = 0x01
+OP_INGEST = 0x02
+OP_DRAIN = 0x03
+
+META_NAME = "wal-meta.json"
+META_VERSION = 1
+SNAPSHOT_VERSION = 1
+
+_SEGMENT_FMT = "wal-{:016d}.log"
+_SNAPSHOT_FMT = "snapshot-{:016d}.json"
+
+
+def _encode_op(op: tuple) -> bytes:
+    """Serialize one journal command to its binary payload."""
+    kind = op[0]
+    if kind == "offer" or kind == "ingest":
+        _, oid, x, y, t = op
+        code = OP_OFFER if kind == "offer" else OP_INGEST
+        return bytes([code]) + _EVENT_BODY.pack(x, y, t) + oid.encode("utf-8")
+    if kind == "drain":
+        return bytes([OP_DRAIN]) + _DRAIN_BODY.pack(int(op[1]))
+    raise ValueError(f"unknown WAL op {kind!r}")
+
+
+def _decode_op(payload: bytes) -> tuple:
+    """Inverse of :func:`_encode_op`; raises ``ValueError`` on bad framing."""
+    if not payload:
+        raise ValueError("empty WAL payload")
+    code = payload[0]
+    if code in (OP_OFFER, OP_INGEST):
+        if len(payload) < 1 + _EVENT_BODY.size:
+            raise ValueError("short event payload")
+        x, y, t = _EVENT_BODY.unpack_from(payload, 1)
+        oid = payload[1 + _EVENT_BODY.size :].decode("utf-8")
+        return ("offer" if code == OP_OFFER else "ingest", oid, x, y, t)
+    if code == OP_DRAIN:
+        if len(payload) != 1 + _DRAIN_BODY.size:
+            raise ValueError("bad drain payload length")
+        return ("drain", _DRAIN_BODY.unpack_from(payload, 1)[0])
+    raise ValueError(f"unknown WAL op code {code:#x}")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _segment_path(directory: FilePath, start_lsn: int) -> FilePath:
+    return directory / _SEGMENT_FMT.format(start_lsn)
+
+
+def _list_segments(directory: FilePath) -> list[tuple[int, FilePath]]:
+    """``(start_lsn, path)`` of every segment file, ascending."""
+    found = []
+    for path in directory.glob("wal-*.log"):
+        try:
+            found.append((int(path.stem.split("-", 1)[1]), path))
+        except (IndexError, ValueError):
+            raise WALCorruptionError(f"unrecognized segment filename {path.name}")
+    return sorted(found)
+
+
+def _list_snapshots(directory: FilePath) -> list[tuple[int, FilePath]]:
+    found = []
+    for path in directory.glob("snapshot-*.json"):
+        try:
+            found.append((int(path.stem.split("-", 1)[1]), path))
+        except (IndexError, ValueError):
+            continue  # not ours (e.g. an editor backup); never load it
+    return sorted(found)
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`load_wal` found and did, for logs and assertions."""
+
+    snapshot_lsn: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    truncated_records: int = 0
+    truncated_bytes: int = 0
+    invalid_snapshots: int = 0
+    segments_scanned: int = 0
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable account of the recovery, for logs."""
+        parts = [
+            f"snapshot@{self.snapshot_lsn}",
+            f"replayed {self.replayed}",
+            f"skipped {self.skipped}",
+        ]
+        if self.truncated_records:
+            parts.append(
+                f"truncated {self.truncated_records} torn record(s) "
+                f"({self.truncated_bytes} B)"
+            )
+        if self.invalid_snapshots:
+            parts.append(f"ignored {self.invalid_snapshots} invalid snapshot(s)")
+        return ", ".join(parts)
+
+
+@dataclass
+class WALRecovery:
+    """Everything recovery needs: config, state, the tail to replay."""
+
+    config: dict
+    state: dict | None
+    ops: list[tuple]
+    next_lsn: int
+    report: RecoveryReport = field(default_factory=RecoveryReport)
+
+
+def read_meta(directory: str | FilePath) -> dict:
+    """The WAL directory's config record; raises :class:`WALError` if absent."""
+    path = FilePath(directory) / META_NAME
+    if not path.exists():
+        raise WALError(
+            f"{directory} holds no WAL metadata ({META_NAME}); "
+            "nothing to recover from"
+        )
+    try:
+        with open(path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WALError(f"unreadable WAL metadata {path}: {exc}") from exc
+    if "config" not in meta or "fingerprint" not in meta:
+        raise WALError(f"WAL metadata {path} is missing required fields")
+    return meta
+
+
+def _read_segment(path: FilePath) -> tuple[list[tuple], int | None, int]:
+    """Parse one segment.
+
+    Returns ``(ops, bad_offset, file_size)`` where ``bad_offset`` is the
+    byte offset of the first unreadable frame (``None`` when the segment
+    is clean).  Unreadable covers: short/absent magic, a truncated
+    header, a payload shorter than its declared length, a CRC mismatch,
+    and an undecodable payload.
+    """
+    data = path.read_bytes()
+    size = len(data)
+    if size < len(SEGMENT_MAGIC) or data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        return [], 0, size
+    ops: list[tuple] = []
+    offset = len(SEGMENT_MAGIC)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            return ops, offset, size
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            return ops, offset, size
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return ops, offset, size
+        try:
+            ops.append(_decode_op(payload))
+        except ValueError:
+            return ops, offset, size
+        offset = end
+    return ops, None, size
+
+
+def load_wal(directory: str | FilePath, registry=None) -> WALRecovery:
+    """Read a WAL directory back: newest valid snapshot + command tail.
+
+    Torn tail frames in the *last* segment are truncated in place (the
+    expected crash signature, counted in the metrics and the report);
+    damage anywhere else raises
+    :class:`~repro.errors.WALCorruptionError`.
+    """
+    t0 = perf_counter()
+    directory = FilePath(directory)
+    registry = registry if registry is not None else get_registry()
+    records = registry.counter(
+        "repro_wal_records_total", "WAL records by lifecycle outcome"
+    )
+    report = RecoveryReport()
+    meta = read_meta(directory)
+    expected_fp = meta["fingerprint"]
+
+    # Newest snapshot whose JSON parses and whose fingerprint matches.
+    state: dict | None = None
+    snap_lsn = 0
+    for lsn, path in reversed(_list_snapshots(directory)):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            report.invalid_snapshots += 1
+            continue
+        if data.get("fingerprint") != expected_fp or "state" not in data:
+            report.invalid_snapshots += 1
+            continue
+        state, snap_lsn = data["state"], int(data.get("lsn", lsn))
+        break
+    report.snapshot_lsn = snap_lsn
+
+    segments = _list_segments(directory)
+    report.segments_scanned = len(segments)
+    ops: list[tuple] = []
+    next_lsn = snap_lsn
+    expected_start: int | None = None
+    for index, (start_lsn, path) in enumerate(segments):
+        last = index == len(segments) - 1
+        if expected_start is not None and start_lsn != expected_start:
+            raise WALCorruptionError(
+                f"WAL segment gap in {directory}: expected a segment starting "
+                f"at LSN {expected_start}, found {path.name}"
+            )
+        seg_ops, bad_offset, size = _read_segment(path)
+        if bad_offset is not None:
+            if not last:
+                raise WALCorruptionError(
+                    f"corrupt record at byte {bad_offset} of non-final WAL "
+                    f"segment {path.name}; acknowledged records after it "
+                    "would be lost — refusing to replay past the damage"
+                )
+            # Torn tail from a crash mid-append: truncate and carry on.
+            report.truncated_records += 1  # at least one; framing is gone past it
+            report.truncated_bytes = size - bad_offset
+            records.inc(outcome="truncated")
+            if bad_offset == 0:
+                # The segment header itself is torn (crash during segment
+                # creation); the file carries nothing usable.
+                path.unlink()
+            else:
+                with open(path, "r+b") as handle:
+                    handle.truncate(bad_offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            fsync_directory(directory)
+        end_lsn = start_lsn + len(seg_ops)
+        expected_start = end_lsn
+        for k, op in enumerate(seg_ops):
+            lsn = start_lsn + k
+            if lsn < snap_lsn:
+                report.skipped += 1
+            else:
+                ops.append(op)
+        next_lsn = max(next_lsn, end_lsn)
+
+    if segments and segments[0][0] > snap_lsn:
+        raise WALCorruptionError(
+            f"WAL in {directory} is missing records [{snap_lsn}, "
+            f"{segments[0][0]}): the oldest segment starts after the newest "
+            "usable snapshot"
+        )
+    if not segments and state is None and snap_lsn == 0:
+        # A bound-but-empty WAL: legal, recovers to a fresh detector.
+        pass
+
+    report.replayed = len(ops)
+    records.inc(len(ops), outcome="replayed")
+    report.elapsed_s = perf_counter() - t0
+    return WALRecovery(
+        config=meta["config"], state=state, ops=ops, next_lsn=next_lsn, report=report
+    )
+
+
+class StreamingWAL:
+    """Append side of the durable streaming layer.
+
+    Parameters
+    ----------
+    directory:
+        The WAL directory (created if missing).  One directory belongs
+        to one detector configuration; the config fingerprint is pinned
+        in ``wal-meta.json`` on first bind and validated ever after.
+    fsync_every:
+        Records per fsync.  ``1`` (default) fsyncs inside every append —
+        an acknowledged record is durable before the detector applies
+        it.  Larger values buffer frames and flush per batch: at most
+        ``fsync_every - 1`` acknowledged tail records can be lost to a
+        crash (bounded staleness), never a middle one.
+    segment_max_records:
+        Rotation threshold; segments also rotate at every snapshot.
+    snapshot_every:
+        Appends between automatic snapshots (taken by the detector via
+        :meth:`should_snapshot`); ``None`` disables automatic snapshots.
+    keep_snapshots:
+        Snapshots retained (>= 1).  Segments fully covered by the oldest
+        retained snapshot are pruned; keeping two means a torn newest
+        snapshot still leaves a valid older one *with* its replay tail.
+    registry:
+        Metrics registry override (defaults to the process registry).
+    """
+
+    def __init__(
+        self,
+        directory: str | FilePath,
+        *,
+        fsync_every: int = 1,
+        segment_max_records: int = 2048,
+        snapshot_every: int | None = 512,
+        keep_snapshots: int = 2,
+        registry=None,
+    ):
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        if segment_max_records < 1:
+            raise ValueError(
+                f"segment_max_records must be >= 1, got {segment_max_records}"
+            )
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self.directory = FilePath(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = int(fsync_every)
+        self.segment_max_records = int(segment_max_records)
+        self.snapshot_every = None if snapshot_every is None else int(snapshot_every)
+        self.keep_snapshots = int(keep_snapshots)
+        self.fingerprint: str | None = None
+        self._fd: int | None = None
+        self._buffer = bytearray()
+        self._buffered_records = 0
+        self._next_lsn = 0
+        self._segment_start = 0
+        self._segment_records = 0
+        self._since_snapshot = 0
+        self._positioned = False
+        self._bound = False
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        records = reg.counter(
+            "repro_wal_records_total", "WAL records by lifecycle outcome"
+        )
+        self._m_appended = records.child(outcome="appended")
+        self._h_fsync = reg.histogram(
+            "repro_wal_fsync_seconds", "Wall seconds per WAL flush (write+fsync)"
+        ).child()
+        segments = reg.counter(
+            "repro_wal_segments_total", "WAL segment lifecycle events"
+        )
+        self._m_rotated = segments.child(event="rotated")
+        self._m_pruned = segments.child(event="pruned")
+        self._m_snapshots = reg.counter(
+            "repro_wal_snapshots_total", "Detector state snapshots written"
+        ).child()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next appended record will get."""
+        return self._next_lsn
+
+    def bind(self, config: dict) -> None:
+        """Pin this directory to one detector configuration.
+
+        Called by :meth:`StreamingColocationDetector.attach_wal`.  The
+        first bind writes ``wal-meta.json``; later binds validate the
+        fingerprint (:class:`~repro.errors.WALError` on mismatch).  A
+        *fresh* detector may only bind an empty journal — a directory
+        with history must go through
+        :meth:`StreamingColocationDetector.recover`, otherwise the
+        journal and the in-memory state would silently diverge.
+        """
+        fingerprint = fingerprint_digest(config, length=16)
+        meta_path = self.directory / META_NAME
+        if meta_path.exists():
+            meta = read_meta(self.directory)
+            if meta["fingerprint"] != fingerprint:
+                raise WALError(
+                    f"WAL directory {self.directory} belongs to a different "
+                    f"detector configuration: found fingerprint "
+                    f"{meta['fingerprint']}, this detector is {fingerprint}"
+                )
+        else:
+            write_json_atomic(
+                meta_path,
+                {
+                    "version": META_VERSION,
+                    "fingerprint": fingerprint,
+                    "config": config,
+                },
+            )
+        if not self._positioned:
+            if _list_segments(self.directory) or _list_snapshots(self.directory):
+                raise WALError(
+                    f"WAL directory {self.directory} already holds journaled "
+                    "history; attach it via StreamingColocationDetector."
+                    "recover() instead of a fresh detector"
+                )
+            self._positioned = True
+        self.fingerprint = fingerprint
+        self._bound = True
+        if self._fd is None:
+            self._open_segment(self._next_lsn)
+
+    def resume_at(self, next_lsn: int) -> None:
+        """Position the append side after recovery (internal API)."""
+        if self._bound:
+            raise WALError("resume_at must be called before bind()")
+        self._next_lsn = int(next_lsn)
+        self._positioned = True
+
+    def close(self) -> None:
+        """Flush buffered records and release the segment file."""
+        if self._fd is not None:
+            try:
+                self.flush()
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "StreamingWAL":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def append(self, op: tuple) -> int:
+        """Journal one command; returns its LSN.
+
+        The frame is written (and, per ``fsync_every``, fsynced) before
+        the caller mutates detector state.  On any OS-level failure the
+        partial frame is truncated away and
+        :class:`~repro.errors.WALWriteError` is raised — the caller must
+        *not* apply the command.
+        """
+        if not self._bound:
+            raise WALError("WAL is not bound to a detector (call bind() first)")
+        if self._segment_records >= self.segment_max_records:
+            self._rotate()
+        frame = _frame(_encode_op(op))
+        self._buffer += frame
+        self._buffered_records += 1
+        try:
+            if self._buffered_records >= self.fsync_every:
+                self._flush_buffer()
+        except WALWriteError:
+            # The failing command was never applied; drop its frame so a
+            # later flush cannot journal an event that has no effect.
+            del self._buffer[len(self._buffer) - len(frame) :]
+            self._buffered_records -= 1
+            raise
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._segment_records += 1
+        self._since_snapshot += 1
+        self._m_appended.inc()
+        return lsn
+
+    def flush(self) -> None:
+        """Force buffered frames to disk (write + fsync)."""
+        self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer:
+            return
+        if self._fd is None:
+            raise WALWriteError(f"WAL segment in {self.directory} is closed")
+        t0 = perf_counter()
+        written = 0
+        view = memoryview(bytes(self._buffer))
+        try:
+            while written < len(view):
+                written += _os_write(self._fd, view[written:])
+            _os_fsync(self._fd)
+        except OSError as exc:
+            # Roll the file back to its last durable prefix so the torn
+            # frame cannot sit *before* future appends (which would turn
+            # an innocent torn tail into mid-log corruption).
+            try:
+                os.ftruncate(self._fd, self._synced_size)
+            except OSError:
+                pass
+            raise WALWriteError(
+                f"WAL append to {self.directory} failed: {exc}"
+            ) from exc
+        self._synced_size += len(view)
+        self._buffer.clear()
+        self._buffered_records = 0
+        self._h_fsync.observe(perf_counter() - t0)
+
+    def _open_segment(self, start_lsn: int) -> None:
+        path = _segment_path(self.directory, start_lsn)
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            # A crash right after rotation (or a recovery resuming at a
+            # rotation boundary) can leave this segment already created,
+            # magic written: appending the magic again would corrupt the
+            # framing, so only stamp files that need it.
+            size = os.fstat(fd).st_size
+            if 0 < size < len(SEGMENT_MAGIC):
+                os.ftruncate(fd, 0)  # torn magic from a crash mid-creation
+                size = 0
+            if size == 0:
+                magic = memoryview(SEGMENT_MAGIC)
+                written = 0
+                while written < len(magic):
+                    written += _os_write(fd, magic[written:])
+                _os_fsync(fd)
+                fsync_directory(self.directory)
+                size = len(SEGMENT_MAGIC)
+        except OSError as exc:
+            os.close(fd)
+            raise WALWriteError(
+                f"cannot start WAL segment {path.name}: {exc}"
+            ) from exc
+        self._fd = fd
+        self._segment_start = start_lsn
+        self._segment_records = 0
+        self._synced_size = size
+
+    def _rotate(self) -> None:
+        self.flush()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        self._open_segment(self._next_lsn)
+        self._m_rotated.inc()
+
+    # ------------------------------------------------------------------
+    # Snapshots & retention
+    # ------------------------------------------------------------------
+    def should_snapshot(self) -> bool:
+        """Whether enough appends piled up for an automatic snapshot."""
+        return (
+            self.snapshot_every is not None
+            and self._since_snapshot >= self.snapshot_every
+        )
+
+    def write_snapshot(self, state: dict) -> FilePath:
+        """Persist detector ``state`` as covering every LSN < ``next_lsn``.
+
+        Buffered records are flushed first (the snapshot includes their
+        effects), the snapshot file is written atomically, the active
+        segment rotates so retention can prune it later, and snapshots
+        beyond ``keep_snapshots`` (plus the segments they cover) are
+        deleted.
+        """
+        if not self._bound:
+            raise WALError("WAL is not bound to a detector (call bind() first)")
+        self.flush()
+        path = self.directory / _SNAPSHOT_FMT.format(self._next_lsn)
+        write_json_atomic(
+            path,
+            {
+                "version": SNAPSHOT_VERSION,
+                "fingerprint": self.fingerprint,
+                "lsn": self._next_lsn,
+                "state": state,
+            },
+        )
+        self._since_snapshot = 0
+        self._m_snapshots.inc()
+        if self._segment_records:
+            self._rotate()
+        self._retire()
+        return path
+
+    def _retire(self) -> None:
+        """Drop snapshots beyond the retention count and covered segments."""
+        snapshots = _list_snapshots(self.directory)
+        for _, path in snapshots[: -self.keep_snapshots]:
+            path.unlink(missing_ok=True)
+        snapshots = snapshots[-self.keep_snapshots :]
+        if not snapshots:
+            return
+        keep_lsn = snapshots[0][0]
+        segments = _list_segments(self.directory)
+        pruned = False
+        # Segment i covers [start_i, start_{i+1}); prunable when that
+        # whole range is below the oldest retained snapshot.  The last
+        # (active) segment always stays.
+        for (start, path), (next_start, _) in zip(segments, segments[1:]):
+            if next_start <= keep_lsn:
+                path.unlink(missing_ok=True)
+                self._m_pruned.inc()
+                pruned = True
+        if pruned:
+            fsync_directory(self.directory)

@@ -1,0 +1,126 @@
+"""Subprocess driver for the streaming-recovery chaos harness.
+
+Runs a seeded, fully deterministic command schedule (offers, direct
+ingests, drains, duplicates, malformed and stale sightings) against a
+WAL-attached :class:`~repro.streaming.StreamingColocationDetector`, and
+``SIGKILL``s itself *immediately before* applying the command at index
+``KILL_AT`` — the hardest possible crash: no flush, no atexit, no
+``close()``.  The parent test recovers the WAL directory and compares
+against an in-process reference detector fed the same command prefix.
+
+Usage::
+
+    python chaos_child.py WAL_DIR SEED KILL_AT FSYNC_EVERY SNAPSHOT_EVERY SEGMENT_MAX
+
+``KILL_AT = -1`` runs the whole schedule, closes cleanly and prints
+``DONE <stream_time>``.  ``SNAPSHOT_EVERY = 0`` disables automatic
+snapshots.  The schedule generator and detector configuration live here
+(not in the test) so parent and child can never drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel
+from repro.streaming import SightingEvent, StreamingColocationDetector
+from repro.streaming_wal import StreamingWAL
+
+GRID = (0.0, 0.0, 40.0, 20.0)
+CELL_SIZE = 2.0
+WINDOW = 90.0
+SIGMA = 2.0
+MIN_POINTS = 3
+MAX_PENDING = 12
+N_OPS = 120
+
+
+def make_detector(wal=None, registry=None):
+    """The one detector configuration the whole harness agrees on."""
+    return StreamingColocationDetector(
+        Grid(*GRID, cell_size=CELL_SIZE),
+        window=WINDOW,
+        noise_model=GaussianNoiseModel(SIGMA),
+        min_points=MIN_POINTS,
+        on_error="skip",
+        max_pending=MAX_PENDING,
+        wal=wal,
+        registry=registry,
+    )
+
+
+def command_schedule(seed, n_ops=N_OPS):
+    """A deterministic mixed workload exercising every ingest path.
+
+    Mostly in-order offers and ingests for five objects, salted with
+    duplicate timestamps, malformed (NaN) sightings, stale events far
+    behind the window horizon, and partial/full drains — so shedding,
+    late-drop, duplicate and malformed accounting all replay.
+    """
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    last_t = {}
+    ops = []
+    for _ in range(n_ops):
+        roll = float(rng.uniform())
+        oid = f"dev-{int(rng.integers(0, 5))}"
+        x = float(rng.uniform(*GRID[0::2]))
+        y = float(rng.uniform(*GRID[1::2]))
+        if roll < 0.55:  # fresh offer through the admission queue
+            t += float(rng.exponential(2.0))
+            ops.append(("offer", oid, x, y, t))
+            last_t[oid] = t
+        elif roll < 0.72:  # direct ingest, bypassing the queue
+            t += float(rng.exponential(2.0))
+            ops.append(("ingest", oid, x, y, t))
+            last_t[oid] = t
+        elif roll < 0.80 and last_t:  # duplicate timestamp, new coords
+            dup = sorted(last_t)[int(rng.integers(0, len(last_t)))]
+            ops.append(("ingest", dup, x, y, last_t[dup]))
+        elif roll < 0.86:  # malformed sighting (skipped + counted)
+            ops.append(("offer", oid, float("nan"), y, t))
+        elif roll < 0.92:  # stale event far behind the horizon
+            ops.append(("ingest", oid, x, y, max(0.0, t - 10.0 * WINDOW)))
+        else:  # drain part (or all) of the queue
+            limit = int(rng.integers(1, 8)) if roll < 0.97 else -1
+            ops.append(("drain", limit))
+    return ops
+
+
+def apply_op(detector, op):
+    """Apply one schedule command through the public detector API."""
+    kind = op[0]
+    if kind == "offer":
+        detector.offer(SightingEvent(*op[1:]))
+    elif kind == "ingest":
+        detector.ingest(SightingEvent(*op[1:]))
+    else:
+        detector.drain(None if op[1] < 0 else op[1])
+
+
+def main(argv):
+    wal_dir, seed, kill_at = argv[1], int(argv[2]), int(argv[3])
+    fsync_every, snapshot_every, segment_max = (int(a) for a in argv[4:7])
+    wal = StreamingWAL(
+        wal_dir,
+        fsync_every=fsync_every,
+        snapshot_every=snapshot_every or None,
+        segment_max_records=segment_max,
+    )
+    detector = make_detector(wal=wal)
+    for index, op in enumerate(command_schedule(seed)):
+        if index == kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        apply_op(detector, op)
+    detector.close()
+    print(f"DONE {detector.stream_time!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,287 @@
+"""Chaos harness for the streaming WAL: kill, corrupt, fill the disk.
+
+Each scenario drives the seeded workload from
+:mod:`tests.faultinjection.chaos_child` into a fault, recovers the WAL
+directory with :meth:`StreamingColocationDetector.recover`, and asserts
+the durability invariants of ``repro.streaming_wal``:
+
+* after a ``SIGKILL`` at *any* schedule point, the recovered detector's
+  state — windows, pending queue, stream clock, shed/malformed/duplicate
+  counters — is **bitwise identical** to an uncrashed reference fed the
+  same command prefix, and so are its :class:`PairScore` results;
+* no command acknowledged by ``offer``/``ingest``/``drain`` before the
+  kill is lost (exactly-once resume, including crash → recover → crash);
+* torn tail frames are truncated and *counted*, never crashed on;
+* damage to acknowledged history (a corrupt middle segment) refuses
+  recovery loudly with :class:`WALCorruptionError`;
+* a full disk fails the *command*, not the detector: state is unchanged
+  and the stream resumes once space frees up.
+
+Seeds come from the fixed matrix ``{0, 1, 2}``; CI shards them via the
+``REPRO_CHAOS_SEED`` environment variable.  When
+``REPRO_CHAOS_ARTIFACT_DIR`` is set, WAL directories are created under
+it (instead of pytest's tmp dir) so a failing run's journal can be
+uploaded for post-mortem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import WALCorruptionError, WALWriteError
+from repro.obs import MetricsRegistry
+from repro.streaming import StreamingColocationDetector
+from repro.streaming_wal import StreamingWAL, _list_segments, load_wal
+
+from . import chaos_child
+
+CHILD = Path(chaos_child.__file__).resolve()
+SRC = CHILD.parents[2] / "src"
+
+ALL_SEEDS = (0, 1, 2)
+
+
+def _selected_seeds():
+    chosen = os.environ.get("REPRO_CHAOS_SEED")
+    if chosen is None:
+        return ALL_SEEDS
+    return tuple(int(s) for s in chosen.split(","))
+
+
+@pytest.fixture(params=_selected_seeds())
+def seed(request):
+    return request.param
+
+
+@pytest.fixture
+def wal_dir(tmp_path, request):
+    base = os.environ.get("REPRO_CHAOS_ARTIFACT_DIR")
+    if not base:
+        return tmp_path / "wal"
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in request.node.name)
+    path = Path(base).resolve() / safe
+    shutil.rmtree(path, ignore_errors=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def kill_point(seed, lo=20, hi=chaos_child.N_OPS - 10):
+    """Deterministic per-seed fault point inside the schedule."""
+    return int(np.random.default_rng(1000 + seed).integers(lo, hi))
+
+
+def run_child(wal_dir, seed, kill_at, *, fsync_every=1, snapshot_every=25,
+              segment_max=32):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [
+            sys.executable, str(CHILD), str(wal_dir), str(seed), str(kill_at),
+            str(fsync_every), str(snapshot_every), str(segment_max),
+        ],
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+
+
+def reference_after(seed, upto):
+    """An uncrashed detector fed the first ``upto`` schedule commands."""
+    detector = chaos_child.make_detector(registry=MetricsRegistry())
+    for op in chaos_child.command_schedule(seed)[:upto]:
+        chaos_child.apply_op(detector, op)
+    return detector
+
+
+def state_json(detector):
+    """Canonical bitwise state: JSON reprs are exact for IEEE doubles,
+    and NaN/±Infinity serialize to stable literals (dict equality would
+    trip over NaN != NaN in the pending queue)."""
+    return json.dumps(detector._state_dict(), sort_keys=True)
+
+
+def assert_bitwise_equal(recovered, reference, scores=True):
+    assert state_json(recovered) == state_json(reference)
+    if scores:
+        assert recovered.evaluate() == reference.evaluate()
+
+
+class TestSigkill:
+    def test_kill_mid_stream_recovers_bitwise(self, wal_dir, seed):
+        kill_at = kill_point(seed)
+        proc = run_child(wal_dir, seed, kill_at)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        recovered = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry()
+        )
+        # Every command acknowledged before the kill — and nothing else.
+        report = recovered.last_recovery
+        assert report.snapshot_lsn + report.replayed + report.skipped >= kill_at
+        assert_bitwise_equal(recovered, reference_after(seed, kill_at))
+        recovered.close()
+
+    def test_kill_recover_kill_recover(self, wal_dir, seed):
+        """Exactly-once survives repeated crashes with resumed ingest."""
+        first = kill_point(seed, lo=20, hi=60)
+        second = kill_point(seed, lo=70, hi=chaos_child.N_OPS - 10)
+        proc = run_child(wal_dir, seed, first)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        survivor = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry(), snapshot_every=25,
+            segment_max_records=32,
+        )
+        ops = chaos_child.command_schedule(seed)
+        for op in ops[first:second]:
+            chaos_child.apply_op(survivor, op)
+        # Second crash: abandon the survivor without flush or close
+        # (fsync_every=1 made every acknowledged command durable).
+        del survivor
+        recovered = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry()
+        )
+        assert_bitwise_equal(recovered, reference_after(seed, second))
+        recovered.close()
+
+    def test_uncrashed_child_completes(self, wal_dir, seed):
+        proc = run_child(wal_dir, seed, -1)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("DONE")
+        recovered = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry()
+        )
+        assert_bitwise_equal(
+            recovered, reference_after(seed, chaos_child.N_OPS), scores=False
+        )
+        recovered.close()
+
+
+class TestKillDuringSnapshot:
+    def test_kill_between_snapshot_and_rotation(self, wal_dir, seed, monkeypatch):
+        """Crash after the snapshot rename but before segment rotation.
+
+        The directory then holds a snapshot covering the whole journal
+        *plus* an un-rotated segment full of records below the snapshot
+        LSN — recovery must skip them all and still match the reference.
+        """
+        kill_at = kill_point(seed)
+
+        class Killed(BaseException):
+            pass
+
+        def killed(self):
+            raise Killed
+
+        wal = StreamingWAL(
+            wal_dir, fsync_every=1, snapshot_every=None,
+            segment_max_records=10_000, registry=MetricsRegistry(),
+        )
+        detector = chaos_child.make_detector(wal=wal, registry=MetricsRegistry())
+        for op in chaos_child.command_schedule(seed)[:kill_at]:
+            chaos_child.apply_op(detector, op)
+        monkeypatch.setattr(StreamingWAL, "_rotate", killed)
+        with pytest.raises(Killed):
+            detector.snapshot()
+        monkeypatch.undo()
+        del detector, wal
+
+        recovery = load_wal(wal_dir, registry=MetricsRegistry())
+        assert recovery.state is not None
+        assert recovery.report.replayed == 0  # snapshot covers every record
+        recovered = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry()
+        )
+        assert_bitwise_equal(
+            recovered, reference_after(seed, kill_at), scores=False
+        )
+        recovered.close()
+
+
+class TestTornAndCorrupt:
+    def test_torn_append_truncated_and_counted(self, wal_dir, seed):
+        """A partial frame at the tail — the on-disk shape of a kill
+        mid-``write()`` — is truncated, counted, and costs nothing that
+        was acknowledged."""
+        kill_at = kill_point(seed)
+        proc = run_child(wal_dir, seed, kill_at)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        segments = _list_segments(wal_dir)
+        with open(segments[-1][1], "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef\x00torn-frame")
+        registry = MetricsRegistry()
+        recovered = StreamingColocationDetector.recover(wal_dir, registry=registry)
+        assert recovered.last_recovery.truncated_records >= 1
+        assert registry.value("repro_wal_records_total")['outcome="truncated"'] >= 1
+        assert_bitwise_equal(
+            recovered, reference_after(seed, kill_at), scores=False
+        )
+        recovered.close()
+
+    def test_corrupt_middle_segment_refuses_loudly(self, wal_dir, seed):
+        proc = run_child(wal_dir, seed, -1, snapshot_every=0, segment_max=16)
+        assert proc.returncode == 0, proc.stderr
+        segments = _list_segments(wal_dir)
+        assert len(segments) >= 3
+        victim = segments[len(segments) // 2][1]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(blob)
+        with pytest.raises(WALCorruptionError):
+            StreamingColocationDetector.recover(wal_dir, registry=MetricsRegistry())
+
+
+class TestDiskFull:
+    def test_quota_exhaustion_fails_command_not_detector(self, wal_dir, seed,
+                                                         monkeypatch):
+        """A tiny write quota: appends fail with WALWriteError once the
+        budget runs out, the failing command leaves state untouched, and
+        retrying after "freeing space" resumes exactly-once."""
+        import repro.streaming_wal as sw
+
+        quota = {"left": 900}
+        real_write = os.write
+
+        def metered_write(fd, data):
+            if quota["left"] <= 0:
+                raise OSError(28, "No space left on device")
+            allowed = data[: quota["left"]]
+            written = real_write(fd, allowed)
+            quota["left"] -= written
+            return written
+
+        monkeypatch.setattr(sw, "_os_write", metered_write)
+        wal = StreamingWAL(
+            wal_dir, fsync_every=1, snapshot_every=None,
+            segment_max_records=10_000, registry=MetricsRegistry(),
+        )
+        detector = chaos_child.make_detector(wal=wal, registry=MetricsRegistry())
+        failures = 0
+        for op in chaos_child.command_schedule(seed):
+            for attempt in (1, 2):
+                before = state_json(detector)
+                try:
+                    chaos_child.apply_op(detector, op)
+                    break
+                except WALWriteError:
+                    failures += 1
+                    assert state_json(detector) == before
+                    quota["left"] = 10**9  # operator frees disk space
+            else:  # pragma: no cover - retry after refill must succeed
+                pytest.fail("append still failing after space was freed")
+        assert failures >= 1
+        detector.close()
+        monkeypatch.undo()
+        recovered = StreamingColocationDetector.recover(
+            wal_dir, registry=MetricsRegistry()
+        )
+        assert_bitwise_equal(
+            recovered,
+            reference_after(seed, chaos_child.N_OPS),
+            scores=False,
+        )
+        recovered.close()

@@ -409,6 +409,62 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError, match="cooldown"):
             CircuitBreaker(cooldown_base=0.0)
 
+    def test_half_open_single_probe_under_concurrency(self, clock):
+        """Regression: threads racing past the same cooldown boundary must
+        not all win the half-open probe — granting it re-arms the cooldown
+        under the breaker's lock, so exactly one contender gets through."""
+        import threading
+
+        breaker = CircuitBreaker(threshold=1, cooldown_base=1.0, clock=clock)
+        breaker.record_timeout("pair")
+        clock.advance(1.0)
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            if breaker.allow("pair"):
+                grants.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(grants) == 1
+
+    def test_probe_grant_rearms_cooldown(self, clock):
+        """A probe whose outcome is never reported forfeits its window
+        instead of wedging the breaker half-open forever."""
+        breaker = CircuitBreaker(threshold=1, cooldown_base=1.0, clock=clock)
+        breaker.record_timeout("pair")
+        clock.advance(1.0)
+        assert breaker.allow("pair")  # probe granted; outcome lost
+        assert not breaker.allow("pair")  # same window: no double probe
+        clock.advance(1.0)
+        assert breaker.allow("pair")  # next window: self-heals
+        breaker.record_success("pair")
+        assert not breaker.is_open("pair")
+
+    def test_snapshot_restore_round_trips_residual_cooldown(self, clock):
+        import json
+
+        breaker = CircuitBreaker(threshold=2, cooldown_base=1.0, clock=clock)
+        breaker.record_timeout(("a", "b"))
+        breaker.record_timeout(("a", "b"))  # trips: open for 1 s
+        breaker.record_timeout("solo")  # 1 of 2, not yet open
+        clock.advance(0.4)
+        entries = json.loads(json.dumps(breaker.snapshot_states()))
+        restored = CircuitBreaker(
+            threshold=2, cooldown_base=1.0, clock=FakeClock(1000.0)
+        )
+        restored.restore_states(entries)
+        assert restored.is_open(("a", "b"))  # 0.6 s residual cooldown
+        restored.clock.advance(0.6)
+        assert restored.allow(("a", "b"))  # probe after the residual
+        assert restored.record_timeout("solo")  # 2 of 2: trips now
+        assert restored.allow("other")  # untouched keys unaffected
+
 
 # ----------------------------------------------------------------------
 class TestServiceHealth:

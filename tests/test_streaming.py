@@ -157,6 +157,112 @@ class TestSanitizedIngest:
             StreamingColocationDetector(grid, on_error="explode")
 
 
+class TestDuplicateTimestamps:
+    """The pinned out-of-order / duplicate policy (class docstring)."""
+
+    def test_raise_policy_rejects_duplicate(self, grid):
+        from repro.errors import MalformedRecordError
+
+        detector = StreamingColocationDetector(grid)  # on_error="raise"
+        detector.ingest(SightingEvent("a", 1.0, 2.0, 10.0))
+        with pytest.raises(MalformedRecordError, match="duplicate timestamp"):
+            detector.ingest(SightingEvent("a", 9.0, 9.0, 10.0))
+        # The original observation survives untouched.
+        window = detector.window_of("a")
+        assert [(p.x, p.y, p.t) for p in window.points] == [(1.0, 2.0, 10.0)]
+
+    def test_skip_policy_keeps_first_write(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="skip")
+        detector.ingest(SightingEvent("a", 1.0, 2.0, 10.0))
+        detector.ingest(SightingEvent("a", 9.0, 9.0, 10.0))
+        assert detector.duplicate_dropped == 1
+        assert detector.duplicate_repaired == 0
+        window = detector.window_of("a")
+        assert [(p.x, p.y, p.t) for p in window.points] == [(1.0, 2.0, 10.0)]
+
+    def test_repair_policy_is_last_write_wins(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="repair")
+        detector.ingest(SightingEvent("a", 1.0, 2.0, 10.0))
+        detector.ingest(SightingEvent("a", 9.0, 9.0, 10.0))
+        assert detector.duplicate_repaired == 1
+        assert detector.duplicate_dropped == 0
+        window = detector.window_of("a")
+        assert [(p.x, p.y, p.t) for p in window.points] == [(9.0, 9.0, 10.0)]
+
+    def test_duplicate_found_mid_window(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="repair")
+        for t in (10.0, 20.0, 30.0):
+            detector.ingest(SightingEvent("a", t, 0.0, t))
+        detector.ingest(SightingEvent("a", 99.0, 0.0, 20.0))
+        window = detector.window_of("a")
+        assert [(p.x, p.t) for p in window.points] == [
+            (10.0, 10.0), (99.0, 20.0), (30.0, 30.0),
+        ]
+        assert detector.duplicate_repaired == 1
+
+    def test_same_timestamp_on_other_object_is_fine(self, grid):
+        detector = StreamingColocationDetector(grid)  # on_error="raise"
+        detector.ingest(SightingEvent("a", 1.0, 2.0, 10.0))
+        detector.ingest(SightingEvent("b", 3.0, 4.0, 10.0))
+        assert len(detector.window_of("b")) == 1
+
+    def test_in_window_out_of_order_accepted_under_raise(self, grid):
+        detector = StreamingColocationDetector(grid)  # on_error="raise"
+        detector.ingest(SightingEvent("a", 0.0, 0.0, 30.0))
+        detector.ingest(SightingEvent("a", 1.0, 0.0, 10.0))  # older, unique
+        window = detector.window_of("a")
+        assert list(window.timestamps) == [10.0, 30.0]
+
+    @pytest.mark.parametrize("policy", ["raise", "skip", "repair"])
+    def test_late_event_dropped_under_every_policy(self, grid, policy):
+        detector = StreamingColocationDetector(grid, window=30.0, on_error=policy)
+        detector.ingest(SightingEvent("a", 0.0, 0.0, 100.0))
+        detector.ingest(SightingEvent("a", 1.0, 1.0, 10.0))  # behind horizon
+        assert len(detector.window_of("a")) == 1
+        assert detector.duplicate_dropped == detector.duplicate_repaired == 0
+
+    @pytest.mark.parametrize("policy", ["raise", "skip", "repair"])
+    def test_duplicate_policy_replays_across_recovery(self, grid, tmp_path, policy):
+        """The duplicate decision is deterministic across a crash boundary."""
+        from contextlib import suppress
+
+        from repro.errors import MalformedRecordError
+        from repro.obs import MetricsRegistry
+        from repro.streaming_wal import StreamingWAL
+
+        def build(wal=None):
+            return StreamingColocationDetector(
+                grid, window=200.0, on_error=policy, wal=wal,
+                registry=MetricsRegistry(),
+            )
+
+        def feed(detector):
+            detector.ingest(SightingEvent("a", 1.0, 2.0, 10.0))
+            detector.ingest(SightingEvent("a", 3.0, 4.0, 20.0))
+            with suppress(MalformedRecordError):
+                detector.ingest(SightingEvent("a", 9.0, 9.0, 10.0))  # duplicate
+            detector.ingest(SightingEvent("a", 5.0, 6.0, 30.0))
+
+        reference = build()
+        feed(reference)
+        live = build(
+            wal=StreamingWAL(tmp_path / "wal", registry=MetricsRegistry())
+        )
+        feed(live)
+        # Crash without close(); fsync_every=1 made every command durable.
+        del live
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "wal", registry=MetricsRegistry()
+        )
+        assert recovered._state_dict() == reference._state_dict()
+        assert recovered.duplicate_dropped == reference.duplicate_dropped
+        assert recovered.duplicate_repaired == reference.duplicate_repaired
+        assert [
+            (p.x, p.y, p.t) for p in recovered.window_of("a").points
+        ] == [(p.x, p.y, p.t) for p in reference.window_of("a").points]
+        recovered.close()
+
+
 class TestAdmissionQueue:
     def test_offer_is_bounded(self, grid):
         detector = StreamingColocationDetector(grid, max_pending=3)
@@ -180,6 +286,20 @@ class TestAdmissionQueue:
         assert detector.pending == 1
         detector.drain()
         assert list(detector.window_of("a").timestamps) == [100.0]
+
+    def test_accepted_through_covers_queued_events(self, grid):
+        detector = StreamingColocationDetector(grid, on_error="skip")
+        assert detector.accepted_through == float("-inf")
+        detector.offer(SightingEvent("a", 1.0, 1.0, 50.0))
+        # Queued but not applied: stream time lags, the mark does not.
+        assert detector.stream_time == float("-inf")
+        assert detector.accepted_through == 50.0
+        detector.drain()
+        assert detector.stream_time == 50.0
+        assert detector.accepted_through == 50.0
+        # A non-finite queued timestamp never poisons the mark.
+        detector.offer(SightingEvent("a", 1.0, 1.0, float("nan")))
+        assert detector.accepted_through == 50.0
 
     def test_drain_limit_and_auto_drain_on_evaluate(self, grid):
         detector = StreamingColocationDetector(grid)

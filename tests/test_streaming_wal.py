@@ -1,0 +1,520 @@
+"""Unit tests for the streaming write-ahead log (:mod:`repro.streaming_wal`).
+
+The chaos harness (``tests/faultinjection/test_streaming_recovery.py``)
+covers whole-process kills; here we test the WAL mechanics in-process:
+frame codec, rotation, retention, torn-tail truncation vs. mid-log
+corruption, disk-full rollback, and snapshot round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+
+import pytest
+
+import repro.streaming_wal as sw
+from repro.core.grid import Grid
+from repro.core.noise import GaussianNoiseModel, UniformDiskNoiseModel
+from repro.errors import WALCorruptionError, WALError, WALWriteError
+from repro.obs import MetricsRegistry
+from repro.streaming import SightingEvent, StreamingColocationDetector
+from repro.streaming_wal import StreamingWAL, load_wal, read_meta
+
+
+GRID = (0.0, 0.0, 40.0, 20.0)
+CELL = 2.0
+
+
+def make_detector(wal=None, registry=None, **kw):
+    kw.setdefault("window", 60.0)
+    kw.setdefault("on_error", "skip")
+    kw.setdefault("noise_model", GaussianNoiseModel(CELL))
+    return StreamingColocationDetector(
+        Grid(*GRID, cell_size=CELL),
+        wal=wal,
+        registry=registry if registry is not None else MetricsRegistry(),
+        **kw,
+    )
+
+
+def make_wal(directory, **kw):
+    kw.setdefault("registry", MetricsRegistry())
+    kw.setdefault("snapshot_every", None)
+    return StreamingWAL(directory, **kw)
+
+
+def offer_walk(detector, n, t0=0.0, dt=4.0):
+    """Deterministic offers for two objects walking the grid."""
+    for k in range(n):
+        oid = "ab"[k % 2]
+        detector.offer(SightingEvent(oid, 2.0 + k, 10.0, t0 + k * dt))
+
+
+def state_of(detector):
+    return detector._state_dict()
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            ("offer", "a", 1.5, -2.25, 3.125),
+            ("offer", "装置-7", 0.0, -0.0, 1e-308),
+            ("ingest", "b", float("inf"), 2.0, 9.75),
+            ("drain", -1),
+            ("drain", 7),
+        ],
+    )
+    def test_roundtrip(self, op):
+        assert sw._decode_op(sw._encode_op(op)) == op
+
+    def test_nan_roundtrip(self):
+        kind, oid, x, y, t = sw._decode_op(
+            sw._encode_op(("ingest", "a", float("nan"), 1.0, 2.0))
+        )
+        assert (kind, oid, y, t) == ("ingest", "a", 1.0, 2.0)
+        assert math.isnan(x)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            sw._encode_op(("evict", "a"))
+        with pytest.raises(ValueError):
+            sw._decode_op(b"\x7fgarbage")
+        with pytest.raises(ValueError):
+            sw._decode_op(b"")
+        with pytest.raises(ValueError):
+            sw._decode_op(bytes([sw.OP_OFFER]) + b"short")
+
+
+class TestParams:
+    def test_ctor_validation(self, tmp_path):
+        for bad in (
+            dict(fsync_every=0),
+            dict(segment_max_records=0),
+            dict(snapshot_every=0),
+            dict(keep_snapshots=0),
+        ):
+            with pytest.raises(ValueError):
+                StreamingWAL(tmp_path / "w", registry=MetricsRegistry(), **bad)
+
+    def test_append_requires_bind(self, tmp_path):
+        wal = make_wal(tmp_path / "w")
+        with pytest.raises(WALError, match="not bound"):
+            wal.append(("drain", -1))
+
+    def test_resume_at_after_bind_rejected(self, tmp_path):
+        wal = make_wal(tmp_path / "w")
+        make_detector(wal=wal)
+        with pytest.raises(WALError, match="before bind"):
+            wal.resume_at(5)
+        wal.close()
+
+    def test_double_attach_rejected(self, tmp_path):
+        wal = make_wal(tmp_path / "w")
+        detector = make_detector(wal=wal)
+        with pytest.raises(WALError, match="already attached"):
+            detector.attach_wal(make_wal(tmp_path / "w2"))
+        wal.close()
+
+
+class TestBindAndMeta:
+    def test_bind_writes_meta(self, tmp_path):
+        wal = make_wal(tmp_path / "w")
+        detector = make_detector(wal=wal)
+        meta = read_meta(tmp_path / "w")
+        assert meta["fingerprint"] == wal.fingerprint
+        assert len(wal.fingerprint) == 16
+        assert meta["config"]["window"] == detector.window
+        wal.close()
+
+    def test_read_meta_missing(self, tmp_path):
+        with pytest.raises(WALError, match="no WAL metadata"):
+            read_meta(tmp_path)
+
+    def test_read_meta_unreadable(self, tmp_path):
+        (tmp_path / sw.META_NAME).write_text("{not json")
+        with pytest.raises(WALError, match="unreadable"):
+            read_meta(tmp_path)
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            make_detector(wal=wal, window=60.0)
+        with pytest.raises(WALError, match="different detector configuration"):
+            make_detector(wal=make_wal(tmp_path / "w"), window=61.0)
+
+    def test_fresh_bind_refuses_history(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 3)
+        with pytest.raises(WALError, match="already holds journaled history"):
+            make_detector(wal=make_wal(tmp_path / "w"))
+
+    def test_recover_empty_dir(self, tmp_path):
+        with pytest.raises(WALError, match="nothing to recover"):
+            StreamingColocationDetector.recover(
+                tmp_path / "nowhere", registry=MetricsRegistry()
+            )
+
+    def test_bound_but_empty_wal_recovers_fresh(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            make_detector(wal=wal)
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        assert recovered.stream_time == float("-inf")
+        assert recovered.pending == 0
+        assert recovered.last_recovery.replayed == 0
+        recovered.close()
+
+
+class TestJournalAndReplay:
+    def test_commands_journaled_in_order(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            detector.offer(SightingEvent("a", 1.0, 2.0, 3.0))
+            detector.ingest(SightingEvent("b", 4.0, 5.0, 6.0))
+            detector.drain(2)
+            detector.drain()  # empty queue: journals nothing
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert recovery.ops == [
+            ("offer", "a", 1.0, 2.0, 3.0),
+            ("ingest", "b", 4.0, 5.0, 6.0),
+            ("drain", 2),
+        ]
+        assert recovery.next_lsn == 3
+
+    def test_drain_internal_ingests_not_journaled(self, tmp_path):
+        """One drain record covers the batch (exactly-once on replay)."""
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 4)
+            detector.drain()
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        kinds = [op[0] for op in recovery.ops]
+        assert kinds == ["offer"] * 4 + ["drain"]
+
+    def test_recover_matches_reference(self, tmp_path):
+        events = [
+            SightingEvent("a", 2.0, 10.0, 0.0),
+            SightingEvent("b", 3.0, 10.0, 1.0),
+            SightingEvent("a", 4.0, 10.0, 4.0),
+            SightingEvent("a", 9.0, 9.0, 4.0),  # duplicate t (skip policy)
+            SightingEvent("b", float("nan"), 10.0, 5.0),  # malformed (skip)
+            SightingEvent("b", 5.0, 10.0, 8.0),
+            SightingEvent("a", 6.0, 10.0, 2.0),  # in-window out-of-order
+        ]
+        reference = make_detector(max_pending=3)
+        with make_wal(tmp_path / "w") as wal:
+            live = make_detector(wal=wal, max_pending=3)
+            for event in events:
+                live.offer(event)
+                reference.offer(event)
+            live.drain(4)
+            reference.drain(4)
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        assert state_of(recovered) == state_of(reference)
+        assert recovered.stream_time == reference.stream_time
+        assert list(recovered._pending) == list(reference._pending)
+        recovered.close()
+
+    def test_recover_is_exactly_once(self, tmp_path):
+        """A second recover of the same directory yields the same state."""
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 6)
+            detector.drain()
+        first = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        first_state = state_of(first)
+        first.close()
+        second = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        assert state_of(second) == first_state
+        second.close()
+
+    def test_recover_requires_custom_noise_back(self, tmp_path):
+        noise = UniformDiskNoiseModel(3.0)
+        with make_wal(tmp_path / "w") as wal:
+            make_detector(wal=wal, noise_model=noise)
+        with pytest.raises(WALError, match="noise model"):
+            StreamingColocationDetector.recover(
+                tmp_path / "w", registry=MetricsRegistry()
+            )
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", noise_model=UniformDiskNoiseModel(3.0),
+            registry=MetricsRegistry(),
+        )
+        recovered.close()
+
+    def test_recover_requires_measure_factory_back(self, tmp_path):
+        from repro.core.sts import STS
+
+        factory = lambda: STS(Grid(*GRID, cell_size=CELL))  # noqa: E731
+        with make_wal(tmp_path / "w") as wal:
+            make_detector(wal=wal, measure_factory=factory)
+        with pytest.raises(WALError, match="measure_factory"):
+            StreamingColocationDetector.recover(
+                tmp_path / "w", registry=MetricsRegistry()
+            )
+
+
+class TestRotationAndDurability:
+    def test_segments_rotate(self, tmp_path):
+        with make_wal(tmp_path / "w", segment_max_records=3) as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 8)
+        starts = [lsn for lsn, _ in sw._list_segments(tmp_path / "w")]
+        assert starts == [0, 3, 6]
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert len(recovery.ops) == 8
+        assert recovery.next_lsn == 8
+
+    def test_fsync_batching_bounds_staleness(self, tmp_path):
+        """Unflushed tail records die with the process; flushed ones don't."""
+        wal = make_wal(tmp_path / "w", fsync_every=4)
+        detector = make_detector(wal=wal)
+        offer_walk(detector, 10)
+        # Simulated crash: drop the handles without flushing the buffer.
+        os.close(wal._fd)
+        wal._fd = None
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert len(recovery.ops) == 8  # two full batches of 4; 2 lost
+        assert recovery.ops == [
+            ("offer", "ab"[k % 2], 2.0 + k, 10.0, k * 4.0) for k in range(8)
+        ]
+
+    def test_flush_persists_buffered_tail(self, tmp_path):
+        with make_wal(tmp_path / "w", fsync_every=4) as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 10)
+            wal.flush()
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert len(recovery.ops) == 10
+
+
+class TestTornTailAndCorruption:
+    def _journal(self, directory, n=5, **kw):
+        with make_wal(directory, **kw) as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, n)
+        return sw._list_segments(directory)
+
+    def test_torn_tail_truncated_with_metric(self, tmp_path):
+        segments = self._journal(tmp_path / "w")
+        last = segments[-1][1]
+        garbage = sw._HEADER.pack(100, 0) + b"torn"
+        with open(last, "ab") as handle:
+            handle.write(garbage)
+        registry = MetricsRegistry()
+        recovery = load_wal(tmp_path / "w", registry=registry)
+        assert len(recovery.ops) == 5
+        assert recovery.report.truncated_records == 1
+        assert recovery.report.truncated_bytes == len(garbage)
+        counts = registry.value("repro_wal_records_total")
+        assert counts.get('outcome="truncated"') == 1.0
+        # The truncation is persistent: a second load sees a clean tail.
+        again = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert again.report.truncated_records == 0
+        assert len(again.ops) == 5
+
+    def test_crc_mismatch_in_tail_truncated(self, tmp_path):
+        segments = self._journal(tmp_path / "w")
+        last = segments[-1][1]
+        data = bytearray(last.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the final frame
+        last.write_bytes(data)
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert len(recovery.ops) == 4
+        assert recovery.report.truncated_records == 1
+
+    def test_torn_segment_header_unlinked(self, tmp_path):
+        """A crash during rotation can leave a segment with torn magic."""
+        self._journal(tmp_path / "w", n=3)
+        torn = sw._segment_path(tmp_path / "w", 3)
+        torn.write_bytes(sw.SEGMENT_MAGIC[:3])
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert len(recovery.ops) == 3
+        assert not torn.exists()
+
+    def test_corrupt_middle_segment_refuses_replay(self, tmp_path):
+        segments = self._journal(tmp_path / "w", n=8, segment_max_records=3)
+        assert len(segments) >= 2
+        middle = segments[0][1]
+        data = bytearray(middle.read_bytes())
+        data[len(sw.SEGMENT_MAGIC) + 2] ^= 0xFF
+        middle.write_bytes(data)
+        with pytest.raises(WALCorruptionError, match="non-final"):
+            load_wal(tmp_path / "w", registry=MetricsRegistry())
+
+    def test_missing_segment_is_a_gap(self, tmp_path):
+        segments = self._journal(tmp_path / "w", n=8, segment_max_records=3)
+        assert len(segments) == 3
+        segments[1][1].unlink()
+        with pytest.raises(WALCorruptionError, match="segment gap"):
+            load_wal(tmp_path / "w", registry=MetricsRegistry())
+
+    def test_missing_prefix_before_first_segment(self, tmp_path):
+        segments = self._journal(tmp_path / "w", n=8, segment_max_records=3)
+        segments[0][1].unlink()
+        with pytest.raises(WALCorruptionError, match="missing records"):
+            load_wal(tmp_path / "w", registry=MetricsRegistry())
+
+    def test_unrecognized_segment_name(self, tmp_path):
+        self._journal(tmp_path / "w", n=2)
+        (tmp_path / "w" / "wal-bogus.log").write_bytes(b"?")
+        with pytest.raises(WALCorruptionError, match="unrecognized"):
+            load_wal(tmp_path / "w", registry=MetricsRegistry())
+
+
+class TestDiskFull:
+    def test_append_failure_leaves_state_unchanged(self, tmp_path, monkeypatch):
+        wal = make_wal(tmp_path / "w")
+        detector = make_detector(wal=wal, max_pending=4)
+        offer_walk(detector, 2)
+        before = state_of(detector)
+
+        def no_space(fd, data):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(sw, "_os_write", no_space)
+        with pytest.raises(WALWriteError, match="No space left"):
+            detector.offer(SightingEvent("c", 9.0, 9.0, 99.0))
+        # Journal-before-apply: the rejected command touched nothing.
+        assert state_of(detector) == before
+        monkeypatch.undo()
+
+        # Space freed: the producer retries and the stream continues.
+        assert detector.offer(SightingEvent("c", 9.0, 9.0, 99.0))
+        wal.close()
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert [op[1] for op in recovery.ops] == ["a", "b", "c"]
+        assert recovery.next_lsn == 3
+
+    def test_failed_fsync_rolls_back_file(self, tmp_path, monkeypatch):
+        wal = make_wal(tmp_path / "w")
+        detector = make_detector(wal=wal)
+        offer_walk(detector, 2)
+        path = sw._list_segments(tmp_path / "w")[-1][1]
+        size_before = path.stat().st_size
+
+        def no_sync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(sw, "_os_fsync", no_sync)
+        with pytest.raises(WALWriteError):
+            detector.offer(SightingEvent("c", 9.0, 9.0, 99.0))
+        monkeypatch.undo()
+        # The torn frame was truncated away, not left mid-file.
+        assert path.stat().st_size == size_before
+        wal.close()
+        assert len(load_wal(tmp_path / "w", registry=MetricsRegistry()).ops) == 2
+
+
+class TestSnapshotsAndRetention:
+    def test_snapshot_roundtrip_is_bitwise(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal, max_pending=2, window=20.0)
+            events = [
+                SightingEvent("a", 1.0, 2.0, 0.5),
+                SightingEvent("b", 1.5, 2.0, 1.0),
+                SightingEvent("a", 2.0, 2.0, 1.5),
+                SightingEvent("b", float("inf"), 2.0, 2.0),  # malformed
+                SightingEvent("a", 2.0, 2.5, 1.5),  # duplicate t
+                SightingEvent("b", 3.0, 2.0, 40.0),
+                SightingEvent("a", 0.0, 0.0, 0.1),  # shed or late
+            ]
+            for event in events:
+                detector.offer(event)
+            detector.drain(5)
+            detector.snapshot()
+            expected = state_of(detector)
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        assert state_of(recovered) == expected
+        assert recovered.last_recovery.replayed == 0  # snapshot covered all
+        recovered.close()
+
+    def test_snapshot_then_tail_replay(self, tmp_path):
+        reference = make_detector()
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 4)
+            offer_walk(reference, 4)
+            detector.snapshot()
+            detector.drain()
+            reference.drain()
+            offer_walk(detector, 2, t0=100.0)
+            offer_walk(reference, 2, t0=100.0)
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        assert recovered.last_recovery.snapshot_lsn == 4
+        assert recovered.last_recovery.replayed == 3  # drain + 2 offers
+        assert state_of(recovered) == state_of(reference)
+        recovered.close()
+
+    def test_automatic_snapshots_and_retention(self, tmp_path):
+        with make_wal(
+            tmp_path / "w", snapshot_every=4, segment_max_records=4,
+            keep_snapshots=2,
+        ) as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 20)
+        snaps = sw._list_snapshots(tmp_path / "w")
+        assert len(snaps) == 2
+        segments = sw._list_segments(tmp_path / "w")
+        # Every retained segment still matters: nothing below the oldest
+        # retained snapshot survives, and the journal is still loadable.
+        assert segments[0][0] >= snaps[0][0] or len(segments) == 1
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        reference = make_detector()
+        offer_walk(reference, 20)
+        assert state_of(recovered) == state_of(reference)
+        recovered.close()
+
+    def test_invalid_newest_snapshot_falls_back(self, tmp_path):
+        with make_wal(tmp_path / "w", keep_snapshots=2) as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 3)
+            detector.snapshot()
+            offer_walk(detector, 3, t0=50.0)
+            detector.snapshot()
+        snaps = sw._list_snapshots(tmp_path / "w")
+        assert len(snaps) == 2
+        snaps[-1][1].write_text("{torn snapsho")  # newest snapshot is torn
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert recovery.report.invalid_snapshots == 1
+        assert recovery.report.snapshot_lsn == snaps[0][0]
+        # The tail after the older snapshot is still there to replay.
+        recovered = StreamingColocationDetector.recover(
+            tmp_path / "w", registry=MetricsRegistry()
+        )
+        reference = make_detector()
+        offer_walk(reference, 3)
+        offer_walk(reference, 3, t0=50.0)
+        assert state_of(recovered) == state_of(reference)
+        recovered.close()
+
+    def test_foreign_snapshot_fingerprint_ignored(self, tmp_path):
+        with make_wal(tmp_path / "w") as wal:
+            detector = make_detector(wal=wal)
+            offer_walk(detector, 3)
+        bogus = tmp_path / "w" / sw._SNAPSHOT_FMT.format(99)
+        bogus.write_text(json.dumps(
+            {"version": 1, "fingerprint": "not-this-detector", "lsn": 99,
+             "state": {}}
+        ))
+        recovery = load_wal(tmp_path / "w", registry=MetricsRegistry())
+        assert recovery.report.invalid_snapshots == 1
+        assert recovery.state is None
+        assert len(recovery.ops) == 3
