@@ -1,0 +1,201 @@
+"""Cluster serving: hedged vs unhedged tail latency under a slow replica.
+
+The scenario hedging exists for (the "tail at scale" shape): one replica
+of one shard is injected 10× slow.  Round-robin primary selection routes
+roughly half the queries through it, so without hedging the latency
+distribution is bimodal and p99 sits at the slow replica's latency.
+With hedging, the scatter-gather re-issues the slow shard's request to
+the sibling replica after the adaptive hedge delay and takes whichever
+answers first — p99 collapses toward (hedge delay + healthy latency),
+at the cost of some duplicated work (the *wasted* hedges, logged below).
+
+Method:
+
+1. Calibrate: run healthy queries, take the per-query p50.
+2. Inject ``delay_s = 10 × p50`` (floored) into one replica of the
+   first populated shard.
+3. Time N single-query scatter-gathers with hedging off, then on
+   (fresh query objects each time so worker caches don't flatter later
+   runs), and compare p50/p99.
+
+Run directly (``python benchmarks/bench_cluster.py [--quick]
+[--assert-hedge-wins]``); results land in ``BENCH_cluster.json`` at the
+repository root.  ``--assert-hedge-wins`` (used by CI) fails the process
+unless hedged p99 ≤ 0.7 × unhedged p99.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from jsonbench import write_report  # noqa: E402
+from repro.cluster import ClusterService  # noqa: E402
+from repro.core.grid import Grid  # noqa: E402
+from repro.core.sts import STS  # noqa: E402
+from repro.core.trajectory import Trajectory  # noqa: E402
+
+GRID = Grid(0, 0, 60, 30, cell_size=2.0)
+N_SHARDS = 2
+N_REPLICAS = 2
+SLOWDOWN = 10.0
+MIN_DELAY_S = 0.05  # keep the injected fault well above timer noise
+HEDGE_P99_RATIO_MAX = 0.7
+
+
+def make_gallery(n: int, seed: int = 0) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    gallery = []
+    for i in range(n):
+        ts = np.sort(rng.uniform(0.0, 120.0, 8))
+        xs = rng.uniform(2.0, 58.0, 8)
+        ys = rng.uniform(2.0, 28.0, 8)
+        gallery.append(Trajectory.from_arrays(xs, ys, ts, object_id=f"g{i}"))
+    return gallery
+
+
+def make_query(seed: int) -> Trajectory:
+    rng = np.random.default_rng(500_000 + seed)
+    ts = np.sort(rng.uniform(0.0, 120.0, 8))
+    return Trajectory.from_arrays(
+        rng.uniform(2.0, 58.0, 8), rng.uniform(2.0, 28.0, 8), ts,
+        object_id=f"bench-q{seed}",
+    )
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (pos - lo) * (ordered[hi] - ordered[lo])
+
+
+def stats(samples: list[float]) -> dict:
+    return {
+        "repeats": len(samples),
+        "mean_s": sum(samples) / len(samples),
+        "p50_s": percentile(samples, 0.50),
+        "p95_s": percentile(samples, 0.95),
+        "p99_s": percentile(samples, 0.99),
+        "min_s": min(samples),
+        "max_s": max(samples),
+    }
+
+
+def run_queries(service: ClusterService, n: int, seed0: int):
+    """Per-query wall seconds plus summed hedge/failover accounting."""
+    samples: list[float] = []
+    totals = {"hedges_fired": 0, "hedges_won": 0, "hedges_wasted": 0,
+              "failovers": 0, "shards_skipped": 0}
+    for k in range(n):
+        query = make_query(seed0 + k)
+        t0 = time.perf_counter()
+        _scores, report = service.query_scores(query)
+        samples.append(time.perf_counter() - t0)
+        if report.coverage < 1.0:
+            raise SystemExit(
+                f"bench_cluster: query lost coverage ({report.summary()}) — "
+                "the bench cluster must never skip shards"
+            )
+        totals["hedges_fired"] += report.hedges_fired
+        totals["hedges_won"] += report.hedges_won
+        totals["hedges_wasted"] += report.hedges_wasted
+        totals["failovers"] += report.failovers
+        totals["shards_skipped"] += len(report.shards_skipped)
+    return samples, totals
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller gallery and fewer queries (CI smoke)")
+    parser.add_argument("--assert-hedge-wins", action="store_true",
+                        help="fail unless hedged p99 <= "
+                        f"{HEDGE_P99_RATIO_MAX} x unhedged p99")
+    args = parser.parse_args()
+
+    n_gallery = 8 if args.quick else 16
+    n_queries = 20 if args.quick else 50
+    gallery = make_gallery(n_gallery)
+    measure = STS(GRID)
+
+    # 1. Calibrate the healthy per-query latency.
+    with ClusterService(measure, gallery, n_shards=N_SHARDS,
+                        n_replicas=N_REPLICAS, hedge=False) as svc:
+        victim = next(s for s, m in enumerate(svc.shard_globals) if m)
+        warm, _ = run_queries(svc, max(4, n_queries // 5), seed0=90_000)
+    healthy_p50 = percentile(warm, 0.50)
+    delay_s = max(MIN_DELAY_S, SLOWDOWN * healthy_p50)
+    print(f"calibration: healthy p50 {healthy_p50 * 1e3:.1f} ms -> "
+          f"injected delay {delay_s * 1e3:.1f} ms on shard {victim} replica 0")
+
+    faults = {(victim, 0): {"delay_s": delay_s}}
+
+    # 2. Unhedged under the slow replica.
+    with ClusterService(measure, gallery, n_shards=N_SHARDS,
+                        n_replicas=N_REPLICAS, hedge=False,
+                        worker_faults=faults) as svc:
+        unhedged_samples, unhedged_totals = run_queries(svc, n_queries, seed0=0)
+
+    # 3. Hedged under the same fault.
+    with ClusterService(measure, gallery, n_shards=N_SHARDS,
+                        n_replicas=N_REPLICAS, hedge=True,
+                        worker_faults=faults) as svc:
+        hedged_samples, hedged_totals = run_queries(svc, n_queries, seed0=0)
+
+    unhedged = stats(unhedged_samples)
+    hedged = stats(hedged_samples)
+    ratio = hedged["p99_s"] / unhedged["p99_s"]
+    wasted_rate = (
+        hedged_totals["hedges_wasted"] / hedged_totals["hedges_fired"]
+        if hedged_totals["hedges_fired"] else 0.0
+    )
+    print(f"unhedged: p50 {unhedged['p50_s'] * 1e3:.1f} ms  "
+          f"p99 {unhedged['p99_s'] * 1e3:.1f} ms")
+    print(f"hedged:   p50 {hedged['p50_s'] * 1e3:.1f} ms  "
+          f"p99 {hedged['p99_s'] * 1e3:.1f} ms  "
+          f"(p99 ratio {ratio:.2f})")
+    print(f"hedges: {hedged_totals['hedges_fired']} fired, "
+          f"{hedged_totals['hedges_won']} won, "
+          f"{hedged_totals['hedges_wasted']} wasted "
+          f"(wasted rate {wasted_rate:.0%})")
+
+    write_report("BENCH_cluster.json", {
+        "benchmark": "cluster hedged vs unhedged tail latency",
+        "topology": {"n_shards": N_SHARDS, "n_replicas": N_REPLICAS},
+        "gallery_size": n_gallery,
+        "queries": n_queries,
+        "healthy_p50_s": healthy_p50,
+        "injected_delay_s": delay_s,
+        "slow_replica": {"shard": victim, "replica": 0,
+                         "slowdown_x": SLOWDOWN},
+        "configs": {
+            "slow_replica_unhedged": unhedged,
+            "slow_replica_hedged": hedged,
+        },
+        "p99_ratio_hedged_over_unhedged": ratio,
+        "hedges": dict(hedged_totals),
+        "hedge_wasted_rate": wasted_rate,
+        "unhedged_recoveries": dict(unhedged_totals),
+    })
+    print("wrote BENCH_cluster.json")
+
+    if args.assert_hedge_wins and ratio > HEDGE_P99_RATIO_MAX:
+        print(f"FAIL: hedged p99 is {ratio:.2f}x unhedged p99 "
+              f"(required <= {HEDGE_P99_RATIO_MAX})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

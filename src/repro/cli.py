@@ -202,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resident-memory ceiling (MiB); scoring degrades instead of OOMing",
     )
+    link.add_argument(
+        "--cluster-shards",
+        type=int,
+        default=None,
+        help="serve the gallery from this many supervised shard workers "
+        "(scatter-gather with failover + hedged requests; results carry "
+        "explicit coverage)",
+    )
+    link.add_argument(
+        "--cluster-replicas",
+        type=int,
+        default=2,
+        help="replica workers per shard (default 2; only with --cluster-shards)",
+    )
+    link.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable hedged requests on the cluster path (default: hedge "
+        "slow shards to a sibling replica)",
+    )
 
     events = sub.add_parser(
         "events",
@@ -343,17 +363,41 @@ def _run_link(args) -> int:
     measure = _grid_and_measure(queries + gallery, args.cell, args.sigma)
     _apply_parallel_flags(args)
     parallel = args.n_jobs is not None and args.n_jobs != 1
-    # With several queries against one gallery, a persistent pool pays
-    # the gallery broadcast once and reuses warm workers per query.
-    matcher = FilteredMatcher(
-        measure,
-        grid=measure.grid,
-        spatial_slack=8.0 * args.sigma,
-        n_jobs=args.n_jobs,
-        shm=args.shm,
-        chunking=args.chunking,
-        persistent_pool=parallel and len(queries) > 1,
-    )
+    if getattr(args, "cluster_shards", None) is not None:
+        # Cluster serving: the gallery is sharded across supervised
+        # replica workers; each query scatter-gathers with failover and
+        # (unless --no-hedge) hedged requests.
+        from .cluster import ClusterMatcher
+
+        matcher = ClusterMatcher(
+            measure,
+            gallery,
+            grid=measure.grid,
+            spatial_slack=8.0 * args.sigma,
+            n_shards=args.cluster_shards,
+            n_replicas=args.cluster_replicas,
+            hedge=not args.no_hedge,
+        )
+        gallery = matcher.gallery
+        query_fn = lambda q, budget: matcher.query(q, k=args.top, budget=budget)
+        print(
+            f"cluster: {matcher.plan}, fingerprint {matcher.fingerprint[:12]}, "
+            f"hedging {'off' if args.no_hedge else 'on'}",
+            file=sys.stderr,
+        )
+    else:
+        # With several queries against one gallery, a persistent pool pays
+        # the gallery broadcast once and reuses warm workers per query.
+        matcher = FilteredMatcher(
+            measure,
+            grid=measure.grid,
+            spatial_slack=8.0 * args.sigma,
+            n_jobs=args.n_jobs,
+            shm=args.shm,
+            chunking=args.chunking,
+            persistent_pool=parallel and len(queries) > 1,
+        )
+        query_fn = lambda q, budget: matcher.query(q, gallery, k=args.top, budget=budget)
     bounded = args.deadline_ms is not None or args.max_rss_mb is not None
     with matcher:
         for query in queries:
@@ -362,9 +406,15 @@ def _run_link(args) -> int:
                 from .serving import Budget
 
                 budget = Budget(deadline_ms=args.deadline_ms, max_rss_mb=args.max_rss_mb)
-            report = matcher.query(query, gallery, k=args.top, budget=budget)
+            report = query_fn(query, budget)
             best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
             print(f"{query.object_id}: {best}   [{report}]")
+            if report.coverage < 1.0:
+                print(
+                    f"  coverage: {report.coverage:.2%} — "
+                    f"{report.cluster.summary() if report.cluster else 'partial result'}",
+                    file=sys.stderr,
+                )
             if report.health is not None and not report.health.ok:
                 print(f"  health: {report.health.summary()}", file=sys.stderr)
     return 0

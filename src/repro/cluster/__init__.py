@@ -1,0 +1,29 @@
+"""Sharded, replicated gallery serving with failover and hedged requests.
+
+The cluster layer scales the Eq. 10 matching workload past one process:
+
+* :class:`~repro.cluster.plan.ShardPlan` — deterministic rendezvous-hash
+  placement of trajectory ids onto N shards × R replicas, fingerprinted.
+* :class:`~repro.cluster.service.ClusterService` — the supervised worker
+  group: one shared-memory arena per shard, R replica processes each,
+  heartbeats, automatic restart + re-attach, per-replica circuit
+  breakers, hedged requests, and explicit partial-result coverage.
+* :class:`~repro.cluster.matcher.ClusterMatcher` — filter-and-refine
+  matching (same filters as :class:`~repro.index.FilteredMatcher`) whose
+  refine stage scatter-gathers across the service.
+
+See ``docs/ROBUSTNESS.md`` ("Sharded serving & failover") for the
+failover state machine, the hedging policy and coverage semantics.
+"""
+
+from .matcher import ClusterMatcher
+from .plan import ShardPlan, gallery_keys
+from .service import ClusterReport, ClusterService
+
+__all__ = [
+    "ClusterMatcher",
+    "ClusterReport",
+    "ClusterService",
+    "ShardPlan",
+    "gallery_keys",
+]

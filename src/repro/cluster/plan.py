@@ -1,0 +1,107 @@
+"""Deterministic shard placement: rendezvous hashing of trajectory ids.
+
+A gallery served by N shard workers needs a placement function with three
+properties the cluster layer leans on:
+
+* **deterministic across processes** — the parent that packs the shard
+  arenas and any worker (or a later process resuming the service) must
+  agree on where every trajectory lives.  Python's builtin ``hash`` is
+  salted per process, so placement uses :func:`hashlib.blake2b` digests.
+* **replicated** — every key lands on exactly one shard, and that shard
+  is hosted by R replica workers holding identical copies; a query can
+  be answered by any one of them.
+* **minimal disruption** — growing the cluster from N to N+1 shards
+  moves only ~1/(N+1) of the keys (the rendezvous/HRW property), so a
+  resharding migration touches the smallest possible slice of the
+  corpus.
+
+The plan is *fingerprinted*: :meth:`ShardPlan.fingerprint` digests the
+shard topology together with the key list, so a service can refuse to
+re-attach workers to arenas packed under a different placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ShardPlan", "gallery_keys"]
+
+
+def gallery_keys(gallery: Sequence) -> list[str]:
+    """Stable placement keys for a trajectory collection.
+
+    Uses each trajectory's ``object_id`` when every id is present and
+    unique — placement then survives reordering and re-loading of the
+    corpus.  Otherwise falls back to positional keys (``"#3"``), which
+    are still deterministic for a fixed corpus order.
+    """
+    ids = [getattr(t, "object_id", None) for t in gallery]
+    if all(ids) and len(set(ids)) == len(ids):
+        return [str(i) for i in ids]
+    return [f"#{k}" for k in range(len(gallery))]
+
+
+def _weight(key: str, shard: int) -> int:
+    """Rendezvous weight of ``key`` on ``shard`` (process-independent)."""
+    digest = hashlib.blake2b(
+        f"{key}\x00{shard}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Rendezvous-hash placement of keys onto ``n_shards`` × ``n_replicas``.
+
+    Each key is owned by exactly one shard (the highest-weight one), and
+    every shard is hosted by ``n_replicas`` workers holding identical
+    copies — so each key is served by exactly ``n_replicas`` distinct
+    replicas.
+    """
+
+    n_shards: int
+    n_replicas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {self.n_replicas}")
+
+    # ------------------------------------------------------------------
+    def shard_of(self, key: str) -> int:
+        """The shard owning ``key`` (highest rendezvous weight wins)."""
+        return max(range(self.n_shards), key=lambda s: (_weight(key, s), s))
+
+    def replicas_of(self, key: str) -> tuple[tuple[int, int], ...]:
+        """The ``(shard, replica)`` workers that can serve ``key``."""
+        shard = self.shard_of(key)
+        return tuple((shard, r) for r in range(self.n_replicas))
+
+    def assign(self, keys: Sequence[str]) -> list[list[int]]:
+        """Partition key *positions* by owning shard.
+
+        Returns ``n_shards`` lists; list ``s`` holds the indices into
+        ``keys`` owned by shard ``s``, in original order — the layout the
+        service packs each shard arena with (local index = position in
+        the shard's list).
+        """
+        out: list[list[int]] = [[] for _ in range(self.n_shards)]
+        for pos, key in enumerate(keys):
+            out[self.shard_of(key)].append(pos)
+        return out
+
+    def fingerprint(self, keys: Sequence[str] | None = None) -> str:
+        """Hex digest pinning the topology (and optionally the key list)."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"shards={self.n_shards};replicas={self.n_replicas}".encode())
+        if keys is not None:
+            for key in keys:
+                h.update(b"\x00")
+                h.update(str(key).encode("utf-8"))
+        return h.hexdigest()
+
+    def __str__(self) -> str:
+        return f"ShardPlan({self.n_shards}x{self.n_replicas})"

@@ -1,0 +1,180 @@
+"""Shard worker process: serve scoring requests over one shard replica.
+
+Each worker hosts one *replica* of one *shard*: it attaches (read-only)
+to the shard's :class:`~repro.parallel.shm.SharedTrajectoryArena`,
+rebuilds zero-copy trajectory views, and answers scoring requests over a
+duplex :func:`multiprocessing.Pipe`.  Because the packed arrays hold the
+exact float64 values of the parent's trajectories and scoring runs the
+same ``measure.similarity`` code, every score is bitwise identical to
+the single-process path — which is what lets the service treat replicas
+as interchangeable and hedge requests freely.
+
+Protocol (parent → worker / worker → parent), all tuples:
+
+* ``("score", req_id, query, local_cols, deadline_wall)`` →
+  ``("score", req_id, [scores])`` — or ``("expired", req_id)`` when the
+  wall-clock deadline passed before scoring started, or
+  ``("error", req_id, message)`` when scoring raised.
+* ``("ping", req_id)`` → ``("pong", req_id, pid)`` — heartbeat.
+* ``("info", req_id)`` → ``("info", req_id, payload)`` — introspection
+  for tests: the worker's resolved ``n_jobs``, its scorer's worker
+  count, and how many child processes it has (must be zero: shard
+  workers never fork).
+* ``("stop",)`` — clean shutdown (EOF on the pipe does the same).
+
+The first thing a worker does is :func:`~repro.parallel.pool.
+mark_cluster_worker`: any code inside the worker that sizes a pool
+through :func:`~repro.parallel.pool.resolve_n_jobs` — including the
+:class:`~repro.parallel.ParallelSTS` the worker scores through — is
+clamped to ``n_jobs=1``.  Without the clamp, an N×R cluster whose
+workers each open a per-CPU pool would fork N·R·cpus processes.
+Workers are also spawned as daemons, so ``multiprocessing`` itself
+refuses grandchildren as a second line of defense.
+
+Test hooks (the chaos harness's fault injection) ride in the ``config``
+dict: ``delay_s`` sleeps before answering each score request (a slow
+replica), ``crash_on_score`` SIGKILLs the worker upon *receiving* the
+k-th score request — after the request is committed to the pipe but
+before any reply, the hardest mid-query death.  ``log_path`` redirects
+the worker's stdout/stderr to a file for post-mortem artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+import traceback
+
+__all__ = ["worker_main"]
+
+
+def _child_process_count() -> int:
+    """How many live child processes this worker has (Linux procfs)."""
+    pid = os.getpid()
+    path = f"/proc/{pid}/task/{pid}/children"
+    try:
+        with open(path) as handle:
+            return len(handle.read().split())
+    except OSError:
+        return 0
+
+
+def _redirect_output(log_path: str) -> None:
+    """Point stdout/stderr at ``log_path`` (append, line-buffered)."""
+    handle = open(log_path, "a", buffering=1)
+    os.dup2(handle.fileno(), sys.stdout.fileno())
+    os.dup2(handle.fileno(), sys.stderr.fileno())
+
+
+def worker_main(
+    conn,
+    measure,
+    arena_handle,
+    fallback_gallery,
+    shard: int,
+    replica: int,
+    config: dict | None = None,
+) -> None:
+    """Entry point of one shard-replica worker process.
+
+    ``arena_handle`` names the shard's shared-memory arena; when it is
+    ``None`` (arena packing failed in the parent) the worker scores the
+    pickled/inherited ``fallback_gallery`` instead — slower to start,
+    identical results.
+    """
+    config = config or {}
+    if config.get("log_path"):
+        _redirect_output(config["log_path"])
+
+    from ..parallel.pool import mark_cluster_worker, resolve_n_jobs
+
+    mark_cluster_worker()
+
+    view = None
+    if arena_handle is not None:
+        from ..parallel.shm import SharedTrajectoryArena
+
+        view = SharedTrajectoryArena.attach(arena_handle)
+        gallery = view.gallery
+    else:
+        gallery = list(fallback_gallery or [])
+
+    # Score through the same parallel engine the single-process path
+    # offers — inside a cluster worker resolve_n_jobs clamps it to 1, so
+    # this is the serial fast path and the worker never forks.
+    from ..parallel.sts import ParallelSTS
+
+    scorer = ParallelSTS(measure, n_jobs=-1)
+    print(
+        f"[cluster-worker] ready shard={shard} replica={replica} "
+        f"pid={os.getpid()} n={len(gallery)} n_jobs={scorer.n_jobs} "
+        f"arena={'yes' if view is not None else 'no'}",
+        flush=True,
+    )
+
+    delay_s = float(config.get("delay_s", 0.0) or 0.0)
+    crash_on_score = config.get("crash_on_score")
+    scored = 0
+    try:
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("pong", msg[1], os.getpid()))
+                continue
+            if kind == "info":
+                conn.send(
+                    (
+                        "info",
+                        msg[1],
+                        {
+                            "pid": os.getpid(),
+                            "shard": shard,
+                            "replica": replica,
+                            "resolved_n_jobs": resolve_n_jobs(-1),
+                            "scorer_n_jobs": scorer.n_jobs,
+                            "child_processes": _child_process_count(),
+                            "gallery_size": len(gallery),
+                            "scored": scored,
+                        },
+                    )
+                )
+                continue
+            if kind != "score":
+                conn.send(("error", msg[1] if len(msg) > 1 else -1, f"unknown request {kind!r}"))
+                continue
+            _, req_id, query, local_cols, deadline_wall = msg
+            scored += 1
+            if crash_on_score is not None and scored >= int(crash_on_score):
+                print(
+                    f"[cluster-worker] injected crash shard={shard} "
+                    f"replica={replica} on score #{scored}",
+                    flush=True,
+                )
+                os.kill(os.getpid(), signal.SIGKILL)
+            if delay_s > 0.0:
+                time.sleep(delay_s)
+            if deadline_wall is not None and time.time() > deadline_wall:
+                conn.send(("expired", req_id))
+                continue
+            try:
+                scores = scorer.query(query, gallery, cols=local_cols)
+                conn.send(("score", req_id, [float(s) for s in scores]))
+            except Exception as exc:
+                traceback.print_exc()
+                conn.send(("error", req_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        if view is not None:
+            view.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -283,6 +283,7 @@ class STS:
         deadline: float | None = None,
         shm: bool | str | None = None,
         chunking: str | None = None,
+        cluster=None,
     ) -> np.ndarray:
         """Similarity matrix between two trajectory collections.
 
@@ -312,7 +313,31 @@ class STS:
         pairs not scored in time come back NaN (see
         :meth:`repro.parallel.ParallelSTS.pairwise`, which deadlined
         calls always route through).
+
+        ``cluster`` (a :class:`repro.cluster.ClusterService` built from
+        this exact ``gallery``) scatter-gathers each row across the
+        service's shard workers instead of scoring in-process: replica
+        death fails over, and entries owned by a shard the service had to
+        skip come back NaN — the same partial-result convention as
+        ``deadline``.  Healthy cluster → bitwise identical to the serial
+        matrix.
         """
+        if cluster is not None:
+            if not cluster.matches_gallery(gallery):
+                raise ValueError(
+                    "cluster service was packed from a different gallery than "
+                    "the one passed to pairwise(); rebuild the ClusterService"
+                )
+            from ..serving.budget import Budget
+
+            rows = list(gallery) if queries is None else list(queries)
+            budget = (
+                Budget(deadline_ms=deadline * 1000.0) if deadline is not None else None
+            )
+            t_start = perf_counter()
+            out, _reports = cluster.pairwise(rows, budget=budget)
+            self._h_pairwise.observe(perf_counter() - t_start)
+            return out
         if (n_jobs is not None and n_jobs != 1) or checkpoint is not None or deadline is not None:
             from ..parallel import ParallelSTS
 

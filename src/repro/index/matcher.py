@@ -42,6 +42,17 @@ class MatchReport:
     health: ServiceHealth | None = None
     #: Metrics snapshot taken when the query finished (None when obs is off).
     metrics: dict | None = None
+    #: Fraction of the gallery actually consulted.  1.0 on the
+    #: single-process path; below 1.0 only when a cluster query had to
+    #: skip shards — the skipped candidates are *absent* from ``matches``,
+    #: never silently zero-scored.
+    coverage: float = 1.0
+    #: Cluster shards that could not be consulted at all.
+    shards_skipped: tuple[int, ...] = ()
+    #: Cluster shards that answered only via failover/hedge/restart.
+    shards_degraded: tuple[int, ...] = ()
+    #: Full per-query cluster account (None off the cluster path).
+    cluster: object | None = None
 
     @property
     def filter_rate(self) -> float:
@@ -50,11 +61,24 @@ class MatchReport:
             return 0.0
         return 1.0 - self.candidates_scored / self.gallery_size
 
+    @property
+    def complete(self) -> bool:
+        """Whether every shard of the gallery was consulted."""
+        return self.coverage >= 1.0
+
     def __str__(self) -> str:
-        return (
+        base = (
             f"scored {self.candidates_scored}/{self.gallery_size} candidates "
             f"({self.filter_rate:.0%} filtered)"
         )
+        if self.coverage < 1.0:
+            base += (
+                f"; PARTIAL coverage {self.coverage:.2%}, "
+                f"shards skipped {list(self.shards_skipped)}"
+            )
+        elif self.shards_degraded:
+            base += f"; degraded shards {list(self.shards_degraded)}"
+        return base
 
 
 class FilteredMatcher:
@@ -110,6 +134,7 @@ class FilteredMatcher:
         shm: bool | str | None = None,
         chunking: str | None = None,
         persistent_pool: bool = False,
+        cluster=None,
         registry=None,
     ):
         self.measure = measure
@@ -121,6 +146,11 @@ class FilteredMatcher:
         self.shm = shm
         self.chunking = chunking
         self.persistent_pool = bool(persistent_pool)
+        #: Optional :class:`~repro.cluster.ClusterService` — when set,
+        #: survivor refinement is scatter-gathered across its shard
+        #: workers (with failover/hedging) instead of scored in-process,
+        #: and MatchReports carry the cluster's coverage semantics.
+        self.cluster = cluster
         self._parallel = None  # lazy ParallelSTS, cached when persistent
         # Share the measure's registry when it has one, so filter and
         # refine metrics land next to the scoring metrics.
@@ -191,7 +221,14 @@ class FilteredMatcher:
             self._m_survived.inc(int(surviving.size))
             subset = [gallery[int(i)] for i in surviving]
             health: ServiceHealth | None = None
-            if budget is not None and budget.bounded:
+            creport = None
+            if self.cluster is not None:
+                keep, scores, creport, health = self._score_survivors_cluster(
+                    query, gallery, surviving, budget
+                )
+                surviving = surviving[keep]
+                subset = [subset[i] for i in keep]
+            elif budget is not None and budget.bounded:
                 budget.start()
                 health = ServiceHealth(deadline_ms=budget.deadline_ms)
                 keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
@@ -218,6 +255,10 @@ class FilteredMatcher:
                 if getattr(self._registry, "enabled", False)
                 else None
             ),
+            coverage=creport.coverage if creport is not None else 1.0,
+            shards_skipped=creport.shards_skipped if creport is not None else (),
+            shards_degraded=creport.shards_degraded if creport is not None else (),
+            cluster=creport,
         )
 
     def _refine_engine(self):
@@ -285,6 +326,55 @@ class FilteredMatcher:
                         engine.close()
                 return [float(s) for s in np.asarray(row)]
         return [float(self.measure.score(query, candidate)) for candidate in subset]
+
+    def _score_survivors_cluster(
+        self,
+        query: Trajectory,
+        gallery: list[Trajectory],
+        surviving: np.ndarray,
+        budget: Budget | None,
+    ):
+        """Scatter-gather the survivors across the cluster's shard workers.
+
+        Returns ``(keep_positions, scores, ClusterReport, health)``.
+        Candidates on skipped shards are dropped from the result (their
+        score is *unknown*, not zero) — the report's ``coverage`` and
+        ``shards_skipped`` make the gap explicit.  Kept positions stay in
+        ascending gallery order, so with a healthy cluster the assembled
+        ``matches`` list is bitwise identical to the single-process path.
+        """
+        if not self.cluster.matches_gallery(gallery):
+            raise ValueError(
+                "cluster service was packed from a different gallery than "
+                "the one queried; rebuild the ClusterService for this corpus"
+            )
+        scores_by_index, creport = self.cluster.query_scores(
+            query, cols=[int(i) for i in surviving], budget=budget
+        )
+        keep: list[int] = []
+        scores: list[float] = []
+        for pos, global_idx in enumerate(int(i) for i in surviving):
+            if global_idx in scores_by_index:
+                keep.append(pos)
+                scores.append(scores_by_index[global_idx])
+        health: ServiceHealth | None = None
+        if budget is not None and budget.bounded:
+            health = ServiceHealth(deadline_ms=budget.deadline_ms)
+            health.pairs_scored = len(keep)
+            shed = int(surviving.size) - len(keep)
+            if shed:
+                health.pairs_shed = shed
+                health.deadline_hit = any(
+                    "budget expired" in e for e in creport.events
+                )
+                for shard in creport.shards_skipped:
+                    health.record(
+                        ServiceEvent(
+                            "shed-shard", f"shard-{shard}", "cluster shard skipped"
+                        )
+                    )
+            health.elapsed_ms = budget.elapsed_ms()
+        return keep, scores, creport, health
 
     def _score_survivors_budgeted(
         self,

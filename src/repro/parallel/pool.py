@@ -37,7 +37,29 @@ __all__ = [
     "make_executor",
     "set_parallel_defaults",
     "get_parallel_defaults",
+    "mark_cluster_worker",
+    "in_cluster_worker",
 ]
+
+# Set inside cluster shard workers (see repro.cluster.worker): a shard
+# worker is itself one of N·R processes, so any pool it sizes through
+# resolve_n_jobs must stay serial — otherwise a cluster whose workers
+# each open a per-CPU pool forks N·R·cpus processes.  The env var makes
+# the mark survive a further fork/spawn, should one ever happen.
+_IN_CLUSTER_WORKER = False
+_CLUSTER_WORKER_ENV = "REPRO_CLUSTER_WORKER"
+
+
+def mark_cluster_worker() -> None:
+    """Mark this process as a cluster shard worker (clamps pools to 1)."""
+    global _IN_CLUSTER_WORKER
+    _IN_CLUSTER_WORKER = True
+    os.environ[_CLUSTER_WORKER_ENV] = "1"
+
+
+def in_cluster_worker() -> bool:
+    """Whether this process is a cluster shard worker."""
+    return _IN_CLUSTER_WORKER or os.environ.get(_CLUSTER_WORKER_ENV) == "1"
 
 # Process-wide defaults for the parallel transport/chunking policy.
 # ParallelSTS resolves unspecified (None) shm/chunking arguments against
@@ -150,6 +172,12 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     n_jobs = int(n_jobs)
     if n_jobs == 0:
         raise ValueError("n_jobs must be a positive count, -1, or None")
+    # Inside a cluster shard worker every pool is serial, whatever was
+    # asked: the cluster already owns the parallelism (N shards × R
+    # replicas), and nesting a per-CPU pool under each worker would fork
+    # N·R·cpus processes.
+    if in_cluster_worker():
+        return 1
     cpus = available_cpus()
     if n_jobs < 0:
         return max(1, cpus + 1 + n_jobs)

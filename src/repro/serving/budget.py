@@ -146,17 +146,29 @@ class Budget:
             return float("inf")
         return max(0, self.max_terms - terms_done)
 
-    def sub_budget(self, fraction: float, max_terms: int | None = None) -> "Budget":
+    def sub_budget(
+        self,
+        fraction: float,
+        max_terms: int | None = None,
+        terms_done: int = 0,
+    ) -> "Budget":
         """A child budget over ``fraction`` of the *remaining* deadline.
 
         Shares the clock and the memory ceiling (memory is a process-wide
         resource, so a child cannot have more of it).  Used by the
-        degradation ladder to give each rung a bounded slice of the
-        remaining time.
+        degradation ladder and the cluster scatter to give each slice a
+        bounded share of the remaining time.
+
+        A parent that is already :meth:`expired` — via its deadline, the
+        memory ceiling, or ``max_terms`` against ``terms_done`` — yields
+        a child with zero remaining time, never a live one: the consumer
+        then sheds the slice cleanly instead of starting doomed work.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         remaining = self.remaining_ms()
+        if self.bounded and self.expired(terms_done):
+            remaining = 0.0
         child = Budget(
             deadline_ms=None if remaining == float("inf") else remaining * fraction,
             max_rss_mb=self.max_rss_mb,

@@ -1,0 +1,264 @@
+"""Chaos harness for the sharded gallery service (ISSUE 8 scenarios).
+
+Three scenarios, each across three seeds (the seeded gallery changes the
+shard layout and the scoring workload):
+
+a. **Healthy cluster** — the cluster top-k is bitwise identical to the
+   single-process :class:`~repro.index.FilteredMatcher` over the same
+   gallery.
+b. **Replica SIGKILLed mid-query** — a fault-injected worker kills
+   itself (``SIGKILL``, no cleanup) upon *receiving* its first score
+   request; the scatter-gather must fail over to the sibling replica and
+   still return ``coverage == 1.0`` with the identical top-k.
+c. **Whole shard down** — every replica of one shard is killed with
+   restarts disabled; the query must complete (never hang), report
+   ``coverage < 1.0`` in the :class:`~repro.index.matcher.MatchReport`,
+   and bump ``repro_cluster_shard_skipped_total``.
+
+Plus a hedging integration scenario: one replica injected 10× slow; the
+hedge must fire to the sibling and the result must stay correct with
+every duplicate reply counted (``stale``/``wasted``), never
+double-scored.
+
+``REPRO_CHAOS_SEED`` selects a single seed (the CI matrix runs one per
+job); unset, all three run.  Every query is wrapped in a SIGALRM
+watchdog so a regression that *hangs* fails loudly instead of stalling
+the suite — the CI job's ``timeout-minutes`` is the backstop.  Worker
+stdout/stderr goes to ``REPRO_CLUSTER_LOG_DIR`` when set; CI uploads
+that directory on failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterMatcher, ClusterService
+from repro.core.grid import Grid
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.index.matcher import FilteredMatcher
+from repro.obs import MetricsRegistry
+
+ALL_SEEDS = (0, 1, 2)
+QUERY_TIMEOUT_S = 60  # watchdog per scatter-gather; well above any honest run
+
+
+def _selected_seeds():
+    chosen = os.environ.get("REPRO_CHAOS_SEED")
+    if chosen is None:
+        return ALL_SEEDS
+    return (int(chosen),)
+
+
+@pytest.fixture(params=_selected_seeds())
+def seed(request):
+    return request.param
+
+
+@contextlib.contextmanager
+def deadline_guard(seconds: int = QUERY_TIMEOUT_S):
+    """Fail (don't hang) if the guarded block stalls: scenario (c)'s
+    'never a hang' clause, enforced in-process via SIGALRM."""
+
+    def _alarm(signum, frame):
+        raise TimeoutError(f"cluster query hung for more than {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+GRID = Grid(0, 0, 40, 20, cell_size=2.0)
+
+
+def seeded_gallery(seed: int, n: int = 12) -> list[Trajectory]:
+    rng = np.random.default_rng(10_000 + seed)
+    gallery = []
+    for i in range(n):
+        ts = np.sort(rng.uniform(0.0, 80.0, 6))
+        xs = rng.uniform(2.0, 38.0, 6)
+        ys = rng.uniform(2.0, 18.0, 6)
+        gallery.append(Trajectory.from_arrays(xs, ys, ts, object_id=f"s{seed}-g{i}"))
+    return gallery
+
+
+def seeded_query(seed: int) -> Trajectory:
+    rng = np.random.default_rng(77_000 + seed)
+    ts = np.sort(rng.uniform(0.0, 80.0, 6))
+    return Trajectory.from_arrays(
+        rng.uniform(2.0, 38.0, 6), rng.uniform(2.0, 18.0, 6), ts,
+        object_id=f"s{seed}-q",
+    )
+
+
+def reference_topk(seed: int, gallery, k: int = 5):
+    report = FilteredMatcher(STS(GRID), grid=GRID, spatial_slack=100.0).query(
+        seeded_query(seed), gallery, k=k
+    )
+    return [(m.index, m.score) for m in report.matches]
+
+
+def victim_shard(service: ClusterService) -> int:
+    """The first shard that actually owns gallery members."""
+    return next(s for s, members in enumerate(service.shard_globals) if members)
+
+
+# ----------------------------------------------------------------------
+class TestScenarioAHealthyParity:
+    def test_healthy_topk_bitwise_identical(self, seed):
+        gallery = seeded_gallery(seed)
+        expected = reference_topk(seed, gallery)
+        with ClusterMatcher(
+            STS(GRID), gallery, grid=GRID, spatial_slack=100.0,
+            n_shards=3, n_replicas=2, registry=MetricsRegistry(),
+        ) as matcher, deadline_guard():
+            report = matcher.query(seeded_query(seed), k=5)
+        assert report.coverage == 1.0
+        assert report.shards_skipped == ()
+        assert [(m.index, m.score) for m in report.matches] == expected
+
+
+class TestScenarioBReplicaSigkillMidQuery:
+    def test_failover_preserves_full_coverage_and_topk(self, seed):
+        gallery = seeded_gallery(seed)
+        expected = reference_topk(seed, gallery)
+        registry = MetricsRegistry()
+        measure = STS(GRID)
+        # Probe the layout first (ShardPlan is deterministic), then
+        # arm the victim: the primary replica of the first populated
+        # shard SIGKILLs itself upon receiving its first score request —
+        # after the request is on the wire, before any reply.
+        with ClusterService(measure, gallery, n_shards=3, n_replicas=2) as probe:
+            victim = victim_shard(probe)
+        # Hedging off: with it on, the hedge can recover the dead shard
+        # before the EOF is even noticed (covered by the hedging tests
+        # below); this scenario isolates the failover machinery itself.
+        with ClusterService(
+            measure, gallery, n_shards=3, n_replicas=2,
+            registry=registry, hedge=False,
+            worker_faults={(victim, 0): {"crash_on_score": 1}},
+        ) as svc:
+            matcher = FilteredMatcher(
+                measure, grid=GRID, spatial_slack=100.0, cluster=svc,
+                registry=registry,
+            )
+            with deadline_guard():
+                report = matcher.query(seeded_query(seed), gallery, k=5)
+            creport = report.cluster
+            assert report.coverage == 1.0, creport.summary()
+            assert report.shards_skipped == ()
+            assert [(m.index, m.score) for m in report.matches] == expected
+            # The death was detected and routed around, not ignored.
+            assert creport.failovers >= 1, creport.summary()
+            assert victim in report.shards_degraded
+            # A later query still has full coverage (sibling, or the
+            # supervisor restarted the dead worker and re-attached it).
+            with deadline_guard():
+                again = matcher.query(seeded_query(seed), gallery, k=5)
+            assert again.coverage == 1.0
+            assert [(m.index, m.score) for m in again.matches] == expected
+
+
+class TestScenarioCWholeShardDown:
+    def test_partial_coverage_reported_never_hangs(self, seed):
+        gallery = seeded_gallery(seed)
+        registry = MetricsRegistry()
+        measure = STS(GRID)
+        with ClusterService(
+            measure, gallery, n_shards=3, n_replicas=2,
+            max_restarts=0, registry=registry,
+        ) as svc:
+            victim = victim_shard(svc)
+            assert svc.kill_replica(victim, 0)
+            assert svc.kill_replica(victim, 1)
+            dead = set(svc.shard_globals[victim])
+            matcher = FilteredMatcher(
+                measure, grid=GRID, spatial_slack=100.0, cluster=svc,
+                registry=registry,
+            )
+            before = sum(
+                registry.value("repro_cluster_shard_skipped_total").values()
+            )
+            with deadline_guard():
+                report = matcher.query(seeded_query(seed), gallery, k=5)
+            # Completed, with the gap explicit in the MatchReport.
+            assert report.coverage < 1.0
+            assert report.coverage == pytest.approx(1.0 - len(dead) / len(gallery))
+            assert report.shards_skipped == (victim,)
+            assert not report.complete
+            assert "PARTIAL" in str(report)
+            after = sum(
+                registry.value("repro_cluster_shard_skipped_total").values()
+            )
+            assert after == before + 1
+            # Surviving shards still answer, bitwise — and the dead
+            # shard's candidates are absent, never silently zero-scored.
+            scored = {m.index for m in report.matches}
+            assert scored.isdisjoint(dead)
+            single = STS(GRID)
+            for m in report.matches:
+                assert m.score == float(
+                    single.similarity(seeded_query(seed), gallery[m.index])
+                )
+
+
+class TestHedgingUnderSlowReplica:
+    def test_hedge_fires_and_result_stays_correct(self, seed):
+        gallery = seeded_gallery(seed)
+        expected = reference_topk(seed, gallery)
+        registry = MetricsRegistry()
+        measure = STS(GRID)
+        with ClusterService(measure, gallery, n_shards=2, n_replicas=2) as probe:
+            victim = victim_shard(probe)
+        # The victim's primary replica answers 10×-slow (0.8 s); the
+        # hedge delay starts at 40 ms, so the sibling is hedged long
+        # before the primary replies.  First answer wins; the primary's
+        # late reply must be discarded as stale, not double-scored.
+        with ClusterService(
+            measure, gallery, n_shards=2, n_replicas=2,
+            registry=registry, hedge_initial_ms=40.0,
+            worker_faults={(victim, 0): {"delay_s": 0.8}},
+        ) as svc:
+            matcher = FilteredMatcher(
+                measure, grid=GRID, spatial_slack=100.0, cluster=svc,
+                registry=registry,
+            )
+            with deadline_guard():
+                report = matcher.query(seeded_query(seed), gallery, k=5)
+            creport = report.cluster
+            assert report.coverage == 1.0
+            assert [(m.index, m.score) for m in report.matches] == expected
+            assert creport.hedges_fired >= 1, creport.summary()
+            fired = sum(registry.value("repro_cluster_hedges_total").values())
+            assert fired >= 1
+            # Exactly one answer per shard was scored: every hedge is
+            # accounted as won or (once the straggler replies) wasted.
+            assert creport.hedges_won + creport.hedges_wasted <= creport.hedges_fired
+            # The straggler's reply, whenever it lands, is drained as
+            # stale — the next query must not mis-assemble because of it.
+            with deadline_guard():
+                again = matcher.query(seeded_query(seed), gallery, k=5)
+            assert again.coverage == 1.0
+            assert [(m.index, m.score) for m in again.matches] == expected
+
+    def test_no_hedge_flag_disables_hedging(self, seed):
+        gallery = seeded_gallery(seed)
+        registry = MetricsRegistry()
+        measure = STS(GRID)
+        with ClusterService(
+            measure, gallery, n_shards=2, n_replicas=2,
+            hedge=False, registry=registry, hedge_initial_ms=1.0,
+            worker_faults={(0, 0): {"delay_s": 0.2}},
+        ) as svc, deadline_guard():
+            scores, creport = svc.query_scores(seeded_query(seed))
+            assert creport.hedges_fired == 0
+            assert creport.coverage == 1.0

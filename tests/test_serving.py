@@ -110,11 +110,12 @@ class TestBudget:
         assert budget.expired()
 
     def test_sub_budget_slices_remaining_deadline(self, clock):
-        budget = Budget(deadline_ms=100.0, max_rss_mb=64.0, clock=clock).start()
+        # The (uncrossed) memory ceiling must be inherited, not consulted.
+        budget = Budget(deadline_ms=100.0, max_rss_mb=1e6, clock=clock).start()
         clock.advance(0.04)
         child = budget.sub_budget(0.5)
         assert child.deadline_ms == pytest.approx(30.0)  # half of the 60 left
-        assert child.max_rss_mb == 64.0
+        assert child.max_rss_mb == 1e6
         assert child.clock is clock
         assert child.started
 
@@ -127,6 +128,37 @@ class TestBudget:
         for fraction in (0.0, -0.5, 1.5):
             with pytest.raises(ValueError, match="fraction"):
                 Budget.unbounded().sub_budget(fraction)
+
+    def test_sub_budget_of_expired_deadline_is_born_expired(self, clock):
+        budget = Budget(deadline_ms=100.0, clock=clock).start()
+        clock.advance(0.25)  # well past the deadline
+        child = budget.sub_budget(0.5)
+        assert child.deadline_ms == 0.0
+        assert child.expired()
+        assert child.remaining_ms() == 0.0
+
+    def test_sub_budget_of_terms_exhausted_parent_is_born_expired(self, clock):
+        """An unbounded-deadline parent exhausted via max_terms must not
+        hand out a live (unbounded) child — the slice sheds cleanly."""
+        budget = Budget(max_terms=5, clock=clock)
+        live = budget.sub_budget(0.5, terms_done=4)
+        assert live.deadline_ms is None  # parent still live: unchanged
+        dead = budget.sub_budget(0.5, terms_done=5)
+        assert dead.deadline_ms == 0.0
+        assert dead.expired()
+
+    def test_sub_budget_of_over_memory_parent_is_born_expired(self, monkeypatch):
+        budget = Budget(max_rss_mb=100.0)
+        monkeypatch.setattr(budget_mod, "current_rss_mb", lambda: 200.0)
+        child = budget.sub_budget(1.0)
+        assert child.deadline_ms == 0.0
+        assert child.expired()
+
+    def test_sub_budget_never_propagates_negative_deadline(self, clock):
+        budget = Budget(deadline_ms=10.0, clock=clock).start()
+        clock.advance(5.0)  # 4990 ms past the deadline
+        child = budget.sub_budget(1.0)
+        assert child.deadline_ms == 0.0  # clamped, not -4990
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError, match="deadline_ms"):
