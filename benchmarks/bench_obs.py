@@ -1,0 +1,301 @@
+"""Observability overhead on the clustered link path, on vs off.
+
+The distributed observability plane (per-query trace stitching, worker
+delta piggybacking, parent-side folding) rides on every clustered
+scatter-gather, so its cost must be provably negligible.  This bench
+times the same 2-shard × 2-replica query workload through two services:
+
+* ``obs_on`` — instrumentation enabled end to end: the parent opens a
+  ``cluster.query`` span, every dispatch propagates trace context, each
+  worker snapshots a registry delta (throttled, ``REPRO_OBS_DELTA_S``)
+  and returns its span subtree, and the parent folds and stitches it
+  all per query.
+* ``obs_off`` — measure and cluster built under ``set_enabled(False)``
+  (the programmatic ``REPRO_OBS=off``), so forked workers inherit the
+  disabled flag and run the shared no-op instruments for the whole
+  bench.  All scoring happens in the workers; the parent keeps the
+  global flag on for the on side, so the off-side parent still opens
+  its handful of dispatch spans per query — a bias of microseconds
+  against half a second of fleet scoring CPU.
+
+Methodology.  Wall clock is the wrong ruler on a shared machine: the
+scatter-gather's wall time swings ±20% from scheduling alone, and even
+raw CPU seconds for identical work vary several-fold under cache and
+SMT contention bursts lasting whole seconds — longer than any
+back-to-back pair of runs, so sequential pairing cannot cancel them.
+The bench therefore runs the *same query* through both services
+**simultaneously**, one thread per side, a barrier aligning each
+pair: an ambient burst lands on both sides of a pair at once and
+divides out of the per-pair CPU ratio.  Each side's CPU is its
+driving thread's ``time.thread_time()`` plus the nanosecond
+``sum_exec_runtime`` of its workers from ``/proc/<pid>/schedstat``
+(``stat`` jiffies would quantize a 50 ms score to ±20%).  The gated
+figure is the **median of the per-pair on/off CPU ratios** —
+reproducible to a few tenths of a percent on a machine where
+sequential estimators swing by ±2%.  Total-CPU and per-query wall
+stats are reported alongside for context.
+
+Run directly (``python benchmarks/bench_obs.py [--quick]
+[--assert-overhead PCT] [--serve PORT] [--hold SECONDS]
+[--trace-out FILE]``); results land in ``BENCH_obs.json`` at the
+repository root.  ``--serve`` exposes the live registry (plus SLO burn
+rates) over HTTP while the bench runs — CI curls the endpoints mid-run;
+``--hold`` keeps serving after the timing finishes; ``--trace-out``
+writes the final query's stitched Chrome trace for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from jsonbench import write_report  # noqa: E402
+from repro.cluster import ClusterService  # noqa: E402
+from repro.core.grid import Grid  # noqa: E402
+from repro.core.sts import STS  # noqa: E402
+from repro.core.trajectory import Trajectory  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsExporter,
+    SLOTracker,
+    default_slos,
+    get_registry,
+    set_enabled,
+)
+
+GRID = Grid(0, 0, 60, 30, cell_size=2.0)
+N_SHARDS = 2
+N_REPLICAS = 2
+
+_CLK_TCK = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+
+
+def make_gallery(n: int, points: int, seed: int = 0) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    gallery = []
+    for i in range(n):
+        ts = np.sort(rng.uniform(0.0, 240.0, points))
+        xs = rng.uniform(2.0, 58.0, points)
+        ys = rng.uniform(2.0, 28.0, points)
+        gallery.append(Trajectory.from_arrays(xs, ys, ts, object_id=f"g{i}"))
+    return gallery
+
+
+def make_queries(n: int, points: int, seed: int = 700_000) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for i in range(n):
+        ts = np.sort(rng.uniform(0.0, 240.0, points))
+        queries.append(Trajectory.from_arrays(
+            rng.uniform(2.0, 58.0, points), rng.uniform(2.0, 28.0, points),
+            ts, object_id=f"bench-obs-q{i}",
+        ))
+    return queries
+
+
+def _proc_cpu_s(pid: int) -> float:
+    """CPU seconds one process has consumed (Linux procfs)."""
+    try:
+        # sum_exec_runtime in nanoseconds — far finer than stat's jiffies,
+        # which quantize a 50 ms score to ±20%.
+        with open(f"/proc/{pid}/schedstat") as handle:
+            return int(handle.read().split()[0]) / 1e9
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            fields = handle.read().rsplit(")", 1)[1].split()
+        return (int(fields[11]) + int(fields[12])) / _CLK_TCK
+    except (OSError, ValueError, IndexError):
+        return 0.0
+
+
+def workers_cpu_s(service: ClusterService) -> float:
+    """CPU seconds consumed so far by every live replica worker."""
+    total = 0.0
+    for pid in service.replica_pids().values():
+        if pid:
+            total += _proc_cpu_s(pid)
+    return total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload and fewer rounds (smoke/CI)")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero unless the median per-pair fleet "
+                             "CPU overhead < PCT%%")
+    parser.add_argument("--serve", default=None, metavar="[HOST:]PORT",
+                        help="expose /metrics, /slo etc. while running")
+    parser.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
+                        help="keep the exporter up after timing finishes")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the final stitched Chrome trace here")
+    args = parser.parse_args()
+
+    # Same per-query workload in both modes: shrinking the queries would
+    # shrink the scoring work the fixed per-query obs cost amortizes over
+    # and inflate the measured overhead; --quick only runs fewer pairs.
+    gallery_n, points = 150, 16
+    distinct, pairs = (3, 10) if args.quick else (4, 24)
+
+    exporter = None
+    if args.serve:
+        tracker = SLOTracker(registry=get_registry(), slos=default_slos())
+        exporter = MetricsExporter.from_spec(
+            args.serve, slo_tracker=tracker
+        ).start()
+        print(f"serving metrics at {exporter.url}", file=sys.stderr)
+
+    gallery = make_gallery(gallery_n, points)
+    queries = make_queries(distinct, points)
+
+    set_enabled(True)
+    svc_on = ClusterService(
+        STS(GRID), gallery, n_shards=N_SHARDS, n_replicas=N_REPLICAS,
+        hedge=False,
+    )
+    # Built dark: the forked workers inherit the disabled flag, so their
+    # scoring runs the shared no-op instruments for the whole bench.
+    previous = set_enabled(False)
+    try:
+        svc_off = ClusterService(
+            STS(GRID), gallery, n_shards=N_SHARDS, n_replicas=N_REPLICAS,
+            hedge=False,
+        )
+    finally:
+        set_enabled(previous)
+
+    # Warmup: prime KDE tables and worker caches on each side.
+    for query in queries:
+        svc_on.query_scores(query)
+        svc_off.query_scores(query)
+
+    barrier = threading.Barrier(2)
+    results: dict[str, object] = {}
+
+    def side(service: ClusterService, tag: str) -> None:
+        """Run every pair's query on one variant, in lockstep with the other."""
+        trace = None
+        walls: list[float] = []
+        cpus: list[float] = []
+        try:
+            for k in range(pairs):
+                query = queries[k % distinct]
+                barrier.wait()
+                cpu0 = time.thread_time() + workers_cpu_s(service)
+                t0 = time.perf_counter()
+                _, report = service.query_scores(query)
+                walls.append(time.perf_counter() - t0)
+                cpus.append(time.thread_time() + workers_cpu_s(service) - cpu0)
+                if report.coverage < 1.0:
+                    raise RuntimeError(f"bench_obs: {tag} query lost coverage")
+                if tag == "on" and report.trace:
+                    trace = report.trace
+        except BaseException as exc:  # surfaced on the main thread
+            barrier.abort()
+            results[tag] = exc
+            return
+        results[tag] = (walls, cpus, trace)
+
+    threads = [
+        threading.Thread(target=side, args=(svc_on, "on"), name="bench-obs-on"),
+        threading.Thread(target=side, args=(svc_off, "off"), name="bench-obs-off"),
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        svc_on.close()
+        svc_off.close()
+    for tag in ("on", "off"):
+        outcome = results.get(tag)
+        if not isinstance(outcome, tuple):
+            raise SystemExit(f"bench_obs: {tag} side failed: {outcome!r}")
+    wall_on, cpu_on, last_trace = results["on"]
+    wall_off, cpu_off, _ = results["off"]
+
+    def wall_stats(samples):
+        ordered = sorted(samples)
+        return {
+            "repeats": len(samples),
+            "mean_s": sum(samples) / len(samples),
+            "p50_s": ordered[len(ordered) // 2],
+            "min_s": ordered[0],
+            "max_s": ordered[-1],
+            "times_s": samples,
+        }
+
+    stats_on, stats_off = wall_stats(wall_on), wall_stats(wall_off)
+    ratios = sorted(a / b for a, b in zip(cpu_on, cpu_off))
+    overhead_cpu = ratios[len(ratios) // 2] - 1.0
+    overhead_total = sum(cpu_on) / sum(cpu_off) - 1.0
+    overhead_wall = stats_on["p50_s"] / stats_off["p50_s"] - 1.0
+    print(
+        f"fleet cpu/query   on {min(cpu_on):7.3f}..{max(cpu_on):.3f} s"
+        f"   off {min(cpu_off):7.3f}..{max(cpu_off):.3f} s\n"
+        f"overhead   median pair ratio {overhead_cpu * 100:+.2f}%  <- gated   "
+        f"(total-cpu {overhead_total * 100:+.2f}%, "
+        f"wall-p50 {overhead_wall * 100:+.2f}%)"
+    )
+
+    if args.trace_out and last_trace:
+        Path(args.trace_out).write_text(
+            json.dumps({"traceEvents": last_trace}, indent=2) + "\n"
+        )
+        print(f"stitched trace -> {args.trace_out}", file=sys.stderr)
+
+    path = write_report("BENCH_obs.json", {
+        "benchmark": "observability overhead on the clustered link path",
+        "cluster": {"n_shards": N_SHARDS, "n_replicas": N_REPLICAS,
+                    "gallery": gallery_n, "points": points,
+                    "pairs": pairs, "distinct_queries": distinct},
+        "configs": {"obs_on": stats_on, "obs_off": stats_off},
+        "fleet_cpu": {"obs_on_s": sum(cpu_on),
+                      "obs_off_s": sum(cpu_off),
+                      "pair_ratios": [round(r, 4) for r in ratios]},
+        "overhead": {"cpu_median_ratio_pct": overhead_cpu * 100,
+                     "cpu_total_pct": overhead_total * 100,
+                     "wall_p50_pct": overhead_wall * 100},
+    })
+    print(f"report -> {path}", file=sys.stderr)
+
+    if args.hold > 0 and exporter is not None:
+        print(f"holding exporter for {args.hold:.0f}s", file=sys.stderr)
+        time.sleep(args.hold)
+    if exporter is not None:
+        exporter.stop()
+
+    if args.assert_overhead is not None:
+        limit = args.assert_overhead / 100.0
+        if overhead_cpu >= limit:
+            print(
+                f"bench_obs: median fleet CPU overhead "
+                f"{overhead_cpu * 100:.2f}% exceeds the "
+                f"{args.assert_overhead:.1f}% gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"overhead gate ok: {overhead_cpu * 100:.2f}% < "
+            f"{args.assert_overhead:.1f}%",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

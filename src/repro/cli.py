@@ -11,7 +11,8 @@ Subcommands::
     repro-sts events     --corpus c.csv --a device-1 --b device-2 --cell 3 --sigma 3
     repro-sts groups     --corpus c.csv --cell 3 --sigma 3
     repro-sts stream     --corpus c.csv --cell 3 --sigma 3 --wal-dir wal/ [--resume]
-    repro-sts obs        [--format text|prom|flame|chrome] [--input snap.json] [--check m.prom]
+    repro-sts obs        [demo|slo|logs DIR] [--format text|prom|flame|chrome]
+                         [--input snap.json] [--check DUMP]
 
 ``experiment`` accepts the figure families of the paper's evaluation:
 ``fig4`` (= figs 4–5), ``fig6`` (= 6–7), ``fig8`` (= 8–9), ``fig10``,
@@ -21,8 +22,14 @@ the library's flat ``object_id,x,y,t`` format.
 
 Every subcommand accepts ``--metrics-out FILE`` to dump the metrics
 registry when the command finishes (``.json`` → JSON snapshot, anything
-else → Prometheus text).  ``obs`` runs a small instrumented demo (or
-pretty-prints / validates an existing dump); see ``docs/OBSERVABILITY.md``.
+else → Prometheus text) and ``--serve-metrics [HOST:]PORT`` to expose
+``/metrics``, ``/metrics.json``, ``/healthz`` and ``/slo`` over HTTP
+while the command runs.  ``obs`` runs a small instrumented demo, checks
+SLO burn rates (``obs slo``), merges structured worker logs (``obs logs
+DIR``) or validates an existing dump (``--check`` auto-detects Chrome
+traces, JSON snapshots, SLO reports and Prometheus text); ``link
+--explain`` prints each query's stitched span-tree latency breakdown.
+See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -94,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the metrics registry here when the command finishes "
         "(.json → JSON snapshot, anything else → Prometheus text)",
+    )
+    obs_out.add_argument(
+        "--serve-metrics",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve /metrics, /metrics.json, /healthz and /slo over HTTP "
+        "for the duration of the command (live exporter; default host "
+        "127.0.0.1, port 0 picks an ephemeral port)",
     )
 
     sub.add_parser(
@@ -222,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable hedged requests on the cluster path (default: hedge "
         "slow shards to a sibling replica)",
     )
+    link.add_argument(
+        "--explain",
+        action="store_true",
+        help="print each query's span-tree latency breakdown (filter → "
+        "refine; on the cluster path: per-shard fan-out, hedges and the "
+        "workers' scoring subtrees) plus per-stage totals",
+    )
 
     events = sub.add_parser(
         "events",
@@ -299,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect the instrumentation layer (demo run, dump viewer, validator)",
     )
     obs.add_argument(
+        "action",
+        nargs="?",
+        choices=["demo", "slo", "logs"],
+        default="demo",
+        help="demo (default): run a small instrumented workload and render "
+        "it; slo: evaluate the default SLO burn rates (against --input or "
+        "a fresh demo run); logs: merge and pretty-print a directory of "
+        "structured JSONL worker logs",
+    )
+    obs.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="log directory for the logs action",
+    )
+    obs.add_argument(
         "--format",
         choices=["text", "prom", "flame", "chrome"],
         default="text",
@@ -316,7 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         default=None,
         metavar="FILE",
-        help="validate a Prometheus text dump and exit (non-zero on format errors)",
+        help="validate an observability dump and exit non-zero on format "
+        "errors; the format is auto-detected: Chrome trace-event JSON, "
+        "JSON metrics snapshot, SLO report JSON, or Prometheus text",
     )
 
     return parser
@@ -409,6 +449,16 @@ def _run_link(args) -> int:
             report = query_fn(query, budget)
             best = ", ".join(str(m) for m in report.matches) if report.matches else "(no candidates)"
             print(f"{query.object_id}: {best}   [{report}]")
+            if getattr(args, "explain", False):
+                if report.trace:
+                    from .obs import render_trace_breakdown
+
+                    print(render_trace_breakdown(report.trace, indent="    "))
+                else:
+                    print(
+                        "  (no trace recorded — observability is off)",
+                        file=sys.stderr,
+                    )
             if report.coverage < 1.0:
                 print(
                     f"  coverage: {report.coverage:.2%} — "
@@ -581,27 +631,45 @@ def _write_metrics(path: str) -> None:
     print(f"wrote metrics to {path}", file=sys.stderr)
 
 
-def _run_obs(args) -> int:
-    """The ``obs`` subcommand: validator, dump viewer, or instrumented demo."""
+def _check_obs_dump(path: str) -> list[str]:
+    """Validate one observability dump, auto-detecting its format.
+
+    Chrome trace-event JSON (a list, or ``{"traceEvents": [...]}``), a
+    JSON metrics snapshot (counters/gauges/histograms sections), an SLO
+    report (``{"slos": [...]}``) and Prometheus text exposition are all
+    recognized; anything that parses as none of them is validated as
+    Prometheus text (whose validator will say why it is not).
+    """
     import json
 
-    from .obs import get_registry, get_tracer, render_snapshot, validate_prometheus_text
+    from .obs import (
+        validate_chrome_trace,
+        validate_metrics_snapshot,
+        validate_prometheus_text,
+        validate_slo_report,
+    )
 
-    if args.check is not None:
-        with open(args.check, encoding="utf-8") as handle:
-            errors = validate_prometheus_text(handle.read())
-        for error in errors:
-            print(f"{args.check}: {error}", file=sys.stderr)
-        print(f"{args.check}: {'FAILED' if errors else 'OK'}")
-        return 1 if errors else 0
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return validate_prometheus_text(text)
+    if isinstance(doc, list) or (isinstance(doc, dict) and "traceEvents" in doc):
+        return validate_chrome_trace(doc)
+    if isinstance(doc, dict) and "slos" in doc:
+        return validate_slo_report(doc)
+    if isinstance(doc, dict):
+        return validate_metrics_snapshot(doc)
+    return [f"unrecognized dump: JSON {type(doc).__name__} is no known format"]
 
-    if args.input is not None:
-        with open(args.input, encoding="utf-8") as handle:
-            snapshot = json.load(handle)
-        print(render_snapshot(snapshot))
-        return 0
 
-    # Demo: a small instrumented run so every metric family has samples.
+def _obs_demo_workload():
+    """A small instrumented run so every metric family has samples.
+
+    Returns the measure: cache collectors are registered weakly, so the
+    caller must keep it alive until after the snapshot is taken.
+    """
     from .serving import Budget, DeadlineScorer
 
     dataset = _load_dataset("taxi", 8, seed=0)
@@ -614,6 +682,59 @@ def _run_obs(args) -> int:
     scorer = DeadlineScorer(measure)
     for candidate in trajectories[1:4]:
         scorer.score(trajectories[0], candidate, budget=Budget(deadline_ms=5.0))
+    return measure
+
+
+def _run_obs(args) -> int:
+    """The ``obs`` subcommand: validator, dump viewer, SLOs, logs, demo."""
+    import json
+
+    from .obs import get_registry, get_tracer, render_snapshot
+
+    if args.check is not None:
+        errors = _check_obs_dump(args.check)
+        for error in errors:
+            print(f"{args.check}: {error}", file=sys.stderr)
+        print(f"{args.check}: {'FAILED' if errors else 'OK'}")
+        return 1 if errors else 0
+
+    if args.action == "logs":
+        from .obs import merge_records, read_log_dir, render_records
+
+        if not args.path:
+            raise SystemExit("obs logs: pass the log directory (repro obs logs DIR)")
+        records = merge_records(read_log_dir(args.path))
+        if not records:
+            print(f"{args.path}: no log records")
+            return 0
+        print(render_records(records))
+        return 0
+
+    if args.action == "slo":
+        from .obs import SLOTracker, default_slos
+
+        if args.input is not None:
+            with open(args.input, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        else:
+            measure = _obs_demo_workload()  # noqa: F841 — keeps collectors alive
+            registry = get_registry()
+            if not getattr(registry, "enabled", False):
+                print("observability is disabled (REPRO_OBS=off); nothing to show")
+                return 0
+            snapshot = registry.snapshot()
+        report = SLOTracker.evaluate_snapshot(snapshot, slos=default_slos())
+        print(json.dumps(report, indent=2, sort_keys=True))
+        breaching = any(s["state"] in ("warn", "page") for s in report["slos"])
+        return 1 if breaching else 0
+
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(render_snapshot(snapshot))
+        return 0
+
+    measure = _obs_demo_workload()  # noqa: F841 — keeps collectors alive
     registry = get_registry()
     if not getattr(registry, "enabled", False):
         print("observability is disabled (REPRO_OBS=off); nothing to show")
@@ -640,8 +761,17 @@ def main(argv: list[str] | None = None) -> int:
     one-line message instead of a traceback; see ``--on-error`` for the
     skip/repair policies.
     """
+    exporter = None
     try:
         args = build_parser().parse_args(argv)
+        if getattr(args, "serve_metrics", None):
+            from .obs import MetricsExporter, SLOTracker, default_slos, get_registry
+
+            exporter = MetricsExporter.from_spec(
+                args.serve_metrics,
+                slo_tracker=SLOTracker(registry=get_registry(), slos=default_slos()),
+            ).start()
+            print(f"serving metrics at {exporter.url}", file=sys.stderr)
         code = _dispatch(args)
         if getattr(args, "metrics_out", None):
             _write_metrics(args.metrics_out)
@@ -649,6 +779,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if exporter is not None:
+            exporter.stop()
 
 
 def _dispatch(args: argparse.Namespace) -> int:

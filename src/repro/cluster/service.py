@@ -46,13 +46,24 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as conn_wait
 from typing import Sequence
 
-from ..obs import get_registry
+from ..obs import (
+    Span,
+    current_span,
+    enabled as obs_enabled,
+    get_registry,
+    merge_into_registry,
+    new_trace_id,
+    span_from_payload,
+    spans_to_chrome,
+    trace_span,
+)
 from ..serving.breaker import CircuitBreaker
 from ..serving.budget import Budget
 from .plan import ShardPlan, gallery_keys
@@ -72,6 +83,11 @@ class ClusterReport:
     the skipped shards (and why) in ``events``.  ``shards_degraded``
     lists shards that answered but only through a failover or a worker
     restart — correct results, degraded path.
+
+    ``trace`` is the query's stitched Chrome ``trace_event`` list (when
+    observability is on): the parent's scatter-gather spans with every
+    replica's scoring subtree — hedge losers included — nested under
+    its dispatch span, all on one epoch-anchored timeline.
     """
 
     gallery_size: int = 0
@@ -88,6 +104,7 @@ class ClusterReport:
     stale_responses: int = 0
     elapsed_ms: float = 0.0
     events: list[str] = field(default_factory=list)
+    trace: list | None = None
 
     @property
     def coverage(self) -> float:
@@ -124,6 +141,7 @@ class ClusterReport:
             "stale_responses": self.stale_responses,
             "elapsed_ms": self.elapsed_ms,
             "events": list(self.events),
+            "trace": self.trace,
         }
 
     def summary(self) -> str:
@@ -288,6 +306,13 @@ class ClusterService:
         self._req_ids = itertools.count(1)
         self._rr: dict[int, int] = {}
         self._closed = False
+        # Per-query trace state: {"id": trace_id, "spans": {req_id: Span}}
+        # while a query_scores call is live (queries are sequential).
+        self._qtrace: dict | None = None
+        # Dispatch spans whose worker subtree hadn't arrived when their
+        # query ended (hedge losers still scoring): kept addressable so
+        # a late reply stitches into the session forest, bounded below.
+        self._trace_pending: dict[int, Span] = {}
         self._ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
 
         reg = registry if registry is not None else (
@@ -484,13 +509,40 @@ class ClusterService:
     ) -> bool:
         """Send one score request; False when the replica is already dead."""
         req_id = next(self._req_ids)
-        try:
-            handle.conn.send(
-                ("score", req_id, query, sc.local_cols, deadline_wall)
+        span = None
+        if self._qtrace is not None:
+            # Manually-managed span: concurrent in-flight dispatches
+            # cannot share the tracer's thread-local stack.  It nests
+            # under the open cluster.query span and is finished when the
+            # reply (or the query) ends; the worker's scoring subtree is
+            # stitched under it on arrival.
+            span = Span(
+                "cluster.dispatch",
+                {
+                    "shard": sc.shard,
+                    "replica": handle.replica,
+                    "hedge": is_hedge,
+                    "pairs": len(sc.local_cols),
+                },
+                time.perf_counter(),
+                threading.get_ident(),
             )
+            parent = current_span()
+            if parent is not None:
+                parent.children.append(span)
+        request = ("score", req_id, query, sc.local_cols, deadline_wall)
+        if span is not None:
+            request += ((self._qtrace["id"], span.span_id),)
+        try:
+            handle.conn.send(request)
         except (BrokenPipeError, OSError):
+            if span is not None:
+                span.attrs["failed"] = True
+                span.finish()
             self._mark_dead(handle)
             return False
+        if span is not None:
+            self._qtrace["spans"][req_id] = span
         now = self.clock()
         if sc.first_sent_at is None:
             sc.first_sent_at = now
@@ -518,9 +570,44 @@ class ClusterService:
         single-process score), and ``report`` accounts for coverage,
         failover, hedging and skipped shards.  Indices owned by skipped
         shards are absent from ``scores`` — partial results are explicit.
+
+        When observability is on the whole scatter-gather runs under a
+        ``cluster.query`` span; each dispatch gets a child span, every
+        replica's scoring subtree is stitched under its dispatch on
+        reply, and the stitched Chrome trace lands in ``report.trace``.
         """
         if self._closed:
             raise RuntimeError("ClusterService is closed")
+        trace_id = new_trace_id() if obs_enabled() else None
+        # trace_span (not get_tracer().span) so a disabled run — or a
+        # service constructed dark — skips the root span entirely.
+        with trace_span("cluster.query", gallery=len(self.gallery)) as root:
+            self._qtrace = {"id": trace_id, "spans": {}} if trace_id else None
+            try:
+                scores, report = self._query_scores_inner(query, cols, budget)
+            finally:
+                if self._qtrace is not None:
+                    # Dispatches that never got a reply stay open until
+                    # the query itself ends; they remain addressable so
+                    # a late worker subtree still finds its parent.
+                    for req_id, span in self._qtrace["spans"].items():
+                        span.finish()
+                        self._trace_pending[req_id] = span
+                    while len(self._trace_pending) > 256:
+                        self._trace_pending.pop(next(iter(self._trace_pending)))
+                    self._qtrace = None
+        if isinstance(root, Span):
+            root.attrs["shards"] = report.shards_total
+            root.attrs["coverage"] = round(report.coverage, 4)
+            report.trace = spans_to_chrome([root], trace_id=trace_id)
+        return scores, report
+
+    def _query_scores_inner(
+        self,
+        query,
+        cols: Sequence[int] | None,
+        budget: Budget | None,
+    ) -> tuple[dict[int, float], ClusterReport]:
         cols = list(range(len(self.gallery))) if cols is None else [int(c) for c in cols]
         report = ClusterReport(
             gallery_size=len(self.gallery), shards_total=0
@@ -695,6 +782,53 @@ class ClusterService:
             self._m_failovers.inc()
             sc.degraded = True
 
+    def _fold_replica_delta(self, handle: _Replica, delta) -> None:
+        """Fold one replica's metric delta into the parent registry.
+
+        Every reply's telemetry is folded — including hedge losers and
+        stale replies — because the worker did that work regardless of
+        whether its answer was used; a delta, once received, would
+        otherwise be lost (the worker has already moved its baseline).
+        """
+        if delta:
+            merge_into_registry(
+                self._registry,
+                delta,
+                {
+                    "process": "worker",
+                    "shard": str(handle.shard),
+                    "replica": str(handle.replica),
+                },
+            )
+
+    def _absorb_reply_telemetry(self, handle: _Replica, msg) -> None:
+        """Fold metrics and stitch the trace riding on one reply tuple."""
+        if len(msg) < 2 or msg[0] not in ("score", "expired", "error", "pong"):
+            return  # e.g. a late "ready" handshake drained as stale
+        kind, req_id = msg[0], msg[1]
+        trace_payload = None
+        if kind == "score" and len(msg) > 3 and isinstance(msg[3], dict):
+            self._fold_replica_delta(handle, msg[3].get("delta"))
+            trace_payload = msg[3].get("trace")
+        elif kind == "pong" and len(msg) > 3:
+            self._fold_replica_delta(handle, msg[3])
+        span = None
+        if self._qtrace is not None:
+            span = self._qtrace["spans"].pop(req_id, None)
+            if span is not None:
+                span.finish()
+        if span is None:
+            # The dispatch's query already ended (a hedge loser finishing
+            # late): its span is closed but still stitches the subtree
+            # into the session forest — the work was real.
+            span = self._trace_pending.pop(req_id, None)
+        if span is None:
+            return
+        if trace_payload:
+            child = span_from_payload(trace_payload)
+            if child is not None:
+                span.children.append(child)
+
     def _pump(self, handle: _Replica, inflight, scores, report) -> None:
         """Drain every message currently readable on one replica pipe."""
         while True:
@@ -716,6 +850,9 @@ class ClusterService:
                     )
                 return
             kind, req_id = msg[0], msg[1]
+            # Telemetry is absorbed before the staleness check: a hedge
+            # loser's scoring work is real even when its answer is not.
+            self._absorb_reply_telemetry(handle, msg)
             sc = inflight.pop(req_id, None)
             if sc is None or sc.done:
                 report.stale_responses += 1
@@ -762,7 +899,9 @@ class ClusterService:
                 continue
             try:
                 while handle.conn.poll(0):
-                    handle.conn.recv()
+                    msg = handle.conn.recv()
+                    if msg:
+                        self._absorb_reply_telemetry(handle, msg)
                     report.stale_responses += 1
                     self._m_stale.inc()
             except (EOFError, OSError):
@@ -794,6 +933,7 @@ class ClusterService:
                     if not handle.conn.poll(max(0.0, deadline - self.clock())):
                         break
                     msg = handle.conn.recv()
+                    self._absorb_reply_telemetry(handle, msg)
                     if msg[0] == "pong" and msg[1] == req_id:
                         status = "alive"
                         break
@@ -818,6 +958,7 @@ class ClusterService:
                     if not handle.conn.poll(max(0.0, deadline - self.clock())):
                         break
                     msg = handle.conn.recv()
+                    self._absorb_reply_telemetry(handle, msg)
                     if msg[0] == "info" and msg[1] == req_id:
                         out[label] = msg[2]
                         break

@@ -115,6 +115,15 @@ class LRUCache:
         with self._lock:
             return list(self._data.values())
 
+    def counts(self) -> tuple[int, int, int, int]:
+        """``(hits, misses, evictions, size)`` without taking the lock.
+
+        Monitoring-grade reads: each field is one atomic load, but the
+        four are not mutually consistent under concurrent writes.  Used
+        by snapshot collectors that walk many caches per scrape.
+        """
+        return self.hits, self.misses, self.evictions, len(self._data)
+
     def stats(self) -> dict[str, int | None]:
         """Size, capacity and lifetime hit/miss/eviction counters."""
         with self._lock:

@@ -117,6 +117,12 @@ class TrajectorySTP:
         Metrics registry receiving stage timings, FFT canvas-reuse
         counters and (at snapshot time) cache statistics.  Defaults to
         the process-wide registry; a no-op registry when ``REPRO_OBS=off``.
+    cache_collector:
+        When ``True`` (default) the estimator registers its own
+        snapshot-time cache collector.  An owning :class:`~.sts.STS`
+        passes ``False`` and sums cache counters across its whole
+        estimator pool in one collector instead, keeping registry
+        snapshots O(caches) rather than O(estimators × caches).
     """
 
     _MODES = ("auto", "fft", "pruned", "dense")
@@ -130,6 +136,7 @@ class TrajectorySTP:
         mode: str = "auto",
         cache_size: int | None = 4096,
         registry=None,
+        cache_collector: bool = True,
     ):
         if len(trajectory) == 0:
             raise DegenerateTrajectoryError(
@@ -151,6 +158,11 @@ class TrajectorySTP:
             self._resolved_mode = "fft" if transition_model.isotropic else "pruned"
         else:
             self._resolved_mode = mode
+        # An owning STS passes cache_collector=False and publishes one
+        # aggregated cache collector for its whole estimator pool; a
+        # standalone estimator keeps its own (the plain-int attribute
+        # survives pickling, so rebinds honour the choice).
+        self._cache_collector = bool(cache_collector)
         self._init_obs(registry)
         # Per-observation noise distributions, precomputed once: these are
         # the f(·, ℓ_i) terms every Eq. 4 evaluation reuses.
@@ -196,7 +208,8 @@ class TrajectorySTP:
             "repro_fft_canvas_reuse_total",
             "Noise-plane FFTs served from the fixed-canvas cache",
         ).child()
-        reg.register_collector(self._collect_cache_samples)
+        if getattr(self, "_cache_collector", True):
+            reg.register_collector(self._collect_cache_samples)
 
     def _named_caches(self) -> tuple[tuple[str, LRUCache], ...]:
         return (

@@ -18,7 +18,7 @@ import numpy as np
 from ..core.grid import Grid
 from ..core.trajectory import Trajectory
 from ..eval.queries import RankedMatch
-from ..obs import get_registry, trace_span
+from ..obs import Span, get_registry, spans_to_chrome, trace_span
 from ..serving.budget import Budget
 from ..serving.health import ServiceEvent, ServiceHealth
 from .filters import bounding_box_filter, cell_signature_filter, time_overlap_filter
@@ -53,6 +53,10 @@ class MatchReport:
     shards_degraded: tuple[int, ...] = ()
     #: Full per-query cluster account (None off the cluster path).
     cluster: object | None = None
+    #: Chrome ``trace_event`` list for this query (None when obs is off):
+    #: the ``matcher.query`` span with its filter/refine children and —
+    #: on the cluster path — every replica's stitched scoring subtree.
+    trace: list | None = None
 
     @property
     def filter_rate(self) -> float:
@@ -215,27 +219,31 @@ class FilteredMatcher:
                 raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
             budget = Budget(deadline_ms=deadline * 1000.0)
         t0 = perf_counter()
-        with trace_span("matcher.query", gallery=len(gallery)):
-            surviving = self.candidates(query, gallery)
+        with trace_span("matcher.query", gallery=len(gallery)) as qspan:
+            with trace_span("matcher.filter", gallery=len(gallery)) as fspan:
+                surviving = self.candidates(query, gallery)
+                if isinstance(fspan, Span):
+                    fspan.attrs["survivors"] = int(surviving.size)
             self._m_considered.inc(len(gallery))
             self._m_survived.inc(int(surviving.size))
             subset = [gallery[int(i)] for i in surviving]
             health: ServiceHealth | None = None
             creport = None
-            if self.cluster is not None:
-                keep, scores, creport, health = self._score_survivors_cluster(
-                    query, gallery, surviving, budget
-                )
-                surviving = surviving[keep]
-                subset = [subset[i] for i in keep]
-            elif budget is not None and budget.bounded:
-                budget.start()
-                health = ServiceHealth(deadline_ms=budget.deadline_ms)
-                keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
-                surviving = surviving[keep]
-                subset = [subset[i] for i in keep]
-            else:
-                scores = self._score_survivors(query, gallery, surviving, subset)
+            with trace_span("matcher.refine", survivors=int(surviving.size)):
+                if self.cluster is not None:
+                    keep, scores, creport, health = self._score_survivors_cluster(
+                        query, gallery, surviving, budget
+                    )
+                    surviving = surviving[keep]
+                    subset = [subset[i] for i in keep]
+                elif budget is not None and budget.bounded:
+                    budget.start()
+                    health = ServiceHealth(deadline_ms=budget.deadline_ms)
+                    keep, scores = self._score_survivors_budgeted(query, subset, budget, health)
+                    surviving = surviving[keep]
+                    subset = [subset[i] for i in keep]
+                else:
+                    scores = self._score_survivors(query, gallery, surviving, subset)
             self._m_scored.inc(int(surviving.size))
             matches = [
                 RankedMatch(index=int(i), trajectory=traj, score=float(s))
@@ -259,6 +267,9 @@ class FilteredMatcher:
             shards_skipped=creport.shards_skipped if creport is not None else (),
             shards_degraded=creport.shards_degraded if creport is not None else (),
             cluster=creport,
+            trace=(
+                spans_to_chrome([qspan]) if isinstance(qspan, Span) else None
+            ),
         )
 
     def _refine_engine(self):

@@ -1,4 +1,4 @@
-"""Zero-dependency observability: metrics, tracing, rendering.
+"""Zero-dependency observability: metrics, tracing, aggregation, export.
 
 Quickstart::
 
@@ -10,10 +10,28 @@ Quickstart::
         calls.inc()
     print(reg.to_prometheus())
 
+Beyond the in-process registry/tracer pair, the package carries the
+distributed plane: :mod:`repro.obs.aggregate` (mergeable snapshots and
+worker deltas), cross-process trace stitching helpers in
+:mod:`repro.obs.tracing`, the live HTTP exporter
+(:class:`MetricsExporter`), burn-rate SLOs (:class:`SLOTracker`) and
+structured JSONL process logs (:mod:`repro.obs.logs`).
+
 Set ``REPRO_OBS=off`` (before import/construction) to disable every
 instrument and span with near-zero residual cost.
 """
 
+from .aggregate import (
+    DeltaSource,
+    hist_stats_quantile,
+    merge_into_registry,
+    merge_snapshots,
+    parse_label_str,
+    snapshot_delta,
+    snapshot_is_empty,
+)
+from .export import MetricsExporter
+from .logs import JsonlLogger, log_record, merge_records, read_log_dir, render_records
 from .registry import (
     Counter,
     Gauge,
@@ -25,25 +43,72 @@ from .registry import (
     set_enabled,
     set_registry,
 )
-from .render import render_snapshot, validate_prometheus_text
-from .tracing import Span, Tracer, get_tracer, set_tracer, trace_span, traced
+from .render import (
+    render_snapshot,
+    render_trace_breakdown,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_prometheus_text,
+    validate_slo_report,
+)
+from .slo import SLO, SLOTracker, default_slos
+from .tracing import (
+    Span,
+    Tracer,
+    adopt_span,
+    current_span,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    span_from_payload,
+    span_payload,
+    spans_to_chrome,
+    trace_span,
+    traced,
+)
 
 __all__ = [
     "Counter",
+    "DeltaSource",
     "Gauge",
     "Histogram",
+    "JsonlLogger",
+    "MetricsExporter",
     "MetricsRegistry",
     "NullRegistry",
+    "SLO",
+    "SLOTracker",
     "Span",
     "Tracer",
+    "adopt_span",
+    "current_span",
+    "default_slos",
     "enabled",
     "get_registry",
     "get_tracer",
+    "hist_stats_quantile",
+    "log_record",
+    "merge_into_registry",
+    "merge_records",
+    "merge_snapshots",
+    "new_trace_id",
+    "parse_label_str",
+    "read_log_dir",
+    "render_records",
     "render_snapshot",
+    "render_trace_breakdown",
     "set_enabled",
     "set_registry",
     "set_tracer",
+    "snapshot_delta",
+    "snapshot_is_empty",
+    "span_from_payload",
+    "span_payload",
+    "spans_to_chrome",
     "trace_span",
     "traced",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
     "validate_prometheus_text",
+    "validate_slo_report",
 ]

@@ -1,0 +1,148 @@
+"""Zero-dependency live metrics exporter over stdlib ``http.server``.
+
+:class:`MetricsExporter` runs a :class:`ThreadingHTTPServer` on a
+daemon thread and serves the process's observability surface while a
+run is in flight:
+
+* ``GET /metrics``       — Prometheus text exposition (scrape target);
+* ``GET /metrics.json``  — the registry snapshot as JSON;
+* ``GET /healthz``       — liveness: status, pid, uptime;
+* ``GET /slo``           — the attached :class:`SLOTracker` evaluation
+  (sampled per request), or an empty report when none is attached.
+
+The exporter binds ``127.0.0.1`` by default and accepts ``port=0`` for
+an ephemeral port (tests); :meth:`MetricsExporter.from_spec` parses the
+CLI's ``[HOST:]PORT`` form.  Request handling never touches scoring hot
+paths — snapshots are taken inside the request thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .registry import get_registry
+
+__all__ = ["MetricsExporter"]
+
+
+class MetricsExporter:
+    """Background HTTP server exposing a registry (and optional SLOs)."""
+
+    def __init__(
+        self,
+        registry=None,
+        slo_tracker=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._registry = registry if registry is not None else get_registry()
+        self._slo_tracker = slo_tracker
+        self._requested = (host, int(port))
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "MetricsExporter":
+        """Build from the CLI's ``PORT`` or ``HOST:PORT`` string."""
+        spec = str(spec).strip()
+        if ":" in spec:
+            host, _, port = spec.rpartition(":")
+            return cls(host=host or "127.0.0.1", port=int(port), **kwargs)
+        return cls(port=int(spec), **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — meaningful after :meth:`start`."""
+        if self._server is not None:
+            return self._server.server_address[:2]
+        return self._requested
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsExporter":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                exporter._handle(self)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # the exporter must not spam the run's stdout
+
+        self._server = ThreadingHTTPServer(self._requested, _Handler)
+        self._server.daemon_threads = True
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the port."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self._registry.to_prometheus().encode()
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/metrics.json":
+                body = json.dumps(self._registry.snapshot()).encode()
+                ctype = "application/json"
+            elif path == "/healthz":
+                body = json.dumps(
+                    {
+                        "status": "ok",
+                        "pid": os.getpid(),
+                        "uptime_s": round(time.monotonic() - self._started_at, 3),
+                    }
+                ).encode()
+                ctype = "application/json"
+            elif path == "/slo":
+                if self._slo_tracker is not None:
+                    report = self._slo_tracker.evaluate()
+                else:
+                    report = {"slos": [], "sampled": 0}
+                body = json.dumps(report).encode()
+                ctype = "application/json"
+            else:
+                request.send_error(404, "unknown path")
+                return
+        except Exception as exc:  # pragma: no cover - defensive
+            request.send_error(500, f"exporter error: {exc}")
+            return
+        request.send_response(200)
+        request.send_header("Content-Type", ctype)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)

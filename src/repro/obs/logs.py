@@ -1,0 +1,146 @@
+"""Structured (JSONL) process logs: emit, read, merge, render.
+
+Cluster replica workers redirect stdout/stderr into per-replica files
+under ``REPRO_CLUSTER_LOG_DIR``; this module defines the record format
+they emit — one JSON object per line with a UTC timestamp, pid, level
+and the emitting replica's shard/replica ids — and the tooling that
+makes a directory of such files legible:
+
+* :class:`JsonlLogger` — bound-field line writer (flushes per record,
+  so a SIGKILLed worker loses at most the line being written);
+* :func:`read_log_dir` — parse every ``*.log`` file, wrapping lines
+  that are not JSON (tracebacks, stray prints from third-party code)
+  as ``raw`` records instead of failing;
+* :func:`merge_records` / :func:`render_records` — a time-ordered
+  fleet-wide view, printed by ``repro obs logs <dir>``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = [
+    "JsonlLogger",
+    "log_record",
+    "merge_records",
+    "read_log_dir",
+    "render_records",
+]
+
+_LOG_SUFFIXES = (".log", ".jsonl")
+
+
+def _utc_now() -> str:
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="microseconds")
+        .replace("+00:00", "Z")
+    )
+
+
+def log_record(level: str, message: str, **fields) -> dict:
+    """One structured record: UTC ts + pid + level + message + fields."""
+    record = {"ts": _utc_now(), "pid": os.getpid(), "level": str(level)}
+    record.update(fields)
+    record["message"] = str(message)
+    return record
+
+
+class JsonlLogger:
+    """Writes one JSON object per line, with fields bound at construction.
+
+    ``stream`` defaults to ``sys.stdout`` looked up per record, so a
+    worker that re-binds its stdout (the cluster log redirect) keeps
+    logging to the right place.
+    """
+
+    def __init__(self, stream=None, **bound):
+        self._stream = stream
+        self._bound = bound
+
+    def log(self, level: str, message: str, **fields) -> dict:
+        """Emit one record at ``level``, merging bound and call fields."""
+        record = log_record(level, message, **{**self._bound, **fields})
+        stream = self._stream if self._stream is not None else sys.stdout
+        try:
+            stream.write(json.dumps(record, default=str) + "\n")
+            stream.flush()
+        except (ValueError, OSError):
+            pass  # a closed/redirected-away stream must never kill the worker
+        return record
+
+    def info(self, message: str, **fields) -> dict:
+        """Emit one ``info``-level record."""
+        return self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields) -> dict:
+        """Emit one ``warning``-level record."""
+        return self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields) -> dict:
+        """Emit one ``error``-level record."""
+        return self.log("error", message, **fields)
+
+
+# ----------------------------------------------------------------------
+# Reading and rendering
+# ----------------------------------------------------------------------
+def read_log_records(path) -> list[dict]:
+    """Records from one file; non-JSON lines become ``raw`` records."""
+    records: list[dict] = []
+    path = Path(path)
+    try:
+        text = path.read_text(errors="replace")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            parsed = None
+        if isinstance(parsed, dict):
+            parsed.setdefault("file", path.name)
+            records.append(parsed)
+        else:
+            records.append({"level": "raw", "message": line, "file": path.name})
+    return records
+
+
+def read_log_dir(directory) -> list[dict]:
+    """All records from every log file in ``directory`` (non-recursive)."""
+    directory = Path(directory)
+    records: list[dict] = []
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.iterdir()):
+        if path.suffix in _LOG_SUFFIXES and path.is_file():
+            records.extend(read_log_records(path))
+    return records
+
+
+def merge_records(records) -> list[dict]:
+    """Time-ordered view: sort by ts, untimestamped records last (stable)."""
+    return sorted(records, key=lambda r: (r.get("ts") is None, r.get("ts") or ""))
+
+
+_SKIP_FIELDS = ("ts", "level", "message", "file")
+
+
+def render_records(records) -> str:
+    """One aligned line per record for terminals."""
+    lines = []
+    for record in records:
+        ts = record.get("ts", "-")
+        level = str(record.get("level", "info")).upper()
+        context = " ".join(
+            f"{k}={record[k]}" for k in record if k not in _SKIP_FIELDS
+        )
+        message = record.get("message", "")
+        lines.append(f"{ts} {level:<7} {message}" + (f"  {context}" if context else ""))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -25,6 +25,7 @@ instruments are shared no-op singletons.
 from __future__ import annotations
 
 import bisect
+import functools
 import math
 import os
 import threading
@@ -64,9 +65,39 @@ def _label_key(labels: dict) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+@functools.lru_cache(maxsize=65536)
 def _label_str(key: LabelKey) -> str:
-    """The label set as it appears inside Prometheus braces (or '')."""
+    """The label set as it appears inside Prometheus braces (or '').
+
+    Cached: label sets are low-cardinality by design and every snapshot
+    re-renders all of them, so the escape/join work is paid once per
+    distinct set, not once per sample per snapshot.
+    """
     return ",".join(f'{k}="{_escape(v)}"' for k, v in key)
+
+
+#: Rendered label strings keyed by a sample's raw ``labels.items()``
+#: tuple, *before* canonical sorting — collectors emit label dicts built
+#: at a fixed code site, so the insertion-order tuple is a stable key
+#: and the sort/stringify in :func:`_label_key` is skipped entirely on
+#: the snapshot hot path.  Bounded defensively; cleared on overflow.
+_SAMPLE_LABEL_CACHE: dict = {}
+
+
+def _sample_label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    try:
+        key = tuple(labels.items())
+        cached = _SAMPLE_LABEL_CACHE.get(key)
+    except TypeError:  # unhashable label value: render uncached
+        return _label_str(_label_key(labels))
+    if cached is None:
+        if len(_SAMPLE_LABEL_CACHE) > 8192:
+            _SAMPLE_LABEL_CACHE.clear()
+        cached = _label_str(_label_key(labels))
+        _SAMPLE_LABEL_CACHE[key] = cached
+    return cached
 
 
 def _escape(value: str) -> str:
@@ -74,44 +105,64 @@ def _escape(value: str) -> str:
 
 
 class BoundCounter:
-    """A counter pre-bound to one label set: the hot-path handle."""
+    """A counter pre-bound to one label set: the hot-path handle.
 
-    __slots__ = ("_values", "_key", "_lock")
+    The handle holds the series' one-element cell directly, so an
+    ``inc`` is a lock round-trip and a list-item add — no label-key
+    hashing or dict lookups.  Stage timers fire a dozen of these per
+    pair evaluation, which is what pushed the cell design.
+    """
 
-    def __init__(self, values: dict, key: LabelKey, lock: threading.Lock):
-        self._values = values
-        self._key = key
+    __slots__ = ("_cell", "_lock")
+
+    def __init__(self, cell: list, lock: threading.Lock):
+        self._cell = cell
         self._lock = lock
 
     def inc(self, amount: float = 1.0) -> None:
-        with self._lock:
-            self._values[self._key] = self._values.get(self._key, 0.0) + amount
+        lock = self._lock
+        lock.acquire()
+        try:
+            self._cell[0] += amount
+        finally:
+            lock.release()
 
 
 class BoundGauge:
     """A gauge pre-bound to one label set."""
 
-    __slots__ = ("_values", "_key", "_lock")
+    __slots__ = ("_cell", "_lock")
 
-    def __init__(self, values: dict, key: LabelKey, lock: threading.Lock):
-        self._values = values
-        self._key = key
+    def __init__(self, cell: list, lock: threading.Lock):
+        self._cell = cell
         self._lock = lock
 
     def set(self, value: float) -> None:
-        with self._lock:
-            self._values[self._key] = float(value)
+        lock = self._lock
+        lock.acquire()
+        try:
+            self._cell[0] = float(value)
+        finally:
+            lock.release()
 
     def inc(self, amount: float = 1.0) -> None:
-        with self._lock:
-            self._values[self._key] = self._values.get(self._key, 0.0) + amount
+        lock = self._lock
+        lock.acquire()
+        try:
+            self._cell[0] += amount
+        finally:
+            lock.release()
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
 
 
 class Counter:
-    """A monotonically increasing sum, optionally labelled."""
+    """A monotonically increasing sum, optionally labelled.
+
+    Series are stored as one-element list cells so pre-bound handles
+    can add in place without re-hashing the label key per increment.
+    """
 
     kind = "counter"
 
@@ -119,22 +170,29 @@ class Counter:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._values: dict[LabelKey, float] = {}
+        self._cells: dict[LabelKey, list] = {}
+
+    def _cell(self, key: LabelKey) -> list:
+        cell = self._cells.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(key, [0.0])
+        return cell
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         """Add ``amount`` to the series selected by ``labels``."""
-        key = _label_key(labels)
+        cell = self._cell(_label_key(labels))
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            cell[0] += amount
 
     def child(self, **labels) -> BoundCounter:
-        """A pre-bound handle for hot paths (one lock + dict add per inc)."""
-        return BoundCounter(self._values, _label_key(labels), self._lock)
+        """A pre-bound handle for hot paths (one lock + cell add per inc)."""
+        return BoundCounter(self._cell(_label_key(labels)), self._lock)
 
     def values(self) -> dict[LabelKey, float]:
         """Current values keyed by canonical label tuple."""
         with self._lock:
-            return dict(self._values)
+            return {key: cell[0] for key, cell in self._cells.items()}
 
 
 class Gauge:
@@ -146,27 +204,35 @@ class Gauge:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._values: dict[LabelKey, float] = {}
+        self._cells: dict[LabelKey, list] = {}
+
+    def _cell(self, key: LabelKey) -> list:
+        cell = self._cells.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(key, [0.0])
+        return cell
 
     def set(self, value: float, **labels) -> None:
         """Set the series selected by ``labels`` to ``value``."""
+        cell = self._cell(_label_key(labels))
         with self._lock:
-            self._values[_label_key(labels)] = float(value)
+            cell[0] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         """Add ``amount`` to the series selected by ``labels``."""
-        key = _label_key(labels)
+        cell = self._cell(_label_key(labels))
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            cell[0] += amount
 
     def child(self, **labels) -> BoundGauge:
         """A pre-bound handle for hot paths."""
-        return BoundGauge(self._values, _label_key(labels), self._lock)
+        return BoundGauge(self._cell(_label_key(labels)), self._lock)
 
     def values(self) -> dict[LabelKey, float]:
         """Current values keyed by canonical label tuple."""
         with self._lock:
-            return dict(self._values)
+            return {key: cell[0] for key, cell in self._cells.items()}
 
 
 class _HistogramState:
@@ -265,6 +331,33 @@ class Histogram:
             cumulative += count
         return float(state.max)
 
+    def merge_stats(self, stats: dict, **labels) -> None:
+        """Fold a snapshot-format stats dict into the series for ``labels``.
+
+        ``stats`` is one entry of :meth:`stats` output (``count``/``sum``/
+        ``min``/``max``/``buckets``) — typically a delta shipped back from
+        a worker process.  The bucket bounds must match this histogram's;
+        a mismatch raises :class:`ValueError` rather than silently
+        misfiling observations.
+        """
+        bounds = tuple(float(le) for le, _ in stats["buckets"] if le != "+Inf")
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r} has buckets {self.buckets}, "
+                f"cannot merge stats with buckets {bounds}"
+            )
+        counts = [int(c) for _, c in stats["buckets"]]
+        state = self._state_for(_label_key(labels))
+        with self._lock:
+            for idx, count in enumerate(counts):
+                state.counts[idx] += count
+            state.total += int(stats["count"])
+            state.sum += float(stats["sum"])
+            if float(stats["min"]) < state.min:
+                state.min = float(stats["min"])
+            if float(stats["max"]) > state.max:
+                state.max = float(stats["max"])
+
     def stats(self) -> dict[str, dict]:
         """Per-label-set summary: count/sum/min/max/p50/p95/p99/buckets."""
         with self._lock:
@@ -307,6 +400,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float, **labels) -> None:
+        pass
+
+    def merge_stats(self, stats: dict, **labels) -> None:
         pass
 
     def child(self, **labels) -> "_NullInstrument":
@@ -408,10 +504,21 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def register_collector(self, fn: Callable[[], Iterable[Sample]]) -> None:
-        """Register a snapshot-time sample source (weakly, if a method)."""
-        ref = weakref.WeakMethod(fn) if hasattr(fn, "__self__") else (lambda: fn)
-        with self._lock:
-            self._collectors.append(ref)
+        """Register a snapshot-time sample source (weakly, if a method).
+
+        Idempotent for bound methods: re-registering the same method (an
+        object re-binding its instruments after a registry swap) does not
+        duplicate its samples — collector samples are *summed*.
+        """
+        if hasattr(fn, "__self__"):
+            ref = weakref.WeakMethod(fn)
+            with self._lock:
+                if ref in self._collectors:
+                    return
+                self._collectors.append(ref)
+        else:
+            with self._lock:
+                self._collectors.append(lambda: fn)
 
     def _collected(self) -> dict[str, dict]:
         """Samples from live collectors, summed by (kind, name, labels)."""
@@ -427,7 +534,7 @@ class MetricsRegistry:
             for kind, name, labels, value in fn() or ():
                 bucket = merged.setdefault(kind, {})
                 series = bucket.setdefault(name, {})
-                key = _label_str(_label_key(labels))
+                key = _sample_label_str(labels)
                 series[key] = series.get(key, 0.0) + float(value)
         if dead:
             with self._lock:
@@ -507,9 +614,10 @@ class MetricsRegistry:
             self._metrics.clear()
             self._collectors.clear()
 
-    # A registry crossing a process boundary restarts empty: worker-side
-    # metrics are not aggregated back (the supervisor's health report is
-    # the cross-process channel), and locks do not pickle.
+    # A registry crossing a process boundary restarts empty: locks do not
+    # pickle, and worker-side metrics flow back explicitly as delta
+    # snapshots (see repro.obs.aggregate) rather than by dragging state
+    # through pickles.
     def __getstate__(self) -> dict:
         return {}
 

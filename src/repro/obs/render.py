@@ -8,14 +8,26 @@ Two jobs live here:
 * :func:`validate_prometheus_text` — a promtool-style line validator
   for the text exposition format, used by the golden test and the CI
   obs-smoke job (no promtool binary in the image, so we re-check the
-  grammar with regexes).
+  grammar with regexes);
+* :func:`validate_chrome_trace` / :func:`validate_metrics_snapshot` /
+  :func:`validate_slo_report` — structural validators for the other
+  dump formats ``repro obs --check`` accepts;
+* :func:`render_trace_breakdown` — the ``repro-sts link --explain``
+  per-stage, per-shard latency tree over a stitched Chrome trace.
 """
 
 from __future__ import annotations
 
 import re
 
-__all__ = ["render_snapshot", "validate_prometheus_text"]
+__all__ = [
+    "render_snapshot",
+    "render_trace_breakdown",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "validate_prometheus_text",
+    "validate_slo_report",
+]
 
 _METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
@@ -101,3 +113,240 @@ def render_snapshot(snapshot: dict, indent: str = "  ") -> str:
                 )
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace, snapshot and SLO-report validation (repro obs --check)
+# ----------------------------------------------------------------------
+def _trace_events(trace) -> list | None:
+    if isinstance(trace, dict):
+        trace = trace.get("traceEvents")
+    return trace if isinstance(trace, list) else None
+
+
+def validate_chrome_trace(trace) -> list[str]:
+    """Structural validation of Chrome ``trace_event`` JSON.
+
+    Accepts the bare event list or the ``{"traceEvents": [...]}`` object
+    form.  Checks: every event is an object with a name and a known
+    phase; timed events carry numeric non-negative ``ts`` (and ``dur``
+    for complete "X" events) plus ``pid``/``tid``; ``ts`` is monotonic
+    non-decreasing in list order; "B"/"E" duration events are properly
+    matched per (pid, tid).  Returns error strings; empty means valid.
+    """
+    events = _trace_events(trace)
+    if events is None:
+        return ["trace is not a list of events (or a traceEvents object)"]
+    errors: list[str] = []
+    last_ts: float | None = None
+    open_stacks: dict[tuple, list] = {}
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object: {event!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no timing
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: missing or negative ts: {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"{where}: ts {ts} goes backwards (previous {last_ts})"
+            )
+        last_ts = ts
+        if "pid" not in event or "tid" not in event:
+            errors.append(f"{where}: missing pid/tid")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event missing or negative dur: {dur!r}")
+        elif ph in ("B", "E"):
+            lane = (event.get("pid"), event.get("tid"))
+            stack = open_stacks.setdefault(lane, [])
+            if ph == "B":
+                stack.append((i, name))
+            elif not stack:
+                errors.append(f"{where}: E event with no open B on {lane}")
+            else:
+                j, open_name = stack.pop()
+                if isinstance(name, str) and name and name != open_name:
+                    errors.append(
+                        f"{where}: E {name!r} does not match B {open_name!r} "
+                        f"(event {j}) on {lane}"
+                    )
+    for lane, stack in open_stacks.items():
+        for j, name in stack:
+            errors.append(f"event {j}: B {name!r} never closed on {lane}")
+    return errors
+
+
+def validate_metrics_snapshot(snapshot) -> list[str]:
+    """Structural validation of a registry snapshot dict."""
+    if not isinstance(snapshot, dict):
+        return ["snapshot is not an object"]
+    errors: list[str] = []
+    known = ("counters", "gauges", "histograms")
+    for key in snapshot:
+        if key not in known:
+            errors.append(f"unknown top-level section {key!r}")
+    for section in ("counters", "gauges"):
+        for name, series in (snapshot.get(section) or {}).items():
+            if not isinstance(series, dict):
+                errors.append(f"{section}.{name}: series is not an object")
+                continue
+            for key, value in series.items():
+                if not isinstance(value, (int, float)):
+                    errors.append(
+                        f"{section}.{name}{{{key}}}: non-numeric value {value!r}"
+                    )
+    for name, series in (snapshot.get("histograms") or {}).items():
+        if not isinstance(series, dict):
+            errors.append(f"histograms.{name}: series is not an object")
+            continue
+        for key, stats in series.items():
+            where = f"histograms.{name}{{{key}}}"
+            if not isinstance(stats, dict):
+                errors.append(f"{where}: stats is not an object")
+                continue
+            missing = [
+                k
+                for k in ("count", "sum", "min", "max", "p50", "p95", "p99", "buckets")
+                if k not in stats
+            ]
+            if missing:
+                errors.append(f"{where}: missing keys {missing}")
+                continue
+            buckets = stats["buckets"]
+            if not isinstance(buckets, list) or not buckets:
+                errors.append(f"{where}: buckets is not a non-empty list")
+                continue
+            ok_shape = all(
+                isinstance(b, (list, tuple))
+                and len(b) == 2
+                and (b[0] == "+Inf" or isinstance(b[0], (int, float)))
+                and isinstance(b[1], int)
+                and b[1] >= 0
+                for b in buckets
+            )
+            if not ok_shape:
+                errors.append(f"{where}: malformed bucket entries")
+                continue
+            if buckets[-1][0] != "+Inf":
+                errors.append(f"{where}: last bucket must be +Inf")
+            total = sum(b[1] for b in buckets)
+            if total != stats["count"]:
+                errors.append(
+                    f"{where}: bucket counts sum to {total}, count is {stats['count']}"
+                )
+    return errors
+
+
+def validate_slo_report(report) -> list[str]:
+    """Structural validation of an ``/slo`` (or ``repro obs slo``) report."""
+    if not isinstance(report, dict) or "slos" not in report:
+        return ["SLO report is not an object with an 'slos' list"]
+    if not isinstance(report["slos"], list):
+        return ["'slos' is not a list"]
+    errors: list[str] = []
+    states = ("ok", "warn", "page", "no_data")
+    for i, slo in enumerate(report["slos"]):
+        where = f"slos[{i}]"
+        if not isinstance(slo, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(slo.get("name"), str) or not slo.get("name"):
+            errors.append(f"{where}: missing name")
+        objective = slo.get("objective")
+        if not isinstance(objective, (int, float)) or not 0 < objective <= 1:
+            errors.append(f"{where}: objective must be in (0, 1], got {objective!r}")
+        if slo.get("state") not in states:
+            errors.append(f"{where}: state must be one of {states}, got {slo.get('state')!r}")
+        for window in ("fast", "slow"):
+            stats = slo.get(window)
+            if stats is None:
+                continue
+            if not isinstance(stats, dict) or not isinstance(
+                stats.get("burn_rate"), (int, float)
+            ):
+                errors.append(f"{where}.{window}: missing numeric burn_rate")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# --explain: per-stage, per-shard latency breakdown of a stitched trace
+# ----------------------------------------------------------------------
+_BREAKDOWN_ATTRS = (
+    "shard", "replica", "hedge", "pairs", "gallery", "survivors", "shards",
+)
+
+
+def render_trace_breakdown(trace, indent: str = "  ") -> str:
+    """Render a stitched Chrome trace as a latency tree plus stage totals.
+
+    Nesting follows the explicit ``span_id``/``parent_span_id`` args the
+    stitcher emits (time containment cannot link spans across processes);
+    events without ids are shown flat in timestamp order.
+    """
+    events = _trace_events(trace)
+    if not events:
+        return "(no trace events)"
+    events = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    if not events:
+        return "(no complete spans in trace)"
+    by_id: dict[str, dict] = {}
+    children: dict[str, list] = {}
+    roots: list[dict] = []
+    for event in events:
+        args = event.get("args") or {}
+        span_id = args.get("span_id")
+        if span_id:
+            by_id[span_id] = event
+    for event in events:
+        args = event.get("args") or {}
+        parent = args.get("parent_span_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(event)
+        else:
+            roots.append(event)
+    roots.sort(key=lambda e: e.get("ts", 0))
+
+    lines: list[str] = []
+    totals: dict[str, list] = {}
+
+    def describe(event: dict) -> str:
+        args = event.get("args") or {}
+        bits = [
+            f"{k}={args[k]}" for k in _BREAKDOWN_ATTRS if k in args
+        ]
+        bits.append(f"pid={event.get('pid')}")
+        return "  [" + " ".join(bits) + "]"
+
+    def walk(event: dict, depth: int) -> None:
+        dur_ms = float(event.get("dur", 0.0)) / 1e3
+        name = event.get("name", "?")
+        agg = totals.setdefault(name, [0.0, 0])
+        agg[0] += dur_ms
+        agg[1] += 1
+        lines.append(f"{indent * depth}{name:<32} {dur_ms:>9.2f} ms{describe(event)}")
+        span_id = (event.get("args") or {}).get("span_id")
+        kids = children.get(span_id, []) if span_id else []
+        for child in sorted(kids, key=lambda e: e.get("ts", 0)):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    lines.append("")
+    lines.append("stage totals:")
+    for name in sorted(totals, key=lambda n: -totals[n][0]):
+        total_ms, count = totals[name]
+        lines.append(f"{indent}{name:<32} {total_ms:>9.2f} ms  (x{count})")
+    return "\n".join(lines) + "\n"

@@ -105,6 +105,7 @@ def _init_worker(measure, gallery, queries) -> None:
     _WORKER_STATE["gallery"] = gallery
     _WORKER_STATE["queries"] = queries
     _WORKER_STATE.pop("arena_view", None)
+    _install_delta_sources()
 
 
 def _init_worker_shm(measure, handle) -> None:
@@ -116,8 +117,9 @@ def _init_worker_shm(measure, handle) -> None:
     """
     from .shm import SharedTrajectoryArena
 
-    view = SharedTrajectoryArena.attach(handle)
     _WORKER_STATE["measure"] = measure
+    _install_delta_sources()  # before attach: attach timing is worker work
+    view = SharedTrajectoryArena.attach(handle)
     _WORKER_STATE["gallery"] = view.gallery
     _WORKER_STATE["queries"] = view.queries
     _WORKER_STATE["arena_view"] = view
@@ -151,6 +153,91 @@ def _score_chunk_vs_queries(
     gallery = _WORKER_STATE["gallery"]
     with trace_span("parallel.chunk", pairs=len(pairs)):
         return [(i, j, measure.similarity(queries[i], gallery[j])) for i, j in pairs]
+
+
+#: Sentinel key marking a process-worker result that carries telemetry
+#: alongside the score triples (see _task_with_telemetry).
+TELEMETRY_KEY = "__repro_worker_telemetry__"
+
+
+def _worker_registries() -> list:
+    """The registries this worker records into, deduplicated.
+
+    A spawn-started worker rebinds its measure to the worker's default
+    registry; a fork-started worker keeps the measure bound to a fork
+    copy of the parent's (possibly custom) registry while arena/attach
+    instruments hit the default one — so both must feed the delta.
+    """
+    from ..obs import get_registry
+
+    registries = [get_registry()]
+    measure_registry = getattr(_WORKER_STATE.get("measure"), "_registry", None)
+    if measure_registry is not None and measure_registry is not registries[0]:
+        registries.append(measure_registry)
+    return registries
+
+
+def _install_delta_sources() -> None:
+    """(Re)build this worker's delta sources with a primed baseline.
+
+    Called from the pool initializers: priming at initializer time means
+    a fork-started worker's registries — fork copies that already carry
+    the parent's pre-fork history — contribute only work recorded *in
+    this process* to the deltas, never the parent's own.
+    """
+    from ..obs import DeltaSource
+
+    _WORKER_STATE["delta_sources"] = [
+        DeltaSource(registry, prime=True) for registry in _worker_registries()
+    ]
+
+
+def _worker_delta():
+    """The merged registry delta since the last task, or ``None``."""
+    from ..obs import DeltaSource, merge_snapshots
+
+    sources = _WORKER_STATE.get("delta_sources")
+    if sources is None:
+        # No initializer ran (direct task invocation in tests): fall
+        # back to unprimed sources whose first delta is the lifetime
+        # snapshot.
+        sources = _WORKER_STATE["delta_sources"] = [
+            DeltaSource(registry) for registry in _worker_registries()
+        ]
+    deltas = [d for d in (source.delta() for source in sources) if d]
+    if not deltas:
+        return None
+    merged = deltas[0]
+    for delta in deltas[1:]:
+        merged = merge_snapshots(merged, delta)
+    return merged
+
+
+def _task_with_telemetry(task, pairs):
+    """Run ``task`` in a process worker, piggybacking telemetry home.
+
+    Wraps the chunk in a span and returns ``{TELEMETRY_KEY: True,
+    "triples": ..., "delta": ..., "trace": ...}``; the supervisor
+    unwraps it, folds the registry delta into the parent registry under
+    ``process="worker"`` labels, and stitches the span subtree under the
+    dispatching span.  With observability disabled the envelope carries
+    only the triples.
+    """
+    from ..obs import enabled as obs_enabled
+
+    result = {TELEMETRY_KEY: True}
+    if not obs_enabled():
+        result["triples"] = task(pairs)
+        return result
+    from ..obs import get_tracer, span_payload
+
+    with get_tracer().span(
+        "parallel.worker-chunk", pairs=len(pairs), worker_pid=os.getpid()
+    ) as span:
+        result["triples"] = task(pairs)
+    result["delta"] = _worker_delta()
+    result["trace"] = span_payload(span)
+    return result
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from functools import partial
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -48,8 +49,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import ScoreCorruptionError, validate_policy
-from ..obs import get_registry
-from .pool import _init_worker, _score_chunk, make_executor
+from ..obs import adopt_span, get_registry, merge_into_registry
+from .pool import TELEMETRY_KEY, _init_worker, _score_chunk, _task_with_telemetry, make_executor
 
 __all__ = ["ChunkEvent", "RunHealth", "SupervisedExecutor"]
 
@@ -455,6 +456,23 @@ class SupervisedExecutor:
             return True
         return bool(np.isfinite([score for _, _, score in triples]).all())
 
+    def _absorb_worker_payload(self, payload):
+        """Unwrap a telemetry envelope; fold its delta, adopt its spans.
+
+        Folding happens at result-unwrap time — before validation — so a
+        chunk whose scores are rejected still has its (real) worker-side
+        work credited to the fleet series.
+        """
+        if not (isinstance(payload, dict) and payload.get(TELEMETRY_KEY)):
+            return payload
+        delta = payload.get("delta")
+        if delta:
+            merge_into_registry(self._registry, delta, {"process": "worker"})
+        trace = payload.get("trace")
+        if trace:
+            adopt_span(trace)
+        return payload["triples"]
+
     def _run_pooled(
         self,
         backend: str,
@@ -481,7 +499,14 @@ class SupervisedExecutor:
         failed: list[tuple[int, str, str]] = []
         pool_broke = False
         hung = False
-        futures = {executor.submit(self.task, chunks[k]): k for k in todo}
+        # On the process rung the task is wrapped so each result carries
+        # the worker's registry delta and span subtree home; thread and
+        # serial rungs share the parent registry/tracer, so wrapping
+        # there would double-count.
+        task = self.task
+        if actual == "process":
+            task = partial(_task_with_telemetry, self.task)
+        futures = {executor.submit(task, chunks[k]): k for k in todo}
         remaining = set(futures)
         try:
             while remaining:
@@ -518,7 +543,7 @@ class SupervisedExecutor:
                 for fut in done_set:
                     k = futures[fut]
                     try:
-                        triples = fut.result()
+                        triples = self._absorb_worker_payload(fut.result())
                     except BrokenProcessPool as exc:
                         pool_broke = True
                         failed.append(

@@ -63,7 +63,7 @@ from .core.noise import GaussianNoiseModel, NoiseModel
 from .core.sts import STS
 from .core.trajectory import Trajectory, TrajectoryPoint
 from .errors import MalformedRecordError, ReproError, WALError, validate_policy
-from .obs import get_registry, trace_span
+from .obs import MetricsRegistry, get_registry, merge_into_registry, trace_span
 from .serving.breaker import CircuitBreaker
 from .serving.budget import Budget
 from .serving.health import ServiceEvent, ServiceHealth
@@ -216,7 +216,19 @@ class StreamingColocationDetector:
         self.last_recovery: "RecoveryReport | None" = None
         self._wal: "StreamingWAL | None" = None
         self._wal_suspended = 0
-        reg = registry if registry is not None else get_registry()
+        self._init_obs(registry if registry is not None else get_registry())
+        if wal is not None:
+            self.attach_wal(wal)
+
+    def _init_obs(self, reg) -> None:
+        """(Re)bind this detector's instruments to ``reg``.
+
+        Called at construction, and again by :meth:`recover` to swap the
+        replay onto a scratch registry and back: replayed commands are
+        *recovery* work, not live ingest, so their increments must not
+        inflate the live series (they are folded back under
+        ``process="recovery"`` instead).
+        """
         self._registry = reg
         events_counter = reg.counter(
             "repro_stream_events_total", "Sighting events by ingest outcome"
@@ -230,8 +242,6 @@ class StreamingColocationDetector:
             "repro_stream_evaluate_seconds", "Wall seconds per evaluate() call"
         ).child()
         reg.register_collector(self._collect_gauge_samples)
-        if wal is not None:
-            self.attach_wal(wal)
 
     def _collect_gauge_samples(self):
         """Snapshot-time queue-depth / active-window gauges."""
@@ -471,6 +481,14 @@ class StreamingColocationDetector:
             measure_factory=measure_factory,
             registry=registry,
         )
+        # Replay under a scratch registry: the journaled tail re-runs the
+        # ingest path, and crediting those increments to the live series
+        # would double-count every event that survived the crash.  The
+        # scratch snapshot is folded back under process="recovery" so the
+        # replay work stays visible without polluting live ingest series.
+        scratch = MetricsRegistry() if getattr(reg, "enabled", False) else None
+        if scratch is not None:
+            detector._init_obs(scratch)
         if recovery.state is not None:
             detector._restore_state(recovery.state)
         detector._wal_suspended += 1
@@ -479,6 +497,10 @@ class StreamingColocationDetector:
                 detector._apply_op(op)
         finally:
             detector._wal_suspended -= 1
+            if scratch is not None:
+                detector._init_obs(reg)
+        if scratch is not None:
+            merge_into_registry(reg, scratch.snapshot(), {"process": "recovery"})
         wal = StreamingWAL(
             wal_dir,
             fsync_every=fsync_every,

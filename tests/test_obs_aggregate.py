@@ -1,0 +1,267 @@
+"""Property tests for the mergeable-snapshot algebra (repro.obs.aggregate).
+
+Seeded-random loops (no third-party property-testing dependency) over
+the three invariants the distributed observability plane rests on:
+
+* :func:`merge_snapshots` is associative and commutative;
+* merged-histogram quantiles agree with the pooled-sample quantiles to
+  within one bucket width;
+* delta piggybacking credits every unit of work exactly once, including
+  across worker restarts (counter resets).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    hist_stats_quantile,
+    merge_into_registry,
+    merge_snapshots,
+    parse_label_str,
+    snapshot_delta,
+    snapshot_is_empty,
+)
+from repro.obs.aggregate import DeltaSource
+from repro.obs.registry import _label_key, _label_str
+
+BUCKETS = tuple(float(b) for b in range(1, 21))
+
+
+def random_snapshot(rng: random.Random, tag: str) -> dict:
+    """A snapshot built through a real registry from random activity.
+
+    Values are small integers, so float sums are exact and the
+    associativity check is not confounded by rounding.
+    """
+    registry = MetricsRegistry()
+    counter = registry.counter(f"prop_{tag}_total")
+    gauge = registry.gauge(f"prop_{tag}_gauge")
+    hist = registry.histogram(f"prop_{tag}_seconds", buckets=BUCKETS)
+    shared = registry.counter("prop_shared_total")  # collides across snapshots
+    for _ in range(rng.randint(1, 30)):
+        counter.inc(rng.randint(1, 5), shard=str(rng.randint(0, 2)))
+        shared.inc(rng.randint(1, 3), origin=tag)
+    gauge.set(rng.randint(0, 100), shard=str(rng.randint(0, 1)))
+    for _ in range(rng.randint(1, 40)):
+        hist.observe(rng.randint(0, 20) + 0.5)
+    return registry.snapshot()
+
+
+def canonical(snapshot: dict) -> dict:
+    """Order-independent comparable form (dicts sorted, floats exact)."""
+    out = {}
+    for section, series_by_name in snapshot.items():
+        out[section] = {
+            name: dict(sorted(series.items()))
+            if section != "histograms"
+            else {
+                key: (s["count"], s["sum"], tuple(tuple(b) for b in s["buckets"]))
+                for key, s in sorted(series.items())
+            }
+            for name, series in sorted(series_by_name.items())
+        }
+    return out
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        rng = random.Random(101)
+        for trial in range(25):
+            a = random_snapshot(rng, "a")
+            b = random_snapshot(rng, "b")
+            assert canonical(merge_snapshots(a, b)) == canonical(
+                merge_snapshots(b, a)
+            ), f"trial {trial}"
+
+    def test_merge_is_associative(self):
+        rng = random.Random(202)
+        for trial in range(25):
+            a = random_snapshot(rng, "a")
+            b = random_snapshot(rng, "b")
+            c = random_snapshot(rng, "c")
+            left = merge_snapshots(merge_snapshots(a, b), c)
+            right = merge_snapshots(a, merge_snapshots(b, c))
+            assert canonical(left) == canonical(right), f"trial {trial}"
+
+    def test_merge_does_not_mutate_inputs(self):
+        rng = random.Random(303)
+        a = random_snapshot(rng, "a")
+        b = random_snapshot(rng, "b")
+        ca, cb = canonical(a), canonical(b)
+        merge_snapshots(a, b)
+        assert canonical(a) == ca and canonical(b) == cb
+
+    def test_empty_is_identity(self):
+        rng = random.Random(404)
+        a = random_snapshot(rng, "a")
+        assert canonical(merge_snapshots(a, {})) == canonical(a)
+        assert snapshot_is_empty(merge_snapshots({}, {}))
+
+
+class TestMergedQuantiles:
+    def test_merged_quantiles_within_one_bucket_width(self):
+        """p50/p95/p99 of a merged histogram ≈ pooled-sample quantiles.
+
+        A bucketed estimator cannot localize better than its bucket, so
+        the tolerance is the width of the bucket containing the true
+        quantile (one, not half: interpolation assumes uniformity).
+        """
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            parts = []
+            pooled = []
+            for _ in range(rng.integers(2, 5)):
+                registry = MetricsRegistry()
+                hist = registry.histogram("q_seconds", buckets=BUCKETS)
+                samples = rng.uniform(0.0, 20.0, size=int(rng.integers(5, 200)))
+                for s in samples:
+                    hist.observe(float(s))
+                pooled.extend(samples.tolist())
+                parts.append(registry.snapshot())
+            merged = parts[0]
+            for part in parts[1:]:
+                merged = merge_snapshots(merged, part)
+            stats = merged["histograms"]["q_seconds"][""]
+            assert stats["count"] == len(pooled)
+            assert stats["sum"] == pytest.approx(sum(pooled))
+            for q in (0.50, 0.95, 0.99):
+                true = float(np.quantile(pooled, q))
+                est = hist_stats_quantile(stats, q)
+                idx = min(
+                    range(len(BUCKETS)), key=lambda i: (BUCKETS[i] < true, i)
+                )
+                lo = BUCKETS[idx - 1] if idx > 0 else 0.0
+                width = BUCKETS[idx] - lo
+                assert abs(est - true) <= width + 1e-9, (
+                    f"trial {trial} q={q}: est {est} vs true {true}"
+                )
+
+    def test_quantile_of_empty_stats_is_nan(self):
+        stats = {
+            "count": 0,
+            "sum": 0.0,
+            "min": math.inf,
+            "max": -math.inf,
+            "buckets": [[b, 0] for b in BUCKETS] + [["+Inf", 0]],
+        }
+        assert math.isnan(hist_stats_quantile(stats, 0.5))
+
+
+class TestDeltaExactness:
+    def test_delta_stream_sums_to_cumulative(self):
+        rng = random.Random(11)
+        worker = MetricsRegistry()
+        counter = worker.counter("w_total")
+        hist = worker.histogram("w_seconds", buckets=BUCKETS)
+        source = DeltaSource(worker)
+        folded = {}
+        for _ in range(30):
+            for _ in range(rng.randint(0, 6)):
+                counter.inc(1, shard="0")
+                hist.observe(rng.randint(0, 20) + 0.5)
+            delta = source.delta()
+            if delta is not None:
+                folded = merge_snapshots(folded, delta)
+        final = worker.snapshot()
+        assert canonical(folded) == canonical(final)
+
+    def test_restart_never_double_counts(self):
+        """Sum of folded deltas == total work across worker incarnations.
+
+        A restarted worker starts with a fresh :class:`DeltaSource`, so
+        its first delta is its whole cumulative snapshot: nothing is
+        lost and nothing is credited twice.
+        """
+        rng = random.Random(23)
+        for trial in range(10):
+            parent = MetricsRegistry()
+            total_work = 0
+            for incarnation in range(rng.randint(2, 4)):
+                worker = MetricsRegistry()  # restart: counters reset to zero
+                counter = worker.counter("work_total")
+                source = DeltaSource(worker)
+                for _ in range(rng.randint(1, 5)):
+                    work = rng.randint(1, 9)
+                    counter.inc(work, shard="0")
+                    total_work += work
+                    delta = source.delta()
+                    merge_into_registry(parent, delta, {"process": "worker"})
+            folded = parent.snapshot()["counters"]["work_total"]
+            assert sum(folded.values()) == total_work, f"trial {trial}"
+
+    def test_counter_reset_detected_by_negative_delta(self):
+        """If the parent diffs cumulatives itself, a shrinking counter
+        (a restart) contributes the restarted worker's full cumulative
+        rather than a negative delta."""
+        a = MetricsRegistry()
+        a.counter("work_total").inc(10)
+        b = MetricsRegistry()
+        b.counter("work_total").inc(4)
+        delta = snapshot_delta(a.snapshot(), b.snapshot())
+        assert delta["counters"]["work_total"][""] == 4.0
+
+    def test_primed_source_excludes_forked_history(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("inherited_total")
+        counter.inc(100)  # parent history the fork copy carries
+        source = DeltaSource(registry, prime=True)
+        assert source.delta() is None
+        counter.inc(3)
+        delta = source.delta()
+        assert delta["counters"]["inherited_total"][""] == 3.0
+
+    def test_histogram_reset_takes_full_snapshot(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", buckets=BUCKETS).observe(5.0)
+        big = a.snapshot()
+        b = MetricsRegistry()
+        b.histogram("h_seconds", buckets=BUCKETS).observe(2.0)
+        small = b.snapshot()  # "went backwards": a restart
+        delta = snapshot_delta(big, small)
+        assert delta["histograms"]["h_seconds"][""]["count"] == 1
+
+
+class TestLabelRoundTrip:
+    def test_parse_label_str_inverts_label_str(self):
+        cases = [
+            {},
+            {"shard": "0"},
+            {"a": "x", "b": "y", "process": "worker"},
+            {"msg": 'quote " inside'},
+            {"msg": "back\\slash"},
+            {"msg": "line\nbreak"},
+            {"msg": 'all \\ of " it\n at once', "k": "v"},
+        ]
+        for labels in cases:
+            encoded = _label_str(_label_key(labels))
+            assert parse_label_str(encoded) == labels, labels
+
+
+class TestFoldSafety:
+    def test_bucket_mismatch_dropped_and_counted(self):
+        parent = MetricsRegistry()
+        parent.histogram("h_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        skewed = MetricsRegistry()
+        skewed.histogram("h_seconds", buckets=(10.0, 20.0)).observe(15.0)
+        merge_into_registry(parent, skewed.snapshot(), {"process": "worker"})
+        snap = parent.snapshot()
+        dropped = snap["counters"]["repro_obs_merge_dropped_total"]
+        assert sum(dropped.values()) == 1.0
+        # the parent histogram is untouched by the skewed worker
+        assert snap["histograms"]["h_seconds"][""]["count"] == 1
+
+    def test_gauges_fold_as_distinct_series(self):
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(4.0)
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(9.0)
+        merge_into_registry(parent, worker.snapshot(), {"process": "worker"})
+        series = parent.snapshot()["gauges"]["depth"]
+        assert series[""] == 4.0
+        assert series['process="worker"'] == 9.0

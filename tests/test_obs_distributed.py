@@ -1,0 +1,432 @@
+"""Distributed observability plane: fleet aggregation, trace stitching,
+the live exporter, SLO burn-rate states, and structured worker logs.
+
+The acceptance scenario throughout is a healthy 2-shard × 2-replica
+cluster: the parent's folded metrics must equal every worker's own
+cumulative dump, and one stitched Chrome trace must carry spans from all
+four replica processes with correct parent/child nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.core.grid import Grid
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.index.matcher import FilteredMatcher
+from repro.obs import (
+    SLO,
+    JsonlLogger,
+    MetricsExporter,
+    MetricsRegistry,
+    SLOTracker,
+    Tracer,
+    default_slos,
+    merge_records,
+    parse_label_str,
+    read_log_dir,
+    render_records,
+    set_registry,
+    set_tracer,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_prometheus_text,
+    validate_slo_report,
+)
+from repro.similarity import SST
+
+
+@pytest.fixture
+def fresh_registry():
+    """A private registry installed as the process default, then restored.
+
+    Installed *before* the measure and the cluster are built, so forked
+    workers inherit a zero baseline and their cumulative dumps are
+    directly comparable to the parent's folded series.
+    """
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+@pytest.fixture
+def fresh_tracer():
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    yield tracer
+    set_tracer(previous)
+
+
+def make_gallery(n: int, seed: int = 0) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    gallery = []
+    for i in range(n):
+        ts = np.sort(rng.uniform(0.0, 60.0, 6))
+        xs = rng.uniform(2.0, 38.0, 6)
+        ys = rng.uniform(2.0, 18.0, 6)
+        gallery.append(Trajectory.from_arrays(xs, ys, ts, object_id=f"g{i}"))
+    return gallery
+
+
+def make_measure():
+    return STS(Grid(0, 0, 40, 20, cell_size=2.0))
+
+
+def counter_total(snapshot: dict, name: str) -> float:
+    return sum((snapshot.get("counters") or {}).get(name, {}).values())
+
+
+SIM_CALLS = "repro_sts_similarity_calls_total"
+
+
+# ----------------------------------------------------------------------
+# Fleet aggregation: parent metrics == per-worker ground truth
+# ----------------------------------------------------------------------
+class TestFleetAccounting:
+    def test_parent_folds_every_replica_exactly(self, fresh_registry, fresh_tracer):
+        gallery = make_gallery(12, seed=3)
+        queries = make_gallery(3, seed=9)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=2,
+            hedge=True, hedge_initial_ms=0.0,
+        ) as svc:
+            for query in queries:
+                _, report = svc.query_scores(query)
+                assert report.coverage == 1.0
+            # Telemetry is eventually consistent: a hedge loser's reply
+            # (carrying its delta) may still sit in the pipe.  The
+            # health sweep drains and absorbs everything outstanding.
+            assert all(v == "alive" for v in svc.health_check().values())
+            info = svc.worker_info()
+            assert len(info) == 4
+
+            folded = fresh_registry.snapshot()["counters"].get(SIM_CALLS, {})
+            worker_series = {
+                key: value
+                for key, value in folded.items()
+                if parse_label_str(key).get("process") == "worker"
+            }
+            ground_truth = {
+                label: counter_total(payload["metrics"], SIM_CALLS)
+                for label, payload in info.items()
+            }
+            # Every unit of scoring work any replica did — including
+            # hedge losers whose answers were discarded — is credited in
+            # the parent, exactly once.
+            assert sum(worker_series.values()) == sum(ground_truth.values())
+            assert sum(ground_truth.values()) > 0
+
+            # Per-replica attribution matches each worker's own dump.
+            for label, payload in info.items():
+                shard, replica = label.removeprefix("shard").split("-r")
+                series = sum(
+                    value
+                    for key, value in worker_series.items()
+                    if parse_label_str(key).get("shard") == shard
+                    and parse_label_str(key).get("replica") == replica
+                )
+                assert series == ground_truth[label], label
+
+    def test_worker_series_carry_fleet_labels(self, fresh_registry, fresh_tracer):
+        gallery = make_gallery(8, seed=1)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=2,
+            hedge=True, hedge_initial_ms=0.0,
+        ) as svc:
+            svc.query_scores(make_gallery(1, seed=2)[0])
+            svc.health_check()
+            folded = fresh_registry.snapshot()["counters"].get(SIM_CALLS, {})
+            labelled = [parse_label_str(k) for k in folded if k]
+            worker_rows = [l for l in labelled if l.get("process") == "worker"]
+            assert worker_rows
+            for labels in worker_rows:
+                assert set(labels) >= {"process", "shard", "replica"}
+                assert labels["shard"] in {"0", "1"}
+                assert labels["replica"] in {"0", "1"}
+
+
+# ----------------------------------------------------------------------
+# Cluster-wide trace stitching
+# ----------------------------------------------------------------------
+class TestTraceStitching:
+    def test_one_forest_covers_all_four_replicas(self, fresh_registry, fresh_tracer):
+        gallery = make_gallery(12, seed=5)
+        queries = make_gallery(3, seed=11)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=2,
+            hedge=True, hedge_initial_ms=0.0,
+        ) as svc:
+            expected_pids = {p for p in svc.replica_pids().values() if p}
+            assert len(expected_pids) == 4
+            for query in queries:
+                svc.query_scores(query)
+            svc.health_check()
+
+            events = fresh_tracer.to_chrome_trace()
+            assert validate_chrome_trace(events) == []
+
+            by_name: dict[str, list[dict]] = {}
+            for event in events:
+                by_name.setdefault(event["name"], []).append(event)
+            worker_pids = {
+                e["pid"] for e in by_name.get("cluster.worker.score", [])
+            }
+            assert worker_pids == expected_pids
+
+            # Nesting: worker.score → cluster.dispatch → cluster.query.
+            span_index = {
+                e["args"]["span_id"]: e for e in events if "span_id" in e["args"]
+            }
+            for event in by_name["cluster.worker.score"]:
+                parent = span_index[event["args"]["parent_span_id"]]
+                assert parent["name"] == "cluster.dispatch"
+                grandparent = span_index[parent["args"]["parent_span_id"]]
+                assert grandparent["name"] == "cluster.query"
+            # Dispatch spans carry the shard/replica they went to.
+            for event in by_name["cluster.dispatch"]:
+                assert {"shard", "replica", "hedge"} <= set(event["args"])
+
+    def test_per_query_report_trace_validates(self, fresh_registry, fresh_tracer):
+        gallery = make_gallery(10, seed=7)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=2,
+            hedge=True, hedge_initial_ms=0.0,
+        ) as svc:
+            _, report = svc.query_scores(make_gallery(1, seed=8)[0])
+            assert report.trace is not None
+            assert validate_chrome_trace(report.trace) == []
+            names = {e["name"] for e in report.trace}
+            assert {"cluster.query", "cluster.dispatch"} <= names
+            assert "cluster.worker.score" in names
+            assert report.to_dict()["trace"] is report.trace
+
+    def test_matcher_trace_shows_filter_and_refine(self, fresh_registry, fresh_tracer):
+        def walker(y=0.0, oid=None):
+            xs = np.arange(10.0)
+            return Trajectory.from_arrays(xs, np.full(10, y), xs, oid)
+
+        matcher = FilteredMatcher(
+            SST(spatial_scale=2.0, temporal_scale=5.0), spatial_slack=20.0
+        )
+        report = matcher.query(walker(0.5, "q"), [walker(0.0, "a"), walker(5.0, "b")])
+        assert report.trace is not None
+        assert validate_chrome_trace(report.trace) == []
+        names = {e["name"] for e in report.trace}
+        assert {"matcher.query", "matcher.filter", "matcher.refine"} <= names
+
+
+# ----------------------------------------------------------------------
+# Live exporter endpoints
+# ----------------------------------------------------------------------
+class TestExporterEndpoints:
+    @pytest.fixture
+    def exporter(self, fresh_registry):
+        fresh_registry.counter("requests_total").inc(5, route="link")
+        fresh_registry.histogram("repro_matcher_query_seconds").observe(0.01)
+        tracker = SLOTracker(registry=fresh_registry, slos=default_slos())
+        exporter = MetricsExporter(
+            registry=fresh_registry, slo_tracker=tracker, port=0
+        ).start()
+        yield exporter
+        exporter.stop()
+
+    @staticmethod
+    def fetch(exporter, path):
+        with urllib.request.urlopen(exporter.url + path, timeout=5.0) as resp:
+            return resp.status, resp.read().decode("utf-8")
+
+    def test_metrics_is_valid_prometheus_text(self, exporter):
+        status, body = self.fetch(exporter, "/metrics")
+        assert status == 200
+        assert validate_prometheus_text(body) == []
+        assert "requests_total" in body
+
+    def test_metrics_json_is_valid_snapshot(self, exporter):
+        status, body = self.fetch(exporter, "/metrics.json")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert validate_metrics_snapshot(snapshot) == []
+        assert snapshot["counters"]["requests_total"]['route="link"'] == 5.0
+
+    def test_slo_report_validates(self, exporter):
+        status, body = self.fetch(exporter, "/slo")
+        assert status == 200
+        report = json.loads(body)
+        assert validate_slo_report(report) == []
+        assert {s["name"] for s in report["slos"]} == {
+            s.name for s in default_slos()
+        }
+
+    def test_healthz_and_unknown_path(self, exporter):
+        status, body = self.fetch(exporter, "/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self.fetch(exporter, "/nope")
+        assert err.value.code == 404
+
+    def test_from_spec_forwards_kwargs(self, fresh_registry):
+        exporter = MetricsExporter.from_spec("127.0.0.1:0", registry=fresh_registry)
+        assert exporter.address == ("127.0.0.1", 0)
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate states
+# ----------------------------------------------------------------------
+def error_snapshot(bad: float, total: float) -> dict:
+    return {
+        "counters": {"err_total": {"": bad}, "req_total": {"": total}},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+ERR_SLO = SLO(
+    name="err",
+    objective=0.99,
+    signal="error_ratio",
+    bad_counter="err_total",
+    total_counter="req_total",
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSLOBurnRates:
+    def one_shot_state(self, bad, total):
+        tracker = SLOTracker(slos=(ERR_SLO,), clock=FakeClock())
+        report = tracker.evaluate(error_snapshot(bad, total))
+        assert validate_slo_report(report) == []
+        return report["slos"][0]["state"]
+
+    def test_lifetime_states(self):
+        assert self.one_shot_state(0, 0) == "no_data"
+        assert self.one_shot_state(1, 1000) == "ok"
+        assert self.one_shot_state(80, 1000) == "warn"
+        assert self.one_shot_state(200, 1000) == "page"
+
+    def test_recent_spike_pages_despite_clean_lifetime(self):
+        """A fresh burst of errors pages even when the lifetime error
+        rate is comfortably inside budget — the point of burn rates."""
+        clock = FakeClock()
+        tracker = SLOTracker(slos=(ERR_SLO,), clock=clock)
+        tracker.sample(error_snapshot(0, 1000))
+        clock.t = 400.0  # past the fast window, inside the slow one
+        report = tracker.evaluate(error_snapshot(50, 1050))
+        row = report["slos"][0]
+        assert row["fast"]["bad"] == 50 and row["fast"]["total"] == 50
+        assert row["state"] == "page"
+
+    def test_old_spike_decays_back_to_ok(self):
+        clock = FakeClock()
+        tracker = SLOTracker(slos=(ERR_SLO,), clock=clock)
+        tracker.sample(error_snapshot(50, 1000))
+        clock.t = 4000.0  # spike now outside even the slow window
+        report = tracker.evaluate(error_snapshot(50, 100000))
+        assert report["slos"][0]["state"] == "ok"
+
+    def test_evaluate_snapshot_one_shot(self):
+        report = SLOTracker.evaluate_snapshot(
+            error_snapshot(0, 500), slos=(ERR_SLO,)
+        )
+        assert report["slos"][0]["state"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Structured worker logs
+# ----------------------------------------------------------------------
+class TestStructuredLogs:
+    def test_logger_roundtrip_and_merge(self, tmp_path):
+        for name, shard in (("a.log", 0), ("b.log", 1)):
+            with open(tmp_path / name, "w") as stream:
+                log = JsonlLogger(stream=stream, shard=shard, replica=0)
+                log.info("ready", n=8)
+                log.warning("slow", seconds=1.5)
+        records = read_log_dir(tmp_path)
+        assert len(records) == 4
+        assert all(r["shard"] in (0, 1) for r in records)
+        merged = merge_records(records)
+        assert [r["ts"] for r in merged] == sorted(r["ts"] for r in records)
+        rendered = render_records(merged)
+        assert "READY" not in rendered  # message text is not upcased
+        assert "ready" in rendered and "WARNING" in rendered
+        assert "shard=1" in rendered
+
+    def test_cluster_workers_write_jsonl_logs(
+        self, fresh_registry, fresh_tracer, tmp_path
+    ):
+        gallery = make_gallery(8, seed=4)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=2,
+            hedge=True, hedge_initial_ms=0.0, log_dir=str(tmp_path),
+        ) as svc:
+            svc.query_scores(make_gallery(1, seed=6)[0])
+        records = read_log_dir(tmp_path)
+        ready = [r for r in records if r.get("message") == "ready"]
+        assert {(r["shard"], r["replica"]) for r in ready} == {
+            (s, r) for s in (0, 1) for r in (0, 1)
+        }
+        for record in records:
+            assert {"ts", "level", "message", "pid"} <= set(record)
+
+
+# ----------------------------------------------------------------------
+# CLI: dump validation and log rendering
+# ----------------------------------------------------------------------
+class TestCliSurface:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_check_accepts_all_four_dump_formats(
+        self, fresh_registry, fresh_tracer, tmp_path, capsys
+    ):
+        gallery = make_gallery(8, seed=2)
+        with ClusterService(
+            make_measure(), gallery, n_shards=2, n_replicas=1,
+            hedge=False,
+        ) as svc:
+            _, report = svc.query_scores(make_gallery(1, seed=3)[0])
+        dumps = {
+            "trace.json": json.dumps(report.trace),
+            "metrics.json": json.dumps(fresh_registry.snapshot()),
+            "metrics.prom": "# TYPE x_total counter\nx_total 1.0\n",
+            "slo.json": json.dumps(
+                SLOTracker.evaluate_snapshot(
+                    error_snapshot(0, 10), slos=(ERR_SLO,)
+                )
+            ),
+        }
+        for name, payload in dumps.items():
+            path = tmp_path / name
+            path.write_text(payload)
+            assert self.run_cli("obs", "--check", str(path)) == 0, name
+            capsys.readouterr()
+
+    def test_check_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = [{"name": "x", "ph": "X", "ts": 2.0, "dur": -1.0, "pid": 1}]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": bad}))
+        assert self.run_cli("obs", "--check", str(path)) != 0
+        out = capsys.readouterr()
+        assert "tid" in (out.out + out.err)
+
+    def test_obs_logs_renders_merged_directory(self, tmp_path, capsys):
+        with open(tmp_path / "w.log", "w") as stream:
+            JsonlLogger(stream=stream, shard=0, replica=1).info("ready", n=3)
+        assert self.run_cli("obs", "logs", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "ready" in out and "replica=1" in out
