@@ -12,6 +12,7 @@ Subcommands::
     repro-sts groups     --corpus c.csv --cell 3 --sigma 3
     repro-sts stream     --corpus c.csv --cell 3 --sigma 3 --wal-dir wal/ [--resume]
     repro-sts obs        [demo|slo|logs DIR] [--format text|prom|flame|chrome]
+    repro-sts verify     [--paths ...] [--relations ...] [--report-out report.json]
                          [--input snap.json] [--check DUMP]
 
 ``experiment`` accepts the figure families of the paper's evaluation:
@@ -357,6 +358,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an observability dump and exit non-zero on format "
         "errors; the format is auto-detected: Chrome trace-event JSON, "
         "JSON metrics snapshot, SLO report JSON, or Prometheus text",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        parents=[obs_out],
+        help="differential verification: every execution path and "
+        "metamorphic relation on the committed seed corpus",
+    )
+    verify.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="execution paths to check against the serial baseline "
+        "(default: all; pass no names to skip the path matrix)",
+    )
+    verify.add_argument(
+        "--relations",
+        nargs="*",
+        default=None,
+        metavar="RELATION",
+        help="metamorphic relations to run (default: all; pass no names "
+        "to skip the relation suite)",
+    )
+    verify.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE — JSON for .json paths, "
+        "markdown otherwise",
+    )
+    verify.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_checks",
+        help="list available paths and relations, then exit",
     )
 
     return parser
@@ -753,6 +790,36 @@ def _run_obs(args) -> int:
     return 0
 
 
+def _run_verify(args) -> int:
+    """The ``verify`` subcommand: differential path × relation matrix."""
+    from .verify import PATHS, RELATIONS, run_verification
+
+    if args.list_checks:
+        print("paths:")
+        for name, spec in PATHS.items():
+            tol = "bitwise" if spec.tolerance is None else f"atol {spec.tolerance:g}"
+            print(f"  {name:18s} [{tol}] {spec.description}")
+        print("relations:")
+        for name, rel in RELATIONS.items():
+            print(f"  {name:18s} [{rel.equation}] {rel.description}")
+        return 0
+
+    try:
+        report = run_verification(paths=args.paths, relations=args.relations)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.report_out:
+        payload = (report.to_json() if args.report_out.endswith(".json")
+                   else report.to_markdown())
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote report to {args.report_out}", file=sys.stderr)
+    print(report.to_markdown())
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -788,6 +855,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "obs":
         return _run_obs(args)
+
+    if args.command == "verify":
+        return _run_verify(args)
 
     if args.command == "list-measures":
         for name in available_measures():

@@ -1,0 +1,47 @@
+"""Differential verification: oracle, metamorphic relations, path matrix.
+
+Three independent correctness nets over the same committed seed corpus:
+
+* :mod:`~repro.verify.oracle` — a deliberately slow, dependency-light
+  transcription of Eqs. 3–10 that serves as ground truth;
+* :mod:`~repro.verify.relations` — executable metamorphic relations the
+  paper guarantees by construction (symmetry, [0, 1] range, time-shift
+  invariance, STP normalization, zero outside overlap, anytime bounds,
+  valid degradation rungs);
+* :mod:`~repro.verify.diffrunner` — the cross-path equivalence matrix:
+  every shipped execution path scored on the corpus and compared bitwise
+  (production paths) or within documented tolerance (the oracle).
+
+Entry points: :func:`run_verification` from Python, ``repro verify``
+from the CLI.  Policy and derivations live in ``docs/CORRECTNESS.md``.
+"""
+
+from .corpus import CORPUS_SEED, VerificationCorpus, verification_corpus
+from .diffrunner import (
+    PATHS,
+    CheckResult,
+    PathSpec,
+    VerifyReport,
+    run_verification,
+    ulp_distance,
+)
+from .oracle import ORACLE_ATOL, OracleSTS
+from .relations import RELATIONS, Relation, RelationResult, run_relations
+
+__all__ = [
+    "CORPUS_SEED",
+    "VerificationCorpus",
+    "verification_corpus",
+    "OracleSTS",
+    "ORACLE_ATOL",
+    "RELATIONS",
+    "Relation",
+    "RelationResult",
+    "run_relations",
+    "PATHS",
+    "PathSpec",
+    "CheckResult",
+    "VerifyReport",
+    "run_verification",
+    "ulp_distance",
+]

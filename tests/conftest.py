@@ -1,6 +1,14 @@
-"""Shared fixtures: small deterministic trajectories, grids and corpora."""
+"""Shared fixtures: small deterministic trajectories, grids and corpora.
+
+Also the process-wide isolation layer: tests that flip
+``set_parallel_defaults`` or the ``REPRO_*`` environment switches used
+to leak into whichever test ran next; the autouse fixtures below
+snapshot and restore that state around every test.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +16,35 @@ import pytest
 from repro.core.grid import Grid
 from repro.core.trajectory import Trajectory, TrajectoryPoint
 from repro.datasets import mall_dataset, taxi_dataset
+from repro.parallel import get_parallel_defaults, set_parallel_defaults
+
+#: Environment switches that alter process-wide behavior when set.
+_REPRO_ENV_VARS = (
+    "REPRO_OBS",
+    "REPRO_OBS_DELTA_S",
+    "REPRO_CLUSTER_WORKER",
+    "REPRO_CLUSTER_LOG_DIR",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_parallel_defaults():
+    """Snapshot/restore the process-wide shm/chunking defaults."""
+    saved = get_parallel_defaults()
+    yield
+    set_parallel_defaults(**saved)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_env():
+    """Snapshot/restore the ``REPRO_*`` environment switches."""
+    saved = {name: os.environ.get(name) for name in _REPRO_ENV_VARS}
+    yield
+    for name, value in saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 @pytest.fixture

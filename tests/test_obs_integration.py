@@ -233,6 +233,7 @@ class TestRunnerStageTimes:
 
 
 class TestOverheadGuard:
+    @pytest.mark.timing  # compares real wall-clock runs; irreducible
     def test_instrumentation_within_two_percent(self, corpus):
         """Instrumented pairwise within 2% of REPRO_OBS=off (min-of-N).
 

@@ -1,0 +1,165 @@
+"""Lock down partial-result semantics across the serving surfaces.
+
+Three behaviors the robustness docs promise but nothing unit-tested:
+NaN cells (never silent zeros) for unreachable shards in
+``STS.pairwise(cluster=)``, the "PARTIAL" rendering of
+:class:`MatchReport`, and :meth:`Budget.sub_budget` on a parent that has
+already expired.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.core.sts import STS
+from repro.core.trajectory import Trajectory
+from repro.eval.queries import RankedMatch
+from repro.index.matcher import MatchReport
+from repro.serving import Budget
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _walks(small_grid, n=4, points=5):
+    rng = np.random.default_rng(11)
+    out = []
+    for idx in range(n):
+        ts = np.arange(points, dtype=float) * 3.0
+        xs = 2.0 + idx * 3.0 + rng.normal(scale=0.4, size=points).cumsum()
+        ys = 2.0 + idx * 2.0 + rng.normal(scale=0.4, size=points).cumsum()
+        out.append(Trajectory.from_arrays(
+            np.clip(xs, 0.5, 19.5), np.clip(ys, 0.5, 19.5), ts,
+            object_id=f"obj-{idx}"))
+    return out
+
+
+class TestClusterNaNCells:
+    def test_dead_shard_yields_nan_columns_not_zeros(self, small_grid):
+        measure = STS(small_grid)
+        gallery = _walks(small_grid)
+        queries = _walks(small_grid, n=2)
+        with ClusterService(measure, gallery, n_shards=2, n_replicas=2,
+                            max_restarts=0) as svc:
+            victim = next(
+                s for s, cols in enumerate(svc.shard_globals) if cols)
+            dead_cols = list(svc.shard_globals[victim])
+            svc.kill_replica(victim, 0)
+            svc.kill_replica(victim, 1)
+            matrix = measure.pairwise(gallery, queries, cluster=svc)
+
+        assert matrix.shape == (len(queries), len(gallery))
+        # Unreachable candidates are NaN — explicitly unknown.
+        assert np.isnan(matrix[:, dead_cols]).all()
+        # Every other cell is a real score, bitwise equal to serial.
+        live_cols = [j for j in range(len(gallery)) if j not in dead_cols]
+        assert np.isfinite(matrix[:, live_cols]).all()
+        serial = STS(small_grid)
+        for i, q in enumerate(queries):
+            for j in live_cols:
+                assert matrix[i, j] == serial.similarity(q, gallery[j])
+
+    def test_healthy_cluster_has_no_nan_cells(self, small_grid):
+        measure = STS(small_grid)
+        gallery = _walks(small_grid)
+        with ClusterService(measure, gallery, n_shards=2,
+                            n_replicas=2) as svc:
+            matrix = measure.pairwise(gallery, _walks(small_grid, n=2),
+                                      cluster=svc)
+        assert np.isfinite(matrix).all()
+
+
+class TestMatchReportPartialRendering:
+    def _report(self, **overrides):
+        kwargs = dict(matches=[RankedMatch(index=0, trajectory=None,
+                                           score=0.5)],
+                      gallery_size=10, candidates_scored=4)
+        kwargs.update(overrides)
+        return MatchReport(**kwargs)
+
+    def test_full_coverage_renders_without_partial(self):
+        text = str(self._report())
+        assert "PARTIAL" not in text
+        assert "scored 4/10 candidates" in text
+
+    def test_partial_coverage_renders_marker_and_shards(self):
+        text = str(self._report(coverage=0.6, shards_skipped=(1, 3)))
+        assert "PARTIAL coverage 60.00%" in text
+        assert "shards skipped [1, 3]" in text
+
+    def test_partial_wins_over_degraded_in_rendering(self):
+        text = str(self._report(coverage=0.5, shards_skipped=(0,),
+                                shards_degraded=(1,)))
+        assert "PARTIAL" in text
+        assert "degraded" not in text
+
+    def test_degraded_only_renders_degraded(self):
+        text = str(self._report(shards_degraded=(2,)))
+        assert "degraded shards [2]" in text
+        assert "PARTIAL" not in text
+
+    def test_complete_property_tracks_coverage(self):
+        assert self._report().complete
+        assert not self._report(coverage=0.99).complete
+
+
+class TestSubBudgetOfExpiredParent:
+    def test_deadline_expired_parent_yields_zero_deadline_child(self):
+        clock = FakeClock()
+        parent = Budget(deadline_ms=100.0, clock=clock).start()
+        clock.advance(0.2)  # 200 ms: past the deadline
+        assert parent.expired()
+        child = parent.sub_budget(0.5)
+        assert child.deadline_ms == 0.0
+        assert child.started
+        assert child.expired()
+
+    def test_terms_exhausted_parent_yields_dead_child(self):
+        clock = FakeClock()
+        parent = Budget(deadline_ms=100.0, max_terms=8, clock=clock).start()
+        # No time has passed, but the term cap is already spent.
+        child = parent.sub_budget(0.5, terms_done=8)
+        assert child.deadline_ms == 0.0
+        assert child.expired()
+
+    def test_memory_expired_parent_yields_dead_child(self):
+        parent = Budget(deadline_ms=100.0, max_rss_mb=1e-6,
+                        clock=FakeClock()).start()
+        assert parent.expired()  # any real process exceeds 1 byte-ish
+        child = parent.sub_budget(1.0)
+        assert child.deadline_ms == 0.0
+
+    def test_live_parent_child_gets_fraction_of_remaining(self):
+        clock = FakeClock()
+        parent = Budget(deadline_ms=100.0, clock=clock).start()
+        clock.advance(0.04)  # 40 ms spent, 60 ms left
+        child = parent.sub_budget(0.5)
+        assert child.deadline_ms == pytest.approx(30.0)
+        assert not child.expired()
+
+    def test_unbounded_parent_yields_unbounded_child(self):
+        child = Budget(clock=FakeClock()).start().sub_budget(0.25)
+        assert child.deadline_ms is None
+        assert child.remaining_ms() == math.inf
+        assert not child.expired()
+
+    def test_child_max_terms_is_independent_of_parent_exhaustion(self):
+        clock = FakeClock()
+        parent = Budget(deadline_ms=100.0, max_terms=8, clock=clock).start()
+        child = parent.sub_budget(0.5, max_terms=4, terms_done=8)
+        assert child.max_terms == 4
+        # Dead via the inherited zero deadline, not via its term cap.
+        assert child.terms_allowance(0) == 4
+        assert child.expired()

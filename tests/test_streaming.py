@@ -434,15 +434,18 @@ class TestOverloadAcceptance:
     DELAY = 0.02
     DEADLINE = 0.25
 
-    def overloaded_detector(self, grid, **kwargs):
+    def overloaded_detector(self, grid, sleep=None, **kwargs):
         from tests.faultinjection.faults import SlowMeasure
 
         from repro.core.sts import STS
 
+        slow_kwargs = {} if sleep is None else {"sleep": sleep}
         detector = StreamingColocationDetector(
             grid,
             window=300.0,
-            measure_factory=lambda: SlowMeasure(STS(grid), delay=self.DELAY),
+            measure_factory=lambda: SlowMeasure(
+                STS(grid), delay=self.DELAY, **slow_kwargs
+            ),
             **kwargs,
         )
         # 20 points per window -> 40 Eq. 10 terms per pair, more than one
@@ -451,6 +454,7 @@ class TestOverloadAcceptance:
             feed_walk(detector, oid, x0=idx, y=10 + idx, t0=float(idx), n=20)
         return detector
 
+    @pytest.mark.timing  # asserts real wall-clock latency; irreducible
     def test_returns_within_1_5x_deadline_with_bounded_scores(self, grid):
         import time
 
@@ -470,15 +474,35 @@ class TestOverloadAcceptance:
                 assert score.lower <= score.similarity <= score.upper
 
     def test_repeated_misses_trip_the_pair_breaker(self, grid):
-        from repro.serving import CircuitBreaker
+        # Fully deterministic: a fake clock drives the budget, the
+        # breaker and the injected slowness (SlowMeasure "sleeps" by
+        # advancing the clock), so no real time is spent or measured.
+        from repro.serving import Budget, CircuitBreaker
 
-        breaker = CircuitBreaker(threshold=1, cooldown_base=3600.0)
-        detector = self.overloaded_detector(grid, breaker=breaker)
-        detector.evaluate(deadline=self.DEADLINE)
+        class FakeClock:
+            def __init__(self):
+                self.t = 0.0
+
+            def __call__(self) -> float:
+                return self.t
+
+            def advance(self, dt: float) -> None:
+                self.t += dt
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_base=3600.0, clock=clock)
+        detector = self.overloaded_detector(
+            grid, breaker=breaker, sleep=clock.advance
+        )
+        detector.evaluate(
+            budget=Budget(deadline_ms=self.DEADLINE * 1000.0, clock=clock)
+        )
         first = detector.last_health
         assert first.breaker_trips >= 1
         assert any(e.kind == "breaker-trip" for e in first.events)
-        detector.evaluate(deadline=self.DEADLINE)
+        detector.evaluate(
+            budget=Budget(deadline_ms=self.DEADLINE * 1000.0, clock=clock)
+        )
         second = detector.last_health
         assert second.breaker_skips >= first.breaker_trips
         assert any(e.kind == "breaker-open" for e in second.events)
